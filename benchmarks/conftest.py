@@ -1,0 +1,32 @@
+"""Benchmark session plumbing.
+
+Each benchmark regenerates one of the paper's figures/tables via
+:mod:`repro.bench.experiments`, records the rows with
+:func:`repro.bench.harness.record_result` (persisted under ``results/``),
+and the tables are echoed into the terminal summary below.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import all_results
+
+
+@pytest.fixture(scope="session")
+def figure_ops() -> int:
+    """Measured operations per figure point (REPRO_BENCH_OPS overrides)."""
+    return int(os.environ.get("REPRO_BENCH_OPS", "800"))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    results = all_results()
+    if not results:
+        return
+    terminalreporter.write_sep("=", "reproduced paper figures (simulated us)")
+    for result in results:
+        terminalreporter.write_line("")
+        for line in result.format_table().splitlines():
+            terminalreporter.write_line(line)

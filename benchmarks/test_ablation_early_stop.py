@@ -1,0 +1,22 @@
+"""Ablation: early-stop GET proofs vs all-level proofs.
+
+Early stop is one of eLSM's stated distinctions versus Speicher
+(Section 7): a GET stops at the first hit level and its proof omits all
+deeper levels, shrinking both latency and proof size.
+"""
+
+from repro.bench.experiments import ablation_early_stop
+from repro.bench.harness import record_result
+
+
+def test_ablation_early_stop(benchmark, figure_ops):
+    result = benchmark.pedantic(
+        ablation_early_stop, kwargs={"ops": figure_ops}, rounds=1, iterations=1
+    )
+    record_result(result)
+
+    rows = {row[0]: row for row in result.rows}
+    early_lat, early_proof = rows["early-stop"][1], rows["early-stop"][2]
+    full_lat, full_proof = rows["all-levels"][1], rows["all-levels"][2]
+    assert early_proof <= full_proof
+    assert early_lat <= full_lat * 1.1

@@ -1,0 +1,23 @@
+"""Ablation: embedded per-record proofs vs per-query tree rebuilds.
+
+The Section 5.2 storage design trades disk space (every record carries
+its authentication path) for O(log n) proof assembly.  The alternative —
+no annotations, rebuild the level Merkle tree for each query — pays
+O(level size) per GET.
+"""
+
+from repro.bench.experiments import ablation_embedded_proofs
+from repro.bench.harness import record_result
+
+
+def test_ablation_embedded_proofs(benchmark):
+    result = benchmark.pedantic(ablation_embedded_proofs, rounds=1, iterations=1)
+    record_result(result)
+
+    rows = {row[0]: row for row in result.rows}
+    embedded_lat, embedded_bytes = rows["embedded"][1], rows["embedded"][2]
+    on_demand_lat, on_demand_bytes = rows["on-demand"][1], rows["on-demand"][2]
+    # Embedded proofs are dramatically faster to serve...
+    assert on_demand_lat > 5.0 * embedded_lat
+    # ...at a real storage cost.
+    assert embedded_bytes > on_demand_bytes

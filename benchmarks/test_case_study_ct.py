@@ -1,0 +1,23 @@
+"""Section 5.7 case study: the Certificate Transparency log server.
+
+Checks the paper's qualitative claims: intensive small-write ingest,
+authenticated auditor lookups with compact proofs, and per-domain
+monitors with sublinear bandwidth (vs downloading the whole log).
+"""
+
+from repro.bench.experiments import case_study_ct
+from repro.bench.harness import record_result
+
+
+def test_case_study_ct(benchmark, figure_ops):
+    result = benchmark.pedantic(
+        case_study_ct, kwargs={"ops": figure_ops}, rounds=1, iterations=1
+    )
+    record_result(result)
+
+    rows = {row[0]: row[1] for row in result.rows}
+    assert rows["certificates ingested"] >= 1000
+    assert rows["audit latency (us/lookup)"] > 0
+    assert rows["mean inclusion-proof bytes"] > 0
+    # Lightweight monitor: bandwidth saving over a whole-log download.
+    assert rows["bandwidth saving vs naive"] > 5.0

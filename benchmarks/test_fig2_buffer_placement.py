@@ -1,0 +1,26 @@
+"""Figure 2: read latency vs buffer size, buffer inside vs outside enclave.
+
+Paper shape: outside-enclave flat across buffer sizes; inside-enclave ~2x
+at small buffers (extra enclave copy + SDK decrypt) and ~4.5x once the
+buffer exceeds the 128 MB EPC (enclave paging).
+"""
+
+from repro.bench.experiments import fig2_buffer_placement
+from repro.bench.harness import record_result
+
+
+def test_fig2_buffer_placement(benchmark, figure_ops):
+    result = benchmark.pedantic(
+        fig2_buffer_placement, kwargs={"ops": figure_ops}, rounds=1, iterations=1
+    )
+    record_result(result)
+
+    outside = result.column("outside us/op")
+    ratios = result.column("in/out ratio")
+    # Outside-enclave curve is flat (within 40%).
+    assert max(outside) / min(outside) < 1.4
+    # Inside is slower everywhere...
+    assert all(r > 1.2 for r in ratios)
+    # ...and the paging cliff beyond the EPC at least doubles the gap.
+    assert max(ratios[3:]) > 1.7 * min(ratios[:3]) * 0.9
+    assert max(ratios) > 2.5

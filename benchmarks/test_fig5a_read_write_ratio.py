@@ -1,0 +1,31 @@
+"""Figure 5a: operation latency vs read percentage (uniform keys).
+
+Paper shape: eLSM-P1 wins only for write-dominated mixes; eLSM-P2 wins
+for most mixes with the gap peaking around read-heavy workloads (up to
+~4.5x); the unsecured LevelDB baseline is 1.5-4x faster than eLSM-P2.
+"""
+
+from repro.bench.experiments import fig5a_read_write_ratio
+from repro.bench.harness import record_result
+
+
+def test_fig5a_read_write_ratio(benchmark, figure_ops):
+    result = benchmark.pedantic(
+        fig5a_read_write_ratio,
+        kwargs={"ops": max(figure_ops, 1200)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    pcts = result.column("read %")
+    p2 = dict(zip(pcts, result.column("eLSM-P2-mmap")))
+    p1 = dict(zip(pcts, result.column("eLSM-P1")))
+    plain = dict(zip(pcts, result.column("LevelDB (unsecure)")))
+    # P1 beats P2 on the write-only mix (no software authentication).
+    assert p1[0] < p2[0]
+    # P2 beats P1 clearly on the read-heavy mixes.
+    assert p2[90] < p1[90] and p2[100] < p1[100]
+    assert p1[100] / p2[100] > 2.0
+    # The unsecured store is the fastest at every point.
+    assert all(plain[p] < p2[p] for p in pcts)

@@ -1,0 +1,24 @@
+"""Figure 5b: YCSB workload A latency vs data size.
+
+Paper shape: Eleos scales only to 1 GB; the eLSM-P2 vs eLSM-P1 latency
+gap grows with the data size (P1 pages, P2 does not).
+"""
+
+from repro.bench.experiments import fig5b_data_size
+from repro.bench.harness import record_result
+
+
+def test_fig5b_data_size(benchmark, figure_ops):
+    result = benchmark.pedantic(
+        fig5b_data_size, kwargs={"ops": figure_ops}, rounds=1, iterations=1
+    )
+    record_result(result)
+
+    eleos = result.column("Eleos")
+    # Eleos cannot scale past ~1 GB (paper: limited by the prototype).
+    assert eleos[-1] is None
+    assert any(value is not None for value in eleos)
+    p2 = result.column("eLSM-P2-mmap")
+    p1 = result.column("eLSM-P1")
+    # At the largest size P1's paging makes it slower than P2.
+    assert p1[-1] > p2[-1]

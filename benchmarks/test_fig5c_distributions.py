@@ -1,0 +1,27 @@
+"""Figure 5c: latency under Uniform / Zipfian / Latest key distributions.
+
+Paper shape: eLSM-P2 is much less sensitive to the distribution than
+eLSM-P1; P1 is worst under Uniform (largest working set -> most enclave
+paging) and best under Latest (smallest working set).
+"""
+
+from repro.bench.experiments import fig5c_distributions
+from repro.bench.harness import record_result
+
+
+def test_fig5c_distributions(benchmark, figure_ops):
+    result = benchmark.pedantic(
+        fig5c_distributions,
+        kwargs={"ops": max(figure_ops, 1200)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    rows = {row[0]: (row[1], row[2]) for row in result.rows}
+    p2_spread = max(v[0] for v in rows.values()) / min(v[0] for v in rows.values())
+    p1_spread = max(v[1] for v in rows.values()) / min(v[1] for v in rows.values())
+    # P2 varies less across distributions than P1.
+    assert p2_spread < p1_spread * 1.1
+    # Uniform is P1's worst case; Latest its best.
+    assert rows["uniform"][1] >= rows["latest"][1]

@@ -1,0 +1,32 @@
+"""Figure 6a: read latency vs data size across memory placements.
+
+Paper shape: below the 128 MB EPC, eLSM-P1 and Eleos beat eLSM-P2 (no
+proof/verification software overhead); beyond it eLSM-P2 wins and stays
+flat while P1 and Eleos climb; Eleos stops at 1 GB.
+"""
+
+from repro.bench.experiments import fig6a_read_scaling
+from repro.bench.harness import record_result
+
+
+def test_fig6a_read_scaling(benchmark, figure_ops):
+    result = benchmark.pedantic(
+        fig6a_read_scaling, kwargs={"ops": figure_ops}, rounds=1, iterations=1
+    )
+    record_result(result)
+
+    p2 = result.column("eLSM-P2-mmap")
+    p1 = result.column("eLSM-P1")
+    eleos = result.column("Eleos")
+    ratio = result.column("P1/P2")
+    # Below the EPC (first row: 8 MB), P1 is at least competitive.
+    assert ratio[0] < 1.5
+    # Beyond the EPC, P2 wins big and the gap grows with data.
+    assert ratio[-1] > 3.0
+    assert ratio[-1] > ratio[0]
+    # P2 stays roughly flat across a 384x data growth.
+    assert max(p2) / min(p2) < 2.0
+    # P1 climbs steeply.
+    assert max(p1) / min(p1) > 3.0
+    # Eleos vanishes past 1 GB.
+    assert eleos[-1] is None and eleos[0] is not None

@@ -1,0 +1,21 @@
+"""Figure 6b: eLSM-P2 read path, mmap vs user-space buffer.
+
+Paper shape: the mmap configuration's advantage grows with data size,
+reaching ~5x at the largest tested scale (the buffer path pays an OCall
+plus a copy per miss, and misses dominate once data >> buffer).
+"""
+
+from repro.bench.experiments import fig6b_mmap_vs_buffer
+from repro.bench.harness import record_result
+
+
+def test_fig6b_mmap_vs_buffer(benchmark, figure_ops):
+    result = benchmark.pedantic(
+        fig6b_mmap_vs_buffer, kwargs={"ops": figure_ops}, rounds=1, iterations=1
+    )
+    record_result(result)
+
+    ratios = result.column("buffer/mmap")
+    # mmap never loses, and its advantage grows with the data size.
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 1.5

@@ -1,0 +1,25 @@
+"""Figure 6c: read latency vs buffer size at fixed 2 GB data.
+
+Paper shape: eLSM-P2 (buffer outside) stays flat as the buffer grows;
+eLSM-P1 rises sharply once the buffer passes the 128 MB EPC; P2 ends up
+1.6-2.3x faster.
+"""
+
+from repro.bench.experiments import fig6c_buffer_size
+from repro.bench.harness import record_result
+
+
+def test_fig6c_buffer_size(benchmark, figure_ops):
+    result = benchmark.pedantic(
+        fig6c_buffer_size, kwargs={"ops": figure_ops}, rounds=1, iterations=1
+    )
+    record_result(result)
+
+    p2 = result.column("eLSM-P2-buffer")
+    p1 = result.column("eLSM-P1")
+    # P2 is insensitive to its (untrusted) buffer size.
+    assert max(p2) / min(p2) < 1.6
+    # P1's latency past the EPC clearly exceeds its small-buffer latency.
+    assert max(p1[2:]) > 1.5 * p1[0]
+    # P2 wins at the large-buffer end.
+    assert p1[-1] > 1.3 * p2[-1]

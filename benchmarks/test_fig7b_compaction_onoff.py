@@ -1,0 +1,30 @@
+"""Figure 7b: write latency with vs without COMPACTION.
+
+Paper shape: enabling compaction costs 2-4x on the write path (merge IO
+plus, for eLSM-P2, the authenticated-compaction hashing); in both modes
+eLSM-P2 writes are slower than eLSM-P1's (embedded-proof overhead).
+"""
+
+from repro.bench.experiments import fig7b_compaction_onoff
+from repro.bench.harness import record_result
+
+
+def test_fig7b_compaction_onoff(benchmark, figure_ops):
+    result = benchmark.pedantic(
+        fig7b_compaction_onoff,
+        kwargs={"ops": max(figure_ops, 1200)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    with_comp = result.column("P2 w/ comp")
+    without = result.column("P2 w/o comp")
+    p1_with = result.column("P1 w/ comp")
+    p1_without = result.column("P1 w/o comp")
+    # Compaction makes writes slower for both designs at the larger sizes.
+    assert with_comp[-1] > without[-1]
+    assert p1_with[-1] > p1_without[-1]
+    # P2 pays more than P1 in both modes (digesting + proofs).
+    assert with_comp[-1] > p1_with[-1]
+    assert without[-1] > p1_without[-1] * 0.9

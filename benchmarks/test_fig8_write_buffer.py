@@ -1,0 +1,24 @@
+"""Figure 8 (Appendix C): write-buffer placement.
+
+Paper shape: with small write buffers, placing the buffer inside the
+enclave performs about the same as outside — which is why eLSM keeps the
+write buffer inside (simplicity at no cost).
+"""
+
+from repro.bench.experiments import fig8_write_buffer
+from repro.bench.harness import record_result
+
+
+def test_fig8_write_buffer(benchmark, figure_ops):
+    result = benchmark.pedantic(
+        fig8_write_buffer, kwargs={"ops": figure_ops}, rounds=1, iterations=1
+    )
+    record_result(result)
+
+    ratios = result.column("ratio")
+    # Placement barely matters on the write path: inside within ~3x of
+    # the outside-the-enclave store at every buffer size (the residual
+    # gap is SDK file protection, not the buffer placement).
+    assert all(r < 3.5 for r in ratios)
+    # And the gap does not blow up with buffer size the way reads do.
+    assert max(ratios) / min(ratios) < 2.5

@@ -1,0 +1,70 @@
+"""Wall-clock micro-benchmarks of the core operations (pytest-benchmark).
+
+Unlike the figure reproductions (simulated microseconds), these measure
+the real Python execution time of the hot paths — useful for tracking
+performance regressions in the library itself.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.store_p2 import ELSMP2Store
+from repro.cryptoprim.hashing import hash_leaf
+from repro.mht.merkle import MerkleTree, compute_root
+from repro.sim.scale import ScaleConfig
+
+SCALE = ScaleConfig(factor=1 / 2048)
+
+
+@pytest.fixture(scope="module")
+def loaded_store():
+    store = ELSMP2Store(scale=SCALE, name_prefix="micro")
+    for i in range(8000):
+        store.put(b"user%012d" % i, b"x" * 100)
+    store.flush()
+    store.disk.prefetch_all()
+    return store
+
+
+def test_bench_verified_get(benchmark, loaded_store):
+    counter = itertools.count()
+
+    def op():
+        i = (next(counter) * 37) % 8000
+        return loaded_store.get(b"user%012d" % i)
+
+    assert benchmark(op) is not None
+
+
+def test_bench_put(benchmark, loaded_store):
+    counter = itertools.count()
+
+    def op():
+        i = next(counter) % 8000
+        loaded_store.put(b"user%012d" % i, b"y" * 100)
+
+    benchmark(op)
+
+
+def test_bench_verified_scan(benchmark, loaded_store):
+    counter = itertools.count()
+
+    def op():
+        start = (next(counter) * 53) % 7900
+        lo = b"user%012d" % start
+        hi = b"user%012d" % (start + 20)
+        return loaded_store.scan(lo, hi)
+
+    assert len(benchmark(op)) > 0
+
+
+def test_bench_merkle_path_verify(benchmark):
+    leaves = [hash_leaf(b"leaf-%d" % i) for i in range(4096)]
+    tree = MerkleTree(leaves)
+    path = tree.auth_path(1234)
+
+    def op():
+        return compute_root(leaves[1234], 1234, 4096, path)
+
+    assert benchmark(op) == tree.root

@@ -1,0 +1,73 @@
+"""Supplementary macro-benchmark: all six standard YCSB workloads.
+
+The paper's Section 6 runs custom mixes plus workload A; this table
+covers the full YCSB core suite (A-F) on the three main systems, which
+exercises every operation path: reads, updates, inserts (D), verified
+range scans (E), and read-modify-write (F).
+"""
+
+from repro.baselines.unsecured import UnsecuredLSMStore
+from repro.bench.experiments import bench_scale
+from repro.bench.harness import ExperimentResult, record_result
+from repro.core.store_p1 import ELSMP1Store
+from repro.core.store_p2 import ELSMP2Store
+from repro.sim.scale import GB
+from repro.ycsb.runner import load_phase, run_phase
+from repro.ycsb.workload import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    CoreWorkload,
+    scaled_spec,
+)
+
+
+def ycsb_suite(ops: int) -> ExperimentResult:
+    scale = bench_scale()
+    n = scale.records_for(1 * GB)
+    systems = {
+        "eLSM-P2-mmap": ELSMP2Store(scale=scale, read_mode="mmap", name_prefix="yc-p2"),
+        "eLSM-P1": ELSMP1Store(
+            scale=scale,
+            read_buffer_bytes=scale.scale_bytes(2 * GB),
+            name_prefix="yc-p1",
+        ),
+        "LevelDB (unsecure)": UnsecuredLSMStore(scale=scale, name_prefix="yc-plain"),
+    }
+    for store in systems.values():
+        load_phase(store, CoreWorkload(WORKLOAD_A, n, seed=1))
+
+    result = ExperimentResult(
+        exp_id="ycsb_suite",
+        title="Standard YCSB workloads A-F (mean simulated us/op)",
+        columns=["workload"] + list(systems),
+        notes=[f"dataset {scale.label(1 * GB)}, {n} records, {ops} ops/workload"],
+    )
+    specs = [WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D, WORKLOAD_E, WORKLOAD_F]
+    for spec in specs:
+        spec = scaled_spec(spec, max_scan_len=25)  # bounded verified scans
+        row = [spec.name]
+        for store in systems.values():
+            workload = CoreWorkload(spec, n, seed=7)
+            scan_ops = max(60, ops // 8) if spec.scan_prop else ops
+            row.append(run_phase(store, workload, scan_ops).mean_latency_us)
+        result.add_row(*row)
+    return result
+
+
+def test_ycsb_workloads(benchmark, figure_ops):
+    result = benchmark.pedantic(
+        ycsb_suite, kwargs={"ops": figure_ops}, rounds=1, iterations=1
+    )
+    record_result(result)
+
+    by_name = {row[0]: row for row in result.rows}
+    # Read-dominated workloads (B, C): P2 beats P1 (paging vs flat reads).
+    assert by_name["B"][1] < by_name["B"][2]
+    assert by_name["C"][1] < by_name["C"][2]
+    # The unsecured store is fastest on every workload.
+    for row in result.rows:
+        assert row[3] <= min(row[1], row[2]) * 1.2

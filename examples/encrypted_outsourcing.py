@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Outsourced encrypted database (Appendix B + Section 5.6.2).
+
+A company outsources sensitive records to an untrusted cloud.  Beyond
+authenticity, it wants confidentiality: the host must not learn keys or
+values.  eLSM layers searchable encryption under the digest structure:
+
+* order-preserving key encoding (OPE) keeps range queries working over
+  ciphertext;
+* values are encrypted with a semantically-secure scheme;
+* the Merkle forest authenticates the *ciphertext* records — exactly
+  what the host stores — so authenticity and confidentiality compose.
+
+Run:  python examples/encrypted_outsourcing.py
+"""
+
+from repro import ScaleConfig
+from repro.core.store_p2 import ELSMP2Store
+
+SECRET = b"corporate-enclave-provisioned-key-32B!!"
+
+
+def main() -> None:
+    store = ELSMP2Store(
+        scale=ScaleConfig(factor=1 / 4096),
+        encryption_mode="ope",
+        secret=SECRET,
+    )
+
+    print("== outsourcing employee records ==")
+    employees = {
+        b"emp-ada": b"salary=340000;clearance=top",
+        b"emp-bob": b"salary=95000;clearance=none",
+        b"emp-eve": b"salary=120000;clearance=secret",
+        b"emp-joe": b"salary=88000;clearance=none",
+        b"emp-zoe": b"salary=105000;clearance=none",
+    }
+    for name, record in employees.items():
+        store.put(name, record)
+    store.flush()
+
+    print("== what the untrusted host sees on disk ==")
+    leaked = 0
+    for file_name in store.disk.list_files():
+        blob = bytes(store.disk.open(file_name).data)
+        for name, record in employees.items():
+            if name in blob or record in blob:
+                leaked += 1
+    print(f"plaintext keys/values visible to the host: {leaked} (must be 0)")
+    assert leaked == 0
+
+    print("\n== verified + decrypted point query ==")
+    print(f"emp-ada -> {store.get(b'emp-ada').decode()}")
+
+    print("\n== verified + decrypted range query over ciphertext ==")
+    rows = store.scan(b"emp-a", b"emp-f")
+    for key, value in rows:
+        print(f"  {key.rstrip(chr(0).encode()).decode()} -> {value.decode()}")
+    assert len(rows) == 3  # ada, bob, eve
+
+    print("\n== deterministic mode (point queries only) ==")
+    de_store = ELSMP2Store(
+        scale=ScaleConfig(factor=1 / 4096),
+        encryption_mode="de",
+        secret=SECRET,
+    )
+    de_store.put(b"api-key-7", b"sk-live-123456")
+    de_store.flush()
+    print(f"api-key-7 -> {de_store.get(b'api-key-7').decode()}")
+    try:
+        de_store.scan(b"a", b"z")
+    except ValueError as exc:
+        print(f"range over DE ciphertext correctly refused: {exc}")
+
+
+if __name__ == "__main__":
+    main()

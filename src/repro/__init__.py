@@ -1,0 +1,42 @@
+"""repro — a reproduction of "Authenticated Key-Value Stores with
+Hardware Enclaves" (Tang et al., eLSM).
+
+Quickstart::
+
+    from repro import ELSMP2Store
+
+    store = ELSMP2Store()
+    store.put(b"alice", b"hello")
+    assert store.get(b"alice") == b"hello"   # verified against enclave roots
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.core import (
+    AuthenticationError,
+    CompletenessViolation,
+    ELSMP1Store,
+    ELSMP2Store,
+    FreshnessViolation,
+    IntegrityViolation,
+    RollbackDetected,
+)
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sim.scale import ScaleConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ELSMP2Store",
+    "ELSMP1Store",
+    "ScaleConfig",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "AuthenticationError",
+    "IntegrityViolation",
+    "CompletenessViolation",
+    "FreshnessViolation",
+    "RollbackDetected",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""The paper's comparison systems.
+
+* :class:`~repro.baselines.eleos.EleosStore` — the Eleos baseline
+  (Section 6.1): an in-enclave sorted array with 30 % slack, using
+  user-space paging instead of hardware EPC faults; scales to ~1 GB.
+* :class:`~repro.baselines.merkle_btree.MerkleBTreeStore` — the
+  conventional update-in-place ADS (Section 3.4): a Merkle B+-tree whose
+  digests live on disk, paying random IO on every update.
+* :class:`~repro.baselines.unsecured.UnsecuredLSMStore` — the vanilla
+  store with no protection at all ("LevelDB (unsecure)" in Figure 5a and
+  "buffer outside enclave (unsecured)" in Figures 2/6a).
+"""
+
+from repro.baselines.eleos import EleosCapacityError, EleosStore
+from repro.baselines.merkle_btree import MerkleBTreeStore
+from repro.baselines.unsecured import UnsecuredLSMStore
+
+__all__ = [
+    "EleosStore",
+    "EleosCapacityError",
+    "MerkleBTreeStore",
+    "UnsecuredLSMStore",
+]

@@ -1,0 +1,5 @@
+"""Benchmark harness reproducing every figure in the paper's evaluation."""
+
+from repro.bench.harness import ExperimentResult, record_result, all_results
+
+__all__ = ["ExperimentResult", "record_result", "all_results"]

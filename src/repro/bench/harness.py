@@ -1,0 +1,122 @@
+"""Experiment result tables: formatting, saving, and session collection.
+
+Each benchmark produces an :class:`ExperimentResult` holding the same
+rows/series the paper's figure plots.  Results are written to
+``results/<exp_id>.txt`` and echoed into the pytest terminal summary by
+``benchmarks/conftest.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_RESULTS: list["ExperimentResult"] = []
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure."""
+
+    exp_id: str
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append one table row (one figure data point)."""
+        self.rows.append(list(values))
+
+    def format_table(self) -> str:
+        """Render the fixed-width table the terminal summary prints."""
+        def fmt(value) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                return f"{value:.1f}"
+            return str(value)
+
+        cells = [self.columns] + [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        header = "  ".join(c.ljust(w) for c, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def save(self, directory: str | Path = "results") -> Path:
+        """Write the table (and chart) to results/<exp_id>.txt."""
+        out_dir = Path(directory)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"{self.exp_id}.txt"
+        chart = self.render_chart()
+        path.write_text(self.format_table() + "\n\n" + chart + "\n")
+        return path
+
+    def column(self, name: str) -> list:
+        """All values of one named column, in row order."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def render_chart(self, series: list[str] | None = None, width: int = 40) -> str:
+        """Terminal bar chart: one row per table row, one bar per series.
+
+        ``series`` defaults to every numeric column; the first column is
+        used as the row label.  Missing values render as ``(n/a)``.
+        """
+        if not self.rows:
+            return "(no data)"
+        if series is None:
+            series = [
+                name
+                for index, name in enumerate(self.columns[1:], start=1)
+                if any(
+                    isinstance(row[index], (int, float)) and row[index] is not None
+                    for row in self.rows
+                )
+            ]
+        values = [
+            value
+            for name in series
+            for value in self.column(name)
+            if isinstance(value, (int, float)) and value is not None
+        ]
+        if not values:
+            return "(no numeric data)"
+        peak = max(values) or 1.0
+        name_width = max(len(name) for name in series)
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        for row in self.rows:
+            lines.append(str(row[0]))
+            for name in series:
+                value = row[self.columns.index(name)]
+                if isinstance(value, (int, float)) and value is not None:
+                    bar = "#" * max(1, round(width * value / peak))
+                    lines.append(
+                        f"  {name.ljust(name_width)} |{bar} {value:.1f}"
+                    )
+                else:
+                    lines.append(f"  {name.ljust(name_width)} |(n/a)")
+        return "\n".join(lines)
+
+
+def record_result(result: ExperimentResult, directory: str | Path = "results") -> ExperimentResult:
+    """Register a result for the session summary and persist it."""
+    _RESULTS.append(result)
+    try:
+        result.save(directory)
+    except OSError:  # pragma: no cover - read-only checkouts
+        pass
+    return result
+
+
+def all_results() -> list[ExperimentResult]:
+    """Every result recorded so far in this session."""
+    return list(_RESULTS)

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — a one-minute tour: writes, verified reads, a detected
+  attack, a whole-store audit.
+* ``list-experiments`` — the reproducible paper figures.
+* ``bench <experiment> [--ops N] [--factor F]`` — run one figure
+  reproduction and print its table.
+* ``ycsb --workload A --system p2 [--records N] [--ops N]`` — a single
+  YCSB run on a chosen system.
+* ``audit`` — build a demo store and run the full integrity audit
+  (pass ``--tamper`` to watch it fail).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sim.scale import ScaleConfig
+
+
+def _experiment_registry():
+    from repro.bench import experiments as exp
+
+    return {
+        "fig2": exp.fig2_buffer_placement,
+        "fig5a": exp.fig5a_read_write_ratio,
+        "fig5b": exp.fig5b_data_size,
+        "fig5c": exp.fig5c_distributions,
+        "fig6a": exp.fig6a_read_scaling,
+        "fig6b": exp.fig6b_mmap_vs_buffer,
+        "fig6c": exp.fig6c_buffer_size,
+        "fig7a": exp.fig7a_write_compaction,
+        "fig7b": exp.fig7b_compaction_onoff,
+        "fig8": exp.fig8_write_buffer,
+        "update_in_place": exp.update_in_place_baseline,
+        "case_study_ct": exp.case_study_ct,
+        "ablation_early_stop": exp.ablation_early_stop,
+        "ablation_embedded_proofs": exp.ablation_embedded_proofs,
+        "ablation_counter_buffer": exp.ablation_counter_buffer,
+    }
+
+
+def cmd_demo(_args) -> int:
+    """The `demo` command: writes, verified reads, one detected attack, an audit."""
+    from repro.core.adversary import StaleRevealProver
+    from repro.core.errors import FreshnessViolation
+    from repro.core.prover import Prover
+    from repro.core.store_p2 import ELSMP2Store
+
+    store = ELSMP2Store(scale=ScaleConfig(factor=1 / 4096))
+    print("writing 200 records (two versions for every fourth key)...")
+    for i in range(200):
+        store.put(b"user%04d" % i, b"value-%d" % i)
+    for i in range(0, 200, 4):
+        store.put(b"user%04d" % i, b"value-%d-v2" % i)
+    store.flush()
+    print(f"levels: {store.db.level_indices()}")
+
+    verified = store.get_verified(b"user0004")
+    print(f"verified GET user0004 -> {verified.value!r} "
+          f"(proof {verified.proof_bytes} B)")
+    print(f"verified GET ghost    -> {store.get(b'ghost')!r}")
+    print(f"verified SCAN user0010..user0013 -> "
+          f"{[k.decode() for k, _ in store.scan(b'user0010', b'user0013')]}")
+
+    store.compact_all()
+    store.prover = StaleRevealProver(store.db)
+    try:
+        store.get(b"user0004")
+        print("!! attack NOT detected")
+        return 1
+    except FreshnessViolation as exc:
+        print(f"stale-read attack detected: {exc}")
+    store.prover = Prover(store.db)  # back to an honest host
+
+    report = store.audit()
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
+def cmd_list_experiments(_args) -> int:
+    """The `list-experiments` command."""
+    for name, fn in _experiment_registry().items():
+        doc = (fn.__doc__ or "").strip().splitlines()
+        print(f"{name:<26} {doc[0] if doc else ''}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """The `bench` command: run one figure reproduction and print it."""
+    registry = _experiment_registry()
+    if args.experiment not in registry:
+        print(f"unknown experiment {args.experiment!r}; try list-experiments",
+              file=sys.stderr)
+        return 2
+    if args.factor is not None:
+        import repro.bench.experiments as exp
+
+        exp.BENCH_FACTOR = args.factor
+    result = registry[args.experiment](ops=args.ops)
+    print(result.format_table())
+    if args.chart:
+        print()
+        print(result.render_chart())
+    if args.save:
+        path = result.save()
+        print(f"saved to {path}")
+    return 0
+
+
+def cmd_ycsb(args) -> int:
+    """The `ycsb` command: one workload run on a chosen system."""
+    from repro.baselines.unsecured import UnsecuredLSMStore
+    from repro.core.store_p1 import ELSMP1Store
+    from repro.core.store_p2 import ELSMP2Store
+    from repro.ycsb.runner import load_phase, run_phase
+    from repro.ycsb.workload import (
+        WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D, WORKLOAD_E, WORKLOAD_F,
+        CoreWorkload,
+    )
+
+    workloads = {
+        "A": WORKLOAD_A, "B": WORKLOAD_B, "C": WORKLOAD_C,
+        "D": WORKLOAD_D, "E": WORKLOAD_E, "F": WORKLOAD_F,
+    }
+    scale = ScaleConfig(factor=args.factor)
+    systems = {
+        "p2": lambda: ELSMP2Store(scale=scale),
+        "p1": lambda: ELSMP1Store(scale=scale),
+        "plain": lambda: UnsecuredLSMStore(scale=scale),
+    }
+    store = systems[args.system]()
+    spec = workloads[args.workload]
+    print(f"loading {args.records} records into {args.system}...")
+    load_phase(store, CoreWorkload(spec, args.records, seed=1))
+    result = run_phase(store, CoreWorkload(spec, args.records, seed=7), args.ops)
+    print(f"workload {args.workload} on {args.system}: "
+          f"{result.mean_latency_us:.1f} us/op mean, "
+          f"p95 {result.overall.p95:.1f}, p99 {result.overall.p99:.1f} "
+          f"({result.operations} ops, simulated)")
+    for kind, stats in sorted(result.per_op.items()):
+        print(f"  {kind:<16} n={stats.count:<6} mean={stats.mean:.1f} us")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    """The `audit` command: whole-store integrity audit (optionally tampered)."""
+    from repro.core.adversary import tamper_sstable_byte
+    from repro.core.store_p2 import ELSMP2Store
+
+    store = ELSMP2Store(scale=ScaleConfig(factor=1 / 4096))
+    for i in range(300):
+        store.put(b"user%04d" % (i % 150), b"value-%d" % i)
+    store.flush()
+    if args.tamper:
+        name = tamper_sstable_byte(store.disk)
+        print(f"tampered one record byte in {name}")
+        for level in store.db.level_indices():
+            for meta in store.db.level_run(level).tables:
+                store.db.fetcher.invalidate_file(meta.name)
+    report = store.audit()
+    print(report.summary())
+    return 0 if report.clean == (not args.tamper) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="eLSM: authenticated key-value stores with (simulated) enclaves",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="one-minute tour").set_defaults(fn=cmd_demo)
+    sub.add_parser(
+        "list-experiments", help="list reproducible paper figures"
+    ).set_defaults(fn=cmd_list_experiments)
+
+    bench = sub.add_parser("bench", help="run one figure reproduction")
+    bench.add_argument("experiment")
+    bench.add_argument("--ops", type=int, default=600)
+    bench.add_argument("--factor", type=float, default=None,
+                       help="scale factor override (e.g. 0.0001)")
+    bench.add_argument("--save", action="store_true",
+                       help="also write results/<id>.txt")
+    bench.add_argument("--chart", action="store_true",
+                       help="render an ASCII bar chart too")
+    bench.set_defaults(fn=cmd_bench)
+
+    ycsb = sub.add_parser("ycsb", help="one YCSB run")
+    ycsb.add_argument("--workload", choices=list("ABCDEF"), default="A")
+    ycsb.add_argument("--system", choices=["p2", "p1", "plain"], default="p2")
+    ycsb.add_argument("--records", type=int, default=5000)
+    ycsb.add_argument("--ops", type=int, default=1000)
+    ycsb.add_argument("--factor", type=float, default=1 / 2048)
+    ycsb.set_defaults(fn=cmd_ycsb)
+
+    audit = sub.add_parser("audit", help="full-store integrity audit demo")
+    audit.add_argument("--tamper", action="store_true",
+                       help="corrupt a record first (audit must fail)")
+    audit.set_defaults(fn=cmd_audit)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""eLSM core: the paper's primary contribution.
+
+Public entry points:
+
+* :class:`~repro.core.store_p2.ELSMP2Store` — the authenticated store
+  (Section 5): Merkle-forest digests, embedded proofs, verified
+  GET/SCAN, authenticated COMPACTION, optional encryption and rollback
+  defence.
+* :class:`~repro.core.store_p1.ELSMP1Store` — the strawman (Section 4):
+  everything inside the enclave, SDK-style file protection.
+* :mod:`repro.core.adversary` — malicious-host attack harness.
+"""
+
+from repro.core.digest import DigestRegistry, LevelDigest
+from repro.core.errors import (
+    AuthenticationError,
+    CompletenessViolation,
+    FreshnessViolation,
+    IntegrityViolation,
+    ProofFormatError,
+    RollbackDetected,
+)
+from repro.core.prover import Prover
+from repro.core.proofs import (
+    EmbeddedProof,
+    GetProof,
+    LeafReveal,
+    LevelMembership,
+    LevelNonMembership,
+    LevelSkipped,
+    RangeLevelProof,
+    ScanProof,
+)
+from repro.core.client import AttestedClient, RemoteQueryServer
+from repro.core.store_p1 import ELSMP1Store
+from repro.core.store_p2 import ELSMP2Store, VerifiedGet
+from repro.core.verifier import Verifier
+from repro.core.wire import (
+    deserialize_get_proof,
+    deserialize_scan_proof,
+    serialize_get_proof,
+    serialize_scan_proof,
+)
+
+__all__ = [
+    "ELSMP2Store",
+    "ELSMP1Store",
+    "VerifiedGet",
+    "Prover",
+    "Verifier",
+    "DigestRegistry",
+    "LevelDigest",
+    "EmbeddedProof",
+    "GetProof",
+    "ScanProof",
+    "LeafReveal",
+    "LevelMembership",
+    "LevelNonMembership",
+    "LevelSkipped",
+    "RangeLevelProof",
+    "AttestedClient",
+    "RemoteQueryServer",
+    "serialize_get_proof",
+    "deserialize_get_proof",
+    "serialize_scan_proof",
+    "deserialize_scan_proof",
+    "AuthenticationError",
+    "IntegrityViolation",
+    "CompletenessViolation",
+    "FreshnessViolation",
+    "RollbackDetected",
+    "ProofFormatError",
+]

@@ -1,0 +1,171 @@
+"""Full-store integrity audit.
+
+An operational tool the paper's deployments would want: walk every level
+on the untrusted disk, recompute the per-level Merkle forest from the
+raw records, and compare against the enclave's trusted registry — plus
+check that every *embedded* proof actually verifies against its level
+root.  A clean audit certifies that the entire on-disk state (not just
+the records queries have touched) is exactly what the enclave committed
+to.
+
+This is the eager counterpart to eLSM's lazy trust-on-read: reads verify
+O(log n) per query; the audit verifies O(dataset) once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.digest import DigestRegistry
+from repro.core.proofs import EmbeddedProof
+from repro.cryptoprim.hashing import hash_leaf
+from repro.lsm.db import LSMStore
+from repro.lsm.records import encode_record
+from repro.mht.chain import fold_chain
+from repro.mht.incremental import OrderingError, StreamingLevelDigester
+from repro.mht.merkle import ProofError, compute_root
+
+
+@dataclass
+class LevelAuditReport:
+    """Findings for one level."""
+
+    level: int
+    records: int = 0
+    root_matches: bool = False
+    leaf_count_matches: bool = False
+    embedded_proofs_checked: int = 0
+    embedded_proof_failures: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return (
+            self.root_matches
+            and self.leaf_count_matches
+            and self.embedded_proof_failures == 0
+            and not self.problems
+        )
+
+
+@dataclass
+class AuditReport:
+    """The whole-store audit outcome."""
+
+    levels: list[LevelAuditReport] = field(default_factory=list)
+    structural_problems: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.structural_problems and all(l.clean for l in self.levels)
+
+    def summary(self) -> str:
+        """Human-readable multi-line audit summary."""
+        lines = [
+            f"audit: {'CLEAN' if self.clean else 'PROBLEMS FOUND'} "
+            f"({len(self.levels)} levels)"
+        ]
+        for level in self.levels:
+            status = "ok" if level.clean else "FAIL"
+            lines.append(
+                f"  L{level.level}: {status} — {level.records} records, "
+                f"{level.embedded_proofs_checked} embedded proofs checked, "
+                f"{level.embedded_proof_failures} failures"
+            )
+            lines.extend(f"    ! {p}" for p in level.problems)
+        lines.extend(f"  ! {p}" for p in self.structural_problems)
+        return "\n".join(lines)
+
+
+def audit_store(
+    db: LSMStore,
+    registry: DigestRegistry,
+    check_embedded_proofs: bool = True,
+) -> AuditReport:
+    """Audit every level of ``db`` against the trusted ``registry``."""
+    report = AuditReport()
+    db_levels = set(db.level_indices())
+    registry_levels = set(registry.nonempty_levels())
+    if db_levels != registry_levels:
+        report.structural_problems.append(
+            f"manifest levels {sorted(db_levels)} != "
+            f"registry levels {sorted(registry_levels)}"
+        )
+    for level in sorted(db_levels | registry_levels):
+        report.levels.append(
+            _audit_level(db, registry, level, check_embedded_proofs)
+        )
+    return report
+
+
+def _audit_level(
+    db: LSMStore,
+    registry: DigestRegistry,
+    level: int,
+    check_embedded_proofs: bool,
+) -> LevelAuditReport:
+    out = LevelAuditReport(level=level)
+    digest = registry.get(level)
+    run = db.level_run(level)
+    if run is None or run.is_empty:
+        out.problems.append("level missing from the manifest")
+        return out
+
+    # Pass 1: recompute the level tree from the raw records.
+    digester = StreamingLevelDigester()
+    entries = []
+    try:
+        for record, aux in run.iter_entries(db.env):
+            digester.add(record.key, record.ts, encode_record(record))
+            entries.append((record, aux))
+            out.records += 1
+    except (OrderingError, Exception) as exc:  # noqa: BLE001 - report, not raise
+        out.problems.append(f"level stream corrupt: {exc}")
+        return out
+    tree = digester.finalize()
+    out.root_matches = tree.root == digest.root
+    out.leaf_count_matches = tree.leaf_count == digest.leaf_count
+    if not out.root_matches:
+        out.problems.append("recomputed root differs from the trusted root")
+    if not out.leaf_count_matches:
+        out.problems.append(
+            f"leaf count {tree.leaf_count} != trusted {digest.leaf_count}"
+        )
+
+    # Pass 2: every embedded proof must verify against the trusted root.
+    if check_embedded_proofs:
+        for record, aux in entries:
+            if not aux:
+                out.embedded_proof_failures += 1
+                out.problems.append(f"record {record.key!r}@{record.ts} has no proof")
+                continue
+            out.embedded_proofs_checked += 1
+            if not _embedded_proof_ok(record, aux, tree, digest):
+                out.embedded_proof_failures += 1
+        if out.embedded_proof_failures and len(out.problems) < 5:
+            out.problems.append(
+                f"{out.embedded_proof_failures} embedded proofs failed"
+            )
+    return out
+
+
+def _embedded_proof_ok(record, aux, tree, digest) -> bool:
+    try:
+        proof = EmbeddedProof.deserialize(aux)
+    except ValueError:
+        return False
+    index, group = tree.find(record.key)
+    if group is None or proof.leaf_index != group.leaf_index:
+        return False
+    # Recompute the leaf from the chain around this record's position.
+    prefix = [encoded for _ts, encoded in group.entries[: proof.position + 1]]
+    if len(prefix) != proof.position + 1:
+        return False
+    leaf = hash_leaf(fold_chain(prefix, proof.older_digest))
+    try:
+        return (
+            compute_root(leaf, proof.leaf_index, digest.leaf_count, list(proof.path))
+            == digest.root
+        )
+    except ProofError:
+        return False

@@ -1,0 +1,33 @@
+"""Security exceptions raised by eLSM verification.
+
+Each maps to one of the query-authenticity properties of Section 3.3:
+integrity, completeness, freshness — plus rollback (Section 5.6.1).
+Verification failures are *detections of a malicious host*, not ordinary
+errors, so they share a distinct base class.
+"""
+
+from __future__ import annotations
+
+
+class AuthenticationError(Exception):
+    """Base: the untrusted host presented data that failed verification."""
+
+
+class IntegrityViolation(AuthenticationError):
+    """A record or proof was forged or tampered with."""
+
+
+class CompletenessViolation(AuthenticationError):
+    """A legitimate record was omitted from a result."""
+
+
+class FreshnessViolation(AuthenticationError):
+    """A stale version was presented as the latest."""
+
+
+class RollbackDetected(AuthenticationError):
+    """The store was reverted to an older (but authenticated) state."""
+
+
+class ProofFormatError(AuthenticationError):
+    """A proof was structurally malformed."""

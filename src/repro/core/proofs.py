@@ -1,0 +1,207 @@
+"""Proof objects: embedded per-record proofs and query-proof wire formats.
+
+Section 5.2's storage design augments every stored record with its own
+proof — ``<k, v || pi_i>`` — so query proofs are assembled from what is
+already on disk.  :class:`EmbeddedProof` is that annotation: the record's
+Merkle leaf index, its position in the same-key hash chain, the digest of
+the chain's older suffix, and the leaf's authentication path.
+
+The query-level structures (:class:`GetProof`, :class:`ScanProof`) carry
+one entry per LSM level, in ascending level order, implementing the
+early-stop rule: membership at the hit level, non-membership above it,
+nothing below it (Theorem 5.3).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.cryptoprim.hashing import HASH_LEN
+from repro.lsm.records import Record, encode_record
+
+_EMBED_HEADER = struct.Struct("<IIIBB")  # leaf_index, chain_len, position, has_older, path_len
+
+
+@dataclass(frozen=True)
+class EmbeddedProof:
+    """The per-record proof annotation stored in the SSTable entry."""
+
+    leaf_index: int
+    chain_len: int
+    position: int  # 0 = newest record of the chain
+    older_digest: bytes | None
+    path: tuple[bytes, ...]
+
+    def serialize(self) -> bytes:
+        """Compact binary form stored in the SSTable entry's aux field."""
+        out = _EMBED_HEADER.pack(
+            self.leaf_index,
+            self.chain_len,
+            self.position,
+            1 if self.older_digest is not None else 0,
+            len(self.path),
+        )
+        if self.older_digest is not None:
+            out += self.older_digest
+        return out + b"".join(self.path)
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "EmbeddedProof":
+        if len(blob) < _EMBED_HEADER.size:
+            raise ValueError("embedded proof blob too short")
+        leaf_index, chain_len, position, has_older, path_len = _EMBED_HEADER.unpack_from(
+            blob, 0
+        )
+        offset = _EMBED_HEADER.size
+        older = None
+        if has_older:
+            older = blob[offset : offset + HASH_LEN]
+            offset += HASH_LEN
+        path = []
+        for _ in range(path_len):
+            path.append(blob[offset : offset + HASH_LEN])
+            offset += HASH_LEN
+        if offset != len(blob):
+            raise ValueError("embedded proof blob has trailing bytes")
+        return cls(
+            leaf_index=leaf_index,
+            chain_len=chain_len,
+            position=position,
+            older_digest=older,
+            path=tuple(path),
+        )
+
+    def size_bytes(self) -> int:
+        """Serialized size (storage-overhead accounting)."""
+        return (
+            _EMBED_HEADER.size
+            + (HASH_LEN if self.older_digest is not None else 0)
+            + HASH_LEN * len(self.path)
+        )
+
+
+@dataclass(frozen=True)
+class LeafReveal:
+    """A revealed prefix of one leaf's hash chain (newest first).
+
+    The verifier recomputes the leaf hash as
+    ``fold_chain(encode(records), older_digest)`` — which succeeds only if
+    the prefix really starts at the chain head, so the newest versions can
+    never be hidden.
+    """
+
+    records: tuple[Record, ...]
+    older_digest: bytes | None
+
+    @property
+    def key(self) -> bytes:
+        return self.records[0].key
+
+    def size_bytes(self) -> int:
+        """Wire size contribution of this reveal."""
+        return sum(len(encode_record(r)) for r in self.records) + (
+            HASH_LEN if self.older_digest is not None else 0
+        )
+
+
+@dataclass(frozen=True)
+class LevelMembership:
+    """The queried key exists at this level; its chain prefix is revealed."""
+
+    level: int
+    leaf_index: int
+    reveal: LeafReveal
+    path: tuple[bytes, ...]
+
+    def size_bytes(self) -> int:
+        """Wire size contribution of this entry."""
+        return self.reveal.size_bytes() + HASH_LEN * len(self.path) + 8
+
+
+@dataclass(frozen=True)
+class LevelNonMembership:
+    """The key is absent at this level; adjacent leaves prove the gap."""
+
+    level: int
+    left_index: int | None
+    left: LeafReveal | None
+    left_path: tuple[bytes, ...]
+    right_index: int | None
+    right: LeafReveal | None
+    right_path: tuple[bytes, ...]
+
+    def size_bytes(self) -> int:
+        """Wire size contribution of this entry."""
+        total = 8
+        if self.left is not None:
+            total += self.left.size_bytes() + HASH_LEN * len(self.left_path)
+        if self.right is not None:
+            total += self.right.size_bytes() + HASH_LEN * len(self.right_path)
+        return total
+
+
+@dataclass(frozen=True)
+class LevelSkipped:
+    """The enclave's own trusted metadata proved absence (no proof needed)."""
+
+    level: int
+    reason: str
+
+    def size_bytes(self) -> int:
+        """Skips carry no proof bytes."""
+        return 0
+
+
+LevelProof = Union[LevelMembership, LevelNonMembership, LevelSkipped]
+
+
+@dataclass
+class GetProof:
+    """Proof for one GET: per-level entries, ascending, early-stopped."""
+
+    key: bytes
+    ts_query: int
+    levels: list[LevelProof] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        """Total proof bytes across all level entries."""
+        return sum(entry.size_bytes() for entry in self.levels)
+
+
+@dataclass(frozen=True)
+class RangeLevelProof:
+    """One level's contribution to a SCAN: a contiguous leaf window.
+
+    The window is (optional left boundary leaf) + all in-range leaves +
+    (optional right boundary leaf); ``cover_hashes`` are the segment-tree
+    siblings that rebuild the root from exactly that window.
+    """
+
+    level: int
+    window_lo: int
+    leaves: tuple[LeafReveal, ...]
+    cover_hashes: tuple[bytes, ...]
+
+    def size_bytes(self) -> int:
+        """Wire size contribution of this window."""
+        return (
+            sum(leaf.size_bytes() for leaf in self.leaves)
+            + HASH_LEN * len(self.cover_hashes)
+            + 8
+        )
+
+
+@dataclass
+class ScanProof:
+    """Proof for one SCAN: every level contributes a window or a skip."""
+
+    lo: bytes
+    hi: bytes
+    ts_query: int
+    levels: list[Union[RangeLevelProof, LevelSkipped]] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        """Total proof bytes across all level windows."""
+        return sum(entry.size_bytes() for entry in self.levels)

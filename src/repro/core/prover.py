@@ -1,0 +1,317 @@
+"""The untrusted host's proof assembly (QUERYGET / QUERYSCAN).
+
+The prover runs *outside* the trust boundary: it reads SSTable entries —
+each carrying its embedded proof — and assembles per-level proofs.  It is
+deliberately mechanical: everything it produces is re-verified inside the
+enclave, and the adversarial provers in :mod:`repro.core.adversary`
+subclass this one to mount attacks.
+
+Section 5.2's design goal shows up here: because every record already
+carries its authentication path and chain-suffix digest, assembling a
+proof requires no Merkle tree in untrusted memory — just the records the
+query touched anyway.
+"""
+
+from __future__ import annotations
+
+from itertools import groupby
+
+from repro.core.proofs import (
+    EmbeddedProof,
+    LeafReveal,
+    LevelMembership,
+    LevelNonMembership,
+    RangeLevelProof,
+)
+from repro.lsm.db import LSMStore
+from repro.lsm.records import Record
+from repro.lsm.sstable import Entry
+
+
+class Prover:
+    """Assembles level proofs from embedded per-record proofs."""
+
+    def __init__(self, store: LSMStore) -> None:
+        self.store = store
+
+    # ------------------------------------------------------------------
+    # Point queries
+    # ------------------------------------------------------------------
+    def level_get_proof(
+        self, level: int, key: bytes, ts_query: int
+    ) -> LevelMembership | LevelNonMembership:
+        """QUERYGET for one level: membership or non-membership proof."""
+        run = self.store.level_run(level)
+        if run is None or run.is_empty:
+            raise LookupError(f"level {level} is empty; enclave should skip it")
+        result = run.lookup(self.store.fetcher, key)
+        if result.group:
+            return self._membership(level, result.group, ts_query)
+        return self._non_membership(level, result.left, result.right)
+
+    def _membership(
+        self, level: int, group: list[Entry], ts_query: int
+    ) -> LevelMembership:
+        head_proof = _embedded(group[0])
+        position = self._result_position(group, ts_query)
+        if position is None:
+            # Every version is newer than ts_query: reveal the whole chain.
+            reveal = LeafReveal(
+                records=tuple(record for record, _ in group), older_digest=None
+            )
+        else:
+            prefix = group[: position + 1]
+            reveal = LeafReveal(
+                records=tuple(record for record, _ in prefix),
+                older_digest=_embedded(group[position]).older_digest,
+            )
+        return LevelMembership(
+            level=level,
+            leaf_index=head_proof.leaf_index,
+            reveal=reveal,
+            path=head_proof.path,
+        )
+
+    @staticmethod
+    def _result_position(group: list[Entry], ts_query: int) -> int | None:
+        for position, (record, _) in enumerate(group):
+            if record.ts <= ts_query:
+                return position
+        return None
+
+    def _non_membership(
+        self, level: int, left: Entry | None, right: Entry | None
+    ) -> LevelNonMembership:
+        left_proof = _embedded(left) if left is not None else None
+        right_proof = _embedded(right) if right is not None else None
+        return LevelNonMembership(
+            level=level,
+            left_index=left_proof.leaf_index if left_proof else None,
+            left=_boundary_reveal(left) if left is not None else None,
+            left_path=left_proof.path if left_proof else (),
+            right_index=right_proof.leaf_index if right_proof else None,
+            right=_boundary_reveal(right) if right is not None else None,
+            right_path=right_proof.path if right_proof else (),
+        )
+
+    # ------------------------------------------------------------------
+    # Range queries
+    # ------------------------------------------------------------------
+    def level_range_proof(
+        self, level: int, lo: bytes, hi: bytes, ts_query: int
+    ) -> RangeLevelProof:
+        """QUERYSCAN for one level: a contiguous leaf window + cover."""
+        run = self.store.level_run(level)
+        if run is None or run.is_empty:
+            raise LookupError(f"level {level} is empty; enclave should skip it")
+        left, entries, right = run.range_entries(self.store.fetcher, lo, hi)
+
+        leaves: list[LeafReveal] = []
+        edge_paths: list[tuple[int, tuple[bytes, ...]]] = []
+
+        if left is not None:
+            leaves.append(_boundary_reveal(left))
+            proof = _embedded(left)
+            edge_paths.append((proof.leaf_index, proof.path))
+        for _key, group_iter in groupby(entries, key=lambda e: e[0].key):
+            group = list(group_iter)
+            membership = self._membership(level, group, ts_query)
+            leaves.append(membership.reveal)
+            edge_paths.append((membership.leaf_index, membership.path))
+        if right is not None:
+            leaves.append(_boundary_reveal(right))
+            proof = _embedded(right)
+            edge_paths.append((proof.leaf_index, proof.path))
+
+        if not leaves:
+            raise LookupError("non-empty level produced an empty window")
+        window_lo = edge_paths[0][0]
+        window_hi = edge_paths[-1][0]
+        leaf_count = self._leaf_count(level)
+        cover = _derive_cover(
+            leaf_count,
+            window_lo,
+            window_hi,
+            list(edge_paths[0][1]),
+            list(edge_paths[-1][1]),
+        )
+        return RangeLevelProof(
+            level=level,
+            window_lo=window_lo,
+            leaves=tuple(leaves),
+            cover_hashes=tuple(cover),
+        )
+
+    def _leaf_count(self, level: int) -> int:
+        """Distinct keys in the level (the Merkle leaf count).
+
+        The untrusted host can derive this from its own files; here we
+        count the key groups in the run's embedded proofs' world — the
+        chain head of the run's last group carries the highest leaf
+        index.
+        """
+        run = self.store.level_run(level)
+        assert run is not None and not run.is_empty
+        cursor_key = run.max_key
+        assert cursor_key is not None
+        tail_group = run.get_group(self.store.fetcher, cursor_key)
+        return _embedded(tail_group[0]).leaf_index + 1
+
+
+class OnDemandProver(Prover):
+    """Ablation prover: no embedded proofs, trees rebuilt per query.
+
+    This is the design eLSM's embedded proofs avoid: the untrusted host
+    keeps no per-record annotations and must re-materialise a level's
+    Merkle tree from its files to answer each query.  Correct, but the
+    per-query cost is O(level size) instead of O(log n) — the
+    ``ablation_embedded_proofs`` bench quantifies the gap.
+    """
+
+    def _rebuild_tree(self, level: int):
+        from repro.lsm.records import encode_record
+        from repro.mht.incremental import StreamingLevelDigester
+
+        run = self.store.level_run(level)
+        assert run is not None and not run.is_empty
+        clock = self.store.env.clock
+        costs = self.store.env.costs
+        digester = StreamingLevelDigester(
+            on_hash=lambda n: clock.charge("hash", costs.hash_cost(n))
+        )
+        for record, _aux in run.iter_entries(self.store.env):
+            digester.add(record.key, record.ts, encode_record(record))
+        return digester.finalize()
+
+    def level_get_proof(
+        self, level: int, key: bytes, ts_query: int
+    ) -> LevelMembership | LevelNonMembership:
+        """Rebuild the level tree, then answer (no embedded proofs)."""
+        tree = self._rebuild_tree(level)
+        index, group = tree.find(key)
+        if group is not None:
+            return self._membership_from_tree(tree, level, group, ts_query)
+        left = tree.group_at(index - 1) if index > 0 else None
+        right = tree.group_at(index) if index < tree.leaf_count else None
+        return LevelNonMembership(
+            level=level,
+            left_index=left.leaf_index if left else None,
+            left=self._reveal_head(left) if left else None,
+            left_path=tuple(tree.auth_path(left.leaf_index)) if left else (),
+            right_index=right.leaf_index if right else None,
+            right=self._reveal_head(right) if right else None,
+            right_path=tuple(tree.auth_path(right.leaf_index)) if right else (),
+        )
+
+    def level_range_proof(self, level, lo, hi, ts_query):
+        """Rebuild the level tree, then produce the window."""
+        tree = self._rebuild_tree(level)
+        lo_index, _ = tree.find(lo)
+        hi_index, hi_group = tree.find(hi)
+        if hi_group is None:
+            hi_index -= 1  # last leaf with key <= hi
+        window_lo = max(0, lo_index - 1)
+        window_hi = min(tree.leaf_count - 1, hi_index + 1)
+        leaves = []
+        for leaf_index in range(window_lo, window_hi + 1):
+            group = tree.group_at(leaf_index)
+            if lo <= group.key <= hi:
+                leaves.append(
+                    self._membership_from_tree(tree, level, group, ts_query).reveal
+                )
+            else:
+                leaves.append(self._reveal_head(group))
+        from repro.core.proofs import RangeLevelProof
+
+        return RangeLevelProof(
+            level=level,
+            window_lo=window_lo,
+            leaves=tuple(leaves),
+            cover_hashes=tuple(tree.range_proof(window_lo, window_hi)),
+        )
+
+    def _membership_from_tree(self, tree, level, group, ts_query) -> LevelMembership:
+        position = None
+        for candidate, (ts, _encoded) in enumerate(group.entries):
+            if ts <= ts_query:
+                position = candidate
+                break
+        if position is None:
+            records = tuple(
+                _decode_group_record(encoded) for _, encoded in group.entries
+            )
+            older = None
+        else:
+            records = tuple(
+                _decode_group_record(encoded)
+                for _, encoded in group.entries[: position + 1]
+            )
+            older = group.suffixes[position]
+        return LevelMembership(
+            level=level,
+            leaf_index=group.leaf_index,
+            reveal=LeafReveal(records=records, older_digest=older),
+            path=tuple(tree.auth_path(group.leaf_index)),
+        )
+
+    @staticmethod
+    def _reveal_head(group) -> LeafReveal:
+        return LeafReveal(
+            records=(_decode_group_record(group.entries[0][1]),),
+            older_digest=group.suffixes[0],
+        )
+
+
+def _decode_group_record(encoded: bytes):
+    from repro.lsm.records import decode_record
+
+    record, _ = decode_record(encoded)
+    return record
+
+
+def _embedded(entry: Entry) -> EmbeddedProof:
+    _record, aux = entry
+    return EmbeddedProof.deserialize(aux)
+
+
+def _boundary_reveal(entry: Entry) -> LeafReveal:
+    """Reveal only the newest record of a neighbouring key's chain."""
+    record, _ = entry
+    return LeafReveal(records=(record,), older_digest=_embedded(entry).older_digest)
+
+
+def _derive_cover(
+    n: int,
+    lo_index: int,
+    hi_index: int,
+    lo_path: list[bytes],
+    hi_path: list[bytes],
+) -> list[bytes]:
+    """Extract the segment-tree cover hashes from two edge auth paths.
+
+    The canonical range cover needs, per tree level, the left sibling of
+    the window's left edge (when the edge is a right child) and the right
+    sibling of its right edge (when that edge is a left child with a
+    sibling).  Both hashes appear in the respective edge leaf's embedded
+    authentication path, so the untrusted host never has to materialise a
+    Merkle tree (the paper's "naturally constructed from the Merkle
+    proofs embedded in the data records").
+    """
+    cover: list[bytes] = []
+    lo, hi, width = lo_index, hi_index, n
+    lo_pos = hi_pos = 0
+    while width > 1:
+        lo_has_entry = (lo % 2 == 1) or (lo + 1 < width)
+        hi_has_entry = (hi % 2 == 1) or (hi + 1 < width)
+        if lo % 2 == 1:
+            cover.append(lo_path[lo_pos])
+        if hi % 2 == 0 and hi + 1 < width:
+            cover.append(hi_path[hi_pos])
+        if lo_has_entry:
+            lo_pos += 1
+        if hi_has_entry:
+            hi_pos += 1
+        lo //= 2
+        hi //= 2
+        width = (width + 1) // 2
+    return cover

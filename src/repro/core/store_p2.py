@@ -1,0 +1,440 @@
+"""eLSM-P2: the paper's primary system (Section 5).
+
+Placement (Table 1): code inside the enclave, read buffer and SSTables
+outside, record-granularity digests.  The store wires together:
+
+* a vanilla :class:`~repro.lsm.db.LSMStore` running "inside" the enclave
+  with its read buffer in untrusted memory (mmap or user-space buffer);
+* the :class:`~repro.core.auth_compaction.AuthCompactionListener` add-on
+  that authenticates every flush/compaction and embeds per-record proofs;
+* the untrusted :class:`~repro.core.prover.Prover` and the in-enclave
+  :class:`~repro.core.verifier.Verifier` implementing QUERYGET/VRFY;
+* a timestamp manager, WAL digesting, optional key/value encryption, and
+  optional rollback protection via a trusted monotonic counter.
+
+Every public operation is wrapped in an ECall, and all simulated costs
+accrue to ``store.clock``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from dataclasses import dataclass
+
+from repro.core.auth_compaction import AuthCompactionListener
+from repro.core.digest import DigestRegistry
+from repro.core.encryption import MODE_PLAIN, KeyValueCodec
+from repro.core.errors import RollbackDetected
+from repro.core.prover import OnDemandProver, Prover
+from repro.core.proofs import GetProof, LevelMembership, LevelSkipped, ScanProof
+from repro.core.verifier import Verifier
+from repro.lsm.db import LSMConfig, LSMStore
+from repro.lsm.records import Record
+from repro.sgx.counter import BufferedCounterAnchor, TrustedMonotonicCounter
+from repro.sgx.enclave import Enclave
+from repro.sgx.env import ExecutionEnv
+from repro.sgx.sealing import SealedBlob, seal, unseal
+from repro.sim.clock import SimClock
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sim.disk import SimDisk
+from repro.sim.scale import MB, ScaleConfig
+
+
+@dataclass
+class VerifiedGet:
+    """A GET result together with its verified proof (for inspection)."""
+
+    record: Record | None
+    proof: GetProof
+    proof_bytes: int
+
+    @property
+    def value(self) -> bytes | None:
+        if self.record is None or self.record.is_tombstone:
+            return None
+        return self.record.value
+
+
+class ELSMP2Store:
+    """The authenticated LSM key-value store, eLSM-P2 design."""
+
+    def __init__(
+        self,
+        *,
+        scale: ScaleConfig | None = None,
+        costs: CostModel = DEFAULT_COSTS,
+        clock: SimClock | None = None,
+        disk: SimDisk | None = None,
+        read_mode: str = "mmap",
+        read_buffer_bytes: int | None = None,
+        write_buffer_bytes: int | None = None,
+        level1_max_bytes: int | None = None,
+        level_size_ratio: int = 10,
+        file_max_bytes: int | None = None,
+        block_bytes: int = 4096,
+        bloom_bits_per_key: int = 10,
+        use_bloom: bool = True,
+        compaction: bool = True,
+        keep_versions: bool = True,
+        compression: bool = False,
+        encryption_mode: str = MODE_PLAIN,
+        secret: bytes = b"",
+        encryption_key_width: int = 16,
+        rollback_protection: bool = False,
+        counter_buffer_ops: int = 64,
+        wal_sync_every: int = 32,
+        early_stop: bool = True,
+        proof_mode: str = "embedded",
+        counter: TrustedMonotonicCounter | None = None,
+        reopen: bool = False,
+        name_prefix: str = "p2",
+    ) -> None:
+        self.scale = scale or ScaleConfig()
+        self.costs = costs
+        self.clock = clock or SimClock()
+        self.disk = disk or SimDisk(
+            self.clock, costs, cache_bytes=self.scale.ram_bytes
+        )
+        self.enclave = Enclave(self.clock, costs, self.scale.epc_bytes)
+        self.env = ExecutionEnv(self.clock, costs, self.disk, enclave=self.enclave)
+
+        if proof_mode not in ("embedded", "on_demand"):
+            raise ValueError(f"unknown proof_mode: {proof_mode}")
+        self.proof_mode = proof_mode
+        self.registry = DigestRegistry(self.env)
+        self.listener = AuthCompactionListener(
+            self.registry, self.env, embed_proofs=(proof_mode == "embedded")
+        )
+        self.codec = KeyValueCodec(
+            encryption_mode, secret, key_width=encryption_key_width
+        )
+
+        lsm_config = LSMConfig(
+            write_buffer_bytes=write_buffer_bytes
+            or max(self.scale.scale_bytes(4 * MB), 8 * 1024),
+            block_bytes=block_bytes,
+            bloom_bits_per_key=bloom_bits_per_key,
+            use_bloom=use_bloom,
+            level1_max_bytes=level1_max_bytes
+            or max(self.scale.scale_bytes(10 * MB), 32 * 1024),
+            level_size_ratio=level_size_ratio,
+            file_max_bytes=file_max_bytes
+            or max(self.scale.scale_bytes(2 * MB), 16 * 1024),
+            read_mode=read_mode,
+            read_buffer_bytes=read_buffer_bytes
+            or self.scale.scale_bytes(64 * MB),
+            buffer_location="untrusted",
+            protect_files=False,
+            compression=compression,
+            compaction_enabled=compaction,
+            keep_versions=keep_versions,
+            wal_sync_every=wal_sync_every,
+        )
+        self.db = LSMStore(
+            self.env,
+            lsm_config,
+            listeners=[self.listener],
+            name_prefix=name_prefix,
+            reopen=reopen,
+        )
+        prover_cls = Prover if proof_mode == "embedded" else OnDemandProver
+        self.prover = prover_cls(self.db)
+        self.early_stop = early_stop
+        self.verifier = Verifier(self.registry, self.env, early_stop=early_stop)
+
+        self.rollback_protection = rollback_protection
+        # The monotonic counter models persistent hardware: a reopened
+        # store must be handed the same counter it used before the crash.
+        self.counter = counter or TrustedMonotonicCounter(self.clock)
+        self.anchor = BufferedCounterAnchor(self.counter, counter_buffer_ops)
+
+        self._ts = 0
+        # The in-enclave mutex guarding concurrent operations (5.5.2).
+        self._op_lock = threading.RLock()
+        self.total_proof_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Timestamp manager (runs in the enclave)
+    # ------------------------------------------------------------------
+    def _next_ts(self) -> int:
+        self._ts += 1
+        return self._ts
+
+    @property
+    def current_ts(self) -> int:
+        return self._ts
+
+    # ------------------------------------------------------------------
+    # Write path (w1-w3)
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> int:
+        """PUT(k, v) -> ts.  WAL-digested, buffered, eventually compacted."""
+        with self._op_lock, self.env.op_call("put", in_bytes=len(key) + len(value)):
+            ts = self._next_ts()
+            stored_key = self.codec.encode_key(key)
+            stored_value = self.codec.encode_value(value)
+            if self.codec.mode != MODE_PLAIN:
+                self.env.trusted_cipher(len(key) + len(value))
+            self.db.put(stored_key, stored_value, ts)
+            self._maybe_anchor()
+            return ts
+
+    def write_batch(self, pairs, deletes=()) -> list[int]:
+        """Atomic multi-write: one ECall, one lock, consecutive stamps."""
+        from repro.lsm.db import WriteBatch
+
+        batch = WriteBatch()
+        total_bytes = 0
+        for key, value in pairs:
+            batch.put(self.codec.encode_key(key), self.codec.encode_value(value))
+            total_bytes += len(key) + len(value)
+        for key in deletes:
+            batch.delete(self.codec.encode_key(key))
+            total_bytes += len(key)
+        with self._op_lock, self.env.op_call("write_batch", in_bytes=total_bytes):
+            if self.codec.mode != MODE_PLAIN:
+                self.env.trusted_cipher(total_bytes)
+            stamps = self.db.write_batch(batch)
+            if stamps:
+                self._ts = max(self._ts, stamps[-1])
+            self._maybe_anchor()
+            return stamps
+
+    def delete(self, key: bytes) -> int:
+        """DELETE(k): writes a tombstone."""
+        with self._op_lock, self.env.op_call("delete", in_bytes=len(key)):
+            ts = self._next_ts()
+            self.db.delete(self.codec.encode_key(key), ts)
+            self._maybe_anchor()
+            return ts
+
+    def _maybe_anchor(self) -> None:
+        if self.rollback_protection:
+            self.env.trusted_hash(32 * (len(self.registry.nonempty_levels()) + 2))
+            self.anchor.record_write(self.dataset_hash())
+
+    # ------------------------------------------------------------------
+    # Read path (r1-r2)
+    # ------------------------------------------------------------------
+    def get(self, key: bytes, ts_query: int | None = None) -> bytes | None:
+        """GET(k, tsq): the verified value, or None if provably absent."""
+        result = self.get_verified(key, ts_query)
+        value = result.value
+        if value is None:
+            return None
+        return self.codec.decode_value(value)
+
+    def get_verified(self, key: bytes, ts_query: int | None = None) -> VerifiedGet:
+        """GET with the full verified proof exposed (stored-form record)."""
+        with self._op_lock, self.env.op_call("get", in_bytes=len(key)):
+            tsq = self._ts if ts_query is None else ts_query
+            stored_key = self.codec.encode_key(key)
+            # Level L0 (the MemTable) is inside the enclave: trusted.
+            memtable_hit = self.db.memtable.get(stored_key, tsq)
+            if memtable_hit is not None:
+                return VerifiedGet(
+                    record=memtable_hit,
+                    proof=GetProof(key=stored_key, ts_query=tsq),
+                    proof_bytes=0,
+                )
+            proof = self._build_get_proof(stored_key, tsq)
+            record = self.verifier.verify_get(
+                stored_key, tsq, proof, trusted_absence=self._trusted_absence
+            )
+            proof_bytes = proof.size_bytes()
+            self.total_proof_bytes += proof_bytes
+            return VerifiedGet(record=record, proof=proof, proof_bytes=proof_bytes)
+
+    def _build_get_proof(self, stored_key: bytes, tsq: int) -> GetProof:
+        """The enclave-driven proof collection loop (r1): descend levels,
+        ask the untrusted prover where trusted metadata cannot answer, and
+        stop at the first level that can serve the query (early stop)."""
+        proof = GetProof(key=stored_key, ts_query=tsq)
+        for level in self.registry.nonempty_levels():
+            digest = self.registry.get(level)
+            if digest.excludes_key(stored_key) or self._trusted_absence(
+                level, stored_key
+            ):
+                proof.levels.append(LevelSkipped(level, "trusted-metadata"))
+                continue
+            entry = self.prover.level_get_proof(level, stored_key, tsq)
+            proof.levels.append(entry)
+            if (
+                self.early_stop
+                and isinstance(entry, LevelMembership)
+                and entry.reveal.records[-1].ts <= tsq
+            ):
+                break
+        return proof
+
+    def _trusted_absence(self, level: int, stored_key: bytes) -> bool:
+        """Bloom/key-range check over trusted in-enclave metadata."""
+        run = self.db.level_run(level)
+        if run is None or run.is_empty:
+            return True
+        if not self.db.config.use_bloom:
+            return False
+        return not run.may_contain(stored_key)
+
+    def scan(
+        self, lo: bytes, hi: bytes, ts_query: int | None = None
+    ) -> list[tuple[bytes, bytes]]:
+        """SCAN(k1, k2, tsq): verified-complete range result."""
+        with self._op_lock, self.env.op_call("scan", in_bytes=len(lo) + len(hi)):
+            if not self.codec.supports_range:
+                raise ValueError(
+                    "deterministic key encryption cannot serve range queries; "
+                    "use the order-preserving mode"
+                )
+            tsq = self._ts if ts_query is None else ts_query
+            enc_lo, enc_hi = self.codec.encode_range(lo, hi)
+            proof = ScanProof(lo=enc_lo, hi=enc_hi, ts_query=tsq)
+            for level in self.registry.nonempty_levels():
+                digest = self.registry.get(level)
+                if digest.excludes_range(enc_lo, enc_hi):
+                    proof.levels.append(LevelSkipped(level, "range-disjoint"))
+                    continue
+                proof.levels.append(
+                    self.prover.level_range_proof(level, enc_lo, enc_hi, tsq)
+                )
+            memtable_records = list(self.db.memtable.range(enc_lo, enc_hi))
+            records = self.verifier.verify_scan(
+                enc_lo, enc_hi, tsq, proof, extra_trusted=memtable_records
+            )
+            self.total_proof_bytes += proof.size_bytes()
+            return [
+                (self.codec.decode_key(r.key), self.codec.decode_value(r.value))
+                for r in records
+            ]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush the MemTable (runs an authenticated flush-merge)."""
+        self.db.flush()
+
+    def compact_level(self, level: int) -> None:
+        """Authenticated merge of one level into the next."""
+        self.db.compact_level(level)
+
+    def compact_all(self) -> None:
+        """Merge everything into the deepest level (test/maintenance aid)."""
+        self.db.flush()
+        while True:
+            levels = self.db.level_indices()
+            if len(levels) <= 1:
+                break
+            self.db.compact_level(levels[0])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def audit(self, check_embedded_proofs: bool = True):
+        """Eagerly verify the whole on-disk state (see repro.core.audit)."""
+        from repro.core.audit import audit_store
+
+        return audit_store(
+            self.db, self.registry, check_embedded_proofs=check_embedded_proofs
+        )
+
+    def report(self) -> dict:
+        """A structured operational snapshot (levels, costs, security)."""
+        levels = {}
+        for level in self.db.level_indices():
+            run = self.db.level_run(level)
+            digest = self.registry.get(level)
+            levels[level] = {
+                "files": len(run.tables),
+                "bytes": run.total_bytes,
+                "records": run.record_count,
+                "distinct_keys": digest.leaf_count,
+                "root": digest.root.hex()[:16],
+            }
+        pager = self.enclave.pager
+        return {
+            "timestamp": self._ts,
+            "levels": levels,
+            "memtable_records": len(self.db.memtable),
+            "enclave_bytes": self.enclave.total_bytes(),
+            "epc_bytes": self.enclave.epc_bytes,
+            "epc_faults": pager.fault_count,
+            "dirty_evictions": pager.evicted_dirty_count,
+            "ecalls": self.env.boundary.ecall_count if self.env.boundary else 0,
+            "ocalls": self.env.boundary.ocall_count if self.env.boundary else 0,
+            "flushes": self.db.stats.flushes,
+            "compactions": self.db.stats.compactions,
+            "write_amplification": self.db.stats.write_amplification(),
+            "verified_gets": self.verifier.verified_gets,
+            "verified_scans": self.verifier.verified_scans,
+            "proof_bytes_total": self.total_proof_bytes,
+            "disk_bytes": self.disk.total_bytes(),
+            "simulated_us": self.clock.now_us,
+            "cost_breakdown_us": self.clock.breakdown(),
+        }
+
+    # ------------------------------------------------------------------
+    # State continuity: sealing and rollback defence (Section 5.6.1)
+    # ------------------------------------------------------------------
+    def dataset_hash(self) -> bytes:
+        """Hash of all level roots plus the WAL digest."""
+        return self.registry.dataset_hash(self.listener.wal_digest)
+
+    def seal_state(self) -> SealedBlob:
+        """Anchor and seal the trusted state for persistence."""
+        dataset = self.dataset_hash()
+        if self.rollback_protection:
+            self.anchor.anchor(dataset)
+        payload = {
+            "registry": self.registry.to_payload(),
+            "wal_digest": self.listener.wal_digest.hex(),
+            "ts": self._ts,
+            "counter": self.anchor.anchored_value,
+            "dataset": dataset.hex(),
+        }
+        return seal(self.enclave, payload)
+
+    def check_recovery(self, blob: SealedBlob) -> dict:
+        """Unseal a persisted state and verify it is not a rollback."""
+        payload = unseal(self.enclave, blob)
+        if self.rollback_protection and not self.anchor.check_freshness(
+            payload["counter"]
+        ):
+            raise RollbackDetected(
+                "sealed state counter is behind the trusted monotonic counter"
+            )
+        return payload
+
+    def load_trusted_state(self, payload: dict) -> None:
+        """Adopt an unsealed (and rollback-checked) trusted state."""
+        self.registry.load_payload(payload["registry"])
+        self.listener.wal_digest = bytes.fromhex(payload["wal_digest"])
+        self._ts = payload["ts"]
+        self.anchor.restore(payload["counter"], bytes.fromhex(payload["dataset"]))
+
+    def recover_from_seal(self, blob: SealedBlob) -> int:
+        """Full restart flow: unseal, rollback-check, authenticate the
+        WAL, and replay it into the MemTable.
+
+        Call on a store constructed with ``reopen=True`` over the same
+        disk (and the same hardware ``counter``).  Returns the number of
+        WAL records replayed.  Raises :class:`RollbackDetected` for a
+        stale sealed state and :class:`IntegrityViolation` when the WAL
+        on the untrusted disk does not match the enclave's digest.
+        """
+        from repro.core.auth_compaction import WAL_DIGEST_INIT, advance_wal_digest
+        from repro.core.errors import IntegrityViolation
+
+        payload = self.check_recovery(blob)
+        self.load_trusted_state(payload)
+        assert self.db.wal is not None
+        digest = WAL_DIGEST_INIT
+        for record in self.db.wal.replay():
+            digest = advance_wal_digest(digest, record)
+            self.env.trusted_hash(record.approximate_bytes() + 32)
+        if digest != self.listener.wal_digest:
+            raise IntegrityViolation(
+                "write-ahead log failed authentication during recovery"
+            )
+        return self.db.recover()

@@ -1,0 +1,34 @@
+"""Cryptographic primitives used by eLSM.
+
+Everything is built on the standard library (``hashlib``/``hmac``) because
+the reproduction environment has no third-party crypto packages.  The
+deterministic and order-preserving schemes are functional stand-ins for
+the AES-based constructions the paper uses via the SGX SDK: they preserve
+the properties eLSM relies on (determinism for searchability, order
+preservation for ranges, ciphertext opacity) without claiming production
+crypto strength.
+"""
+
+from repro.cryptoprim.hashing import (
+    HASH_LEN,
+    hash_chain_node,
+    hash_internal,
+    hash_leaf,
+    sha256,
+    tagged_hash,
+)
+from repro.cryptoprim.det_encrypt import DeterministicCipher
+from repro.cryptoprim.ope import OrderPreservingEncoder
+from repro.cryptoprim.value_encrypt import ValueCipher
+
+__all__ = [
+    "HASH_LEN",
+    "sha256",
+    "tagged_hash",
+    "hash_leaf",
+    "hash_internal",
+    "hash_chain_node",
+    "DeterministicCipher",
+    "OrderPreservingEncoder",
+    "ValueCipher",
+]

@@ -1,0 +1,60 @@
+"""Deterministic encryption (DE) for searchable data keys.
+
+The paper encrypts data keys deterministically (Section 5.6.2, citing
+Bellare et al.'s deterministic encryption) so the untrusted world can be
+searched directly over ciphertexts.  We implement a SIV-style scheme on
+HMAC-SHA256: the synthetic IV is a PRF of the plaintext, so equal
+plaintexts map to equal ciphertexts, and the keystream hides everything
+else.  This matches the SGX SDK's ``sgx_rijndael128gcm_encrypt``-based DE
+functionally (determinism + opacity), which is all eLSM needs.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import struct
+
+_IV_LEN = 16
+
+
+def _keystream(key: bytes, iv: bytes, nbytes: int) -> bytes:
+    """Expand (key, iv) into ``nbytes`` of keystream via counter-mode SHA."""
+    out = bytearray()
+    counter = 0
+    while len(out) < nbytes:
+        block = hashlib.sha256(key + iv + struct.pack("<Q", counter)).digest()
+        out += block
+        counter += 1
+    return bytes(out[:nbytes])
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+class DeterministicCipher:
+    """SIV-style deterministic cipher: equal plaintexts, equal ciphertexts."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) < 16:
+            raise ValueError("key must be at least 16 bytes")
+        self._mac_key = hashlib.sha256(b"de-mac" + key).digest()
+        self._enc_key = hashlib.sha256(b"de-enc" + key).digest()
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt; the output is ``IV || ciphertext``."""
+        iv = hmac.new(self._mac_key, plaintext, hashlib.sha256).digest()[:_IV_LEN]
+        body = _xor(plaintext, _keystream(self._enc_key, iv, len(plaintext)))
+        return iv + body
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Decrypt and verify the synthetic IV (authenticity check)."""
+        if len(ciphertext) < _IV_LEN:
+            raise ValueError("ciphertext too short")
+        iv, body = ciphertext[:_IV_LEN], ciphertext[_IV_LEN:]
+        plaintext = _xor(body, _keystream(self._enc_key, iv, len(body)))
+        expect = hmac.new(self._mac_key, plaintext, hashlib.sha256).digest()[:_IV_LEN]
+        if not hmac.compare_digest(iv, expect):
+            raise ValueError("deterministic ciphertext failed authentication")
+        return plaintext

@@ -1,0 +1,57 @@
+"""Hashing helpers with domain separation.
+
+eLSM hashes records, hash-chain nodes, Merkle leaves, and Merkle internal
+nodes.  Each use gets a distinct domain tag, and variable-length inputs
+are length-prefixed, so no two different logical inputs can produce the
+same byte string — a standard hardening step the paper's proofs assume
+("H is a standard cryptographic hash algorithm with variable-length
+input").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+HASH_LEN = 32
+
+_TAG_LEAF = b"elsm/leaf"
+_TAG_INTERNAL = b"elsm/node"
+_TAG_CHAIN = b"elsm/chain"
+
+
+def sha256(data: bytes) -> bytes:
+    """Plain SHA-256."""
+    return hashlib.sha256(data).digest()
+
+
+def tagged_hash(tag: bytes, *parts: bytes) -> bytes:
+    """Hash of length-prefixed ``parts`` under a domain ``tag``."""
+    h = hashlib.sha256()
+    h.update(struct.pack("<I", len(tag)))
+    h.update(tag)
+    for part in parts:
+        h.update(struct.pack("<I", len(part)))
+        h.update(part)
+    return h.digest()
+
+
+def hash_leaf(payload: bytes) -> bytes:
+    """Merkle leaf hash of an already-digested payload."""
+    return tagged_hash(_TAG_LEAF, payload)
+
+
+def hash_internal(left: bytes, right: bytes) -> bytes:
+    """Merkle internal node: H(left || right) with domain separation."""
+    return tagged_hash(_TAG_INTERNAL, left, right)
+
+
+def hash_chain_node(record_bytes: bytes, older_digest: bytes | None) -> bytes:
+    """One node of a same-key version chain.
+
+    The paper digests a chain of same-key records with the newest record
+    outermost: ``h = H(<Z,7> || H(<Z,6>))``.  ``older_digest`` is the
+    digest of the strictly-older suffix of the chain (``None`` for the
+    oldest record).
+    """
+    return tagged_hash(_TAG_CHAIN, record_bytes, older_digest or b"")

@@ -1,0 +1,100 @@
+"""Order-preserving encryption of data keys for authenticated range queries.
+
+The paper suggests OPE (Boldyreva et al.; Popa et al.) for encrypting
+keys when range queries must run over ciphertext (Section 5.6.2).  We
+implement a prefix-conditioned monotone cipher:
+
+* keys are padded to a fixed width and encrypted byte by byte;
+* for each *prefix* already encrypted, a PRF of (secret, prefix) derives
+  256 pseudorandom positive weights; the byte's code is the cumulative
+  sum of the weights up to it — a strictly increasing, prefix-specific
+  substitution into a 16-bit space;
+* equal prefixes produce equal code prefixes and the first differing
+  byte is mapped through a strictly increasing table, so lexicographic
+  order is preserved exactly.
+
+Unlike a naive ``x*M + noise`` scheme, no plaintext byte appears in the
+ciphertext.  Like *all* OPE, the scheme still leaks order (and therefore
+shared-prefix structure) by design — the leakage the paper accepts in
+exchange for range queries on the untrusted host.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from bisect import bisect_left
+
+
+class OrderPreservingEncoder:
+    """Keyed order-preserving cipher over fixed-width byte keys."""
+
+    def __init__(self, key: bytes, key_width: int = 16) -> None:
+        if key_width <= 0:
+            raise ValueError("key_width must be positive")
+        if len(key) < 16:
+            raise ValueError("key must be at least 16 bytes")
+        self._prf_key = hashlib.sha256(b"ope" + key).digest()
+        self.key_width = key_width
+        # prefix -> cumulative code table (code of byte b = table[b]).
+        self._tables: dict[bytes, list[int]] = {}
+
+    @property
+    def encoded_width(self) -> int:
+        """Width in bytes of an encoded key (2 code bytes per key byte)."""
+        return 2 * self.key_width
+
+    def _table(self, prefix: bytes) -> list[int]:
+        table = self._tables.get(prefix)
+        if table is None:
+            # Expand PRF(secret, prefix) into 256 positive weights.
+            stream = bytearray()
+            counter = 0
+            while len(stream) < 256:
+                stream += hmac.new(
+                    self._prf_key,
+                    prefix + b"|" + counter.to_bytes(4, "little"),
+                    hashlib.sha256,
+                ).digest()
+                counter += 1
+            table = []
+            total = 0
+            for weight_byte in stream[:256]:
+                total += weight_byte + 1  # strictly positive weights
+                table.append(total)
+            self._tables[prefix] = table
+        return table
+
+    def encode(self, plain_key: bytes) -> bytes:
+        """Encrypt a key; ciphertexts compare (bytewise) like plaintexts."""
+        if len(plain_key) > self.key_width:
+            raise ValueError(
+                f"key longer than key_width ({len(plain_key)} > {self.key_width})"
+            )
+        padded = plain_key.ljust(self.key_width, b"\x00")
+        out = bytearray()
+        for position in range(self.key_width):
+            prefix = padded[:position]
+            code = self._table(prefix)[padded[position]]
+            out += code.to_bytes(2, "big")
+        return bytes(out)
+
+    def decode_key(self, encoded: bytes) -> bytes:
+        """Recover the (padded) plaintext key from a ciphertext."""
+        if len(encoded) != self.encoded_width:
+            raise ValueError("bad encoded width")
+        out = bytearray()
+        for position in range(self.key_width):
+            code = int.from_bytes(encoded[2 * position : 2 * position + 2], "big")
+            table = self._table(bytes(out))
+            index = bisect_left(table, code)
+            if index >= 256 or table[index] != code:
+                raise ValueError("ciphertext does not decode under this key")
+            out.append(index)
+        return bytes(out)
+
+    def range_bounds(self, lo: bytes, hi: bytes) -> tuple[bytes, bytes]:
+        """Ciphertext bounds covering every padded key in [lo, hi]."""
+        if lo.ljust(self.key_width, b"\x00") > hi.ljust(self.key_width, b"\x00"):
+            raise ValueError("empty range")
+        return self.encode(lo), self.encode(hi)

@@ -1,0 +1,67 @@
+"""Bloom filters over SSTable keys.
+
+LevelDB attaches a Bloom filter to each table so a GET can skip tables
+that definitely do not contain the key.  In eLSM the filters are *trusted
+metadata inside the enclave* (Section 5.3, "Meta-data authenticity"),
+which has a pleasant protocol consequence: a trusted negative is itself a
+sound non-membership witness, so the enclave can skip requesting a Merkle
+non-membership proof for that level (Bloom filters have no false
+negatives).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable
+
+
+class BloomFilter:
+    """A classic k-hash Bloom filter using double hashing."""
+
+    def __init__(self, bits: bytearray, num_hashes: int) -> None:
+        if not bits:
+            raise ValueError("empty filter")
+        self._bits = bits
+        self.num_hashes = num_hashes
+
+    @classmethod
+    def build(cls, keys: Iterable[bytes], bits_per_key: int = 10) -> "BloomFilter":
+        key_list = list(keys)
+        nbits = max(64, len(key_list) * bits_per_key)
+        num_hashes = max(1, min(30, int(round(bits_per_key * math.log(2)))))
+        bits = bytearray((nbits + 7) // 8)
+        filt = cls(bits, num_hashes)
+        for key in key_list:
+            filt._insert(key)
+        return filt
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    def _positions(self, key: bytes) -> Iterable[int]:
+        digest = hashlib.sha256(key).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:16], "little") | 1
+        nbits = len(self._bits) * 8
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % nbits
+
+    def _insert(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+
+    def may_contain(self, key: bytes) -> bool:
+        """False means *definitely absent*; True means "probably present"."""
+        return all(self._bits[p // 8] & (1 << (p % 8)) for p in self._positions(key))
+
+    def serialize(self) -> bytes:
+        """num_hashes byte + raw bit array."""
+        return bytes([self.num_hashes]) + bytes(self._bits)
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "BloomFilter":
+        if len(blob) < 2:
+            raise ValueError("bloom blob too short")
+        return cls(bytearray(blob[1:]), blob[0])

@@ -1,0 +1,618 @@
+"""The LSM store facade (the "vanilla LevelDB" of the paper).
+
+``LSMStore`` wires the MemTable, WAL, leveled SSTables, read buffer, and
+compactor together behind the PUT/GET/SCAN interface of Equation 1.  It
+knows nothing about enclave placement beyond what its
+:class:`~repro.sgx.env.ExecutionEnv` dictates, and nothing about
+authentication beyond firing :class:`~repro.lsm.events.EventListener`
+hooks — eLSM-P2 is layered on top purely through those hooks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.lsm.cache import LOCATION_UNTRUSTED, ReadBuffer
+from repro.lsm.compaction import Compactor
+from repro.lsm.events import CompactionContext, EventListener
+from repro.lsm.memtable import SkipListMemTable
+from repro.lsm.records import KIND_DELETE, KIND_PUT, Record
+from repro.lsm.sstable import BlockFetcher, Entry, SSTableMeta, rebuild_meta
+from repro.lsm.version import LevelRun
+from repro.lsm.wal import WriteAheadLog
+from repro.sgx.env import ExecutionEnv
+
+_MEMTABLE_REGION = "memtable"
+_TABLE_META_REGION = "table_meta"
+
+
+@dataclass
+class LSMConfig:
+    """Tuning knobs; defaults suit the 1/256-scaled experiments."""
+
+    write_buffer_bytes: int = 16 * 1024
+    block_bytes: int = 4096
+    bloom_bits_per_key: int = 10
+    use_bloom: bool = True
+    level1_max_bytes: int = 40 * 1024
+    level_size_ratio: int = 10
+    file_max_bytes: int = 16 * 1024
+    read_mode: str = "buffer"  # "buffer" or "mmap"
+    read_buffer_bytes: int = 256 * 1024
+    buffer_location: str = LOCATION_UNTRUSTED
+    protect_files: bool = False
+    compression: bool = False
+    compaction_enabled: bool = True
+    keep_versions: bool = True
+    wal_enabled: bool = True
+    wal_sync_every: int = 32
+
+
+class WriteBatch:
+    """An atomic group of writes (LevelDB's WriteBatch).
+
+    All operations are applied under one lock acquisition and logged
+    consecutively; the flush trigger is evaluated once at the end, so a
+    batch never straddles a MemTable flush.
+    """
+
+    def __init__(self) -> None:
+        self.ops: list[tuple[int, bytes, bytes]] = []
+
+    def put(self, key: bytes, value: bytes) -> "WriteBatch":
+        """Queue a PUT; returns self for chaining."""
+        self.ops.append((KIND_PUT, key, value))
+        return self
+
+    def delete(self, key: bytes) -> "WriteBatch":
+        """Queue a DELETE; returns self for chaining."""
+        self.ops.append((KIND_DELETE, key, b""))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class GetResult:
+    """A point lookup outcome with its provenance level (0 = MemTable)."""
+
+    record: Record | None
+    level: int | None
+
+    @property
+    def found(self) -> bool:
+        return self.record is not None
+
+
+@dataclass
+class StoreStats:
+    flushes: int = 0
+    compactions: int = 0
+    bytes_flushed: int = 0
+    bytes_compacted: int = 0
+    user_bytes_written: int = 0
+
+    def write_amplification(self) -> float:
+        """Bytes written to disk per user byte accepted."""
+        if self.user_bytes_written == 0:
+            return 0.0
+        return (self.bytes_flushed + self.bytes_compacted) / self.user_bytes_written
+
+
+class LSMStore:
+    """A leveled LSM key-value store over the simulated substrate."""
+
+    def __init__(
+        self,
+        env: ExecutionEnv,
+        config: LSMConfig | None = None,
+        listeners: Iterable[EventListener] = (),
+        name_prefix: str = "db",
+        reopen: bool = False,
+    ) -> None:
+        self.env = env
+        self.config = config or LSMConfig()
+        self.listeners = list(listeners)
+        self.name_prefix = name_prefix
+        self._lock = threading.RLock()
+        self.stats = StoreStats()
+
+        env.meta_region(_MEMTABLE_REGION)
+        env.meta_region(_TABLE_META_REGION)
+
+        self.memtable = SkipListMemTable()
+        self.wal: WriteAheadLog | None = None
+        if self.config.wal_enabled:
+            self.wal = WriteAheadLog(
+                env, f"{name_prefix}/wal.log", sync_every=self.config.wal_sync_every
+            )
+
+        buffer = None
+        if self.config.read_mode == "buffer":
+            buffer = ReadBuffer(
+                env,
+                self.config.read_buffer_bytes,
+                location=self.config.buffer_location,
+                block_stride=self.config.block_bytes,
+                region=f"{name_prefix}.read_buffer",
+            )
+        self.read_buffer = buffer
+        self.fetcher = BlockFetcher(
+            env,
+            mode=self.config.read_mode,
+            buffer=buffer,
+            protected=self.config.protect_files,
+        )
+        self._compactor = Compactor(
+            env,
+            self.listeners,
+            block_bytes=self.config.block_bytes,
+            file_max_bytes=self.config.file_max_bytes,
+            bloom_bits_per_key=self.config.bloom_bits_per_key,
+            keep_versions=self.config.keep_versions,
+            protect_files=self.config.protect_files,
+            compression=self.config.compression,
+        )
+        self._levels: dict[int, LevelRun] = {}
+        self._file_no = 0
+        self._meta_bytes = 0
+        self._auto_ts = 0
+        self._recovering = False
+        if reopen:
+            self.load_manifest()
+
+    # ------------------------------------------------------------------
+    # Public interface (Equation 1)
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes, ts: int | None = None) -> int:
+        """Write <key, value>; returns the timestamp assigned."""
+        with self._lock:
+            ts = self._resolve_ts(ts)
+            self._write(Record(key=key, ts=ts, kind=KIND_PUT, value=value))
+            return ts
+
+    def delete(self, key: bytes, ts: int | None = None) -> int:
+        """Write a tombstone for ``key``."""
+        with self._lock:
+            ts = self._resolve_ts(ts)
+            self._write(Record(key=key, ts=ts, kind=KIND_DELETE))
+            return ts
+
+    def write_batch(self, batch: WriteBatch) -> list[int]:
+        """Apply a batch atomically; returns the assigned timestamps."""
+        with self._lock:
+            stamps: list[int] = []
+            for kind, key, value in batch.ops:
+                ts = self._resolve_ts(None)
+                stamps.append(ts)
+                record = Record(key=key, ts=ts, kind=kind, value=value)
+                if self.wal is not None:
+                    for listener in self.listeners:
+                        listener.on_wal_append(record)
+                    self.wal.append(record)
+                self.memtable.add(record)
+                nbytes = record.approximate_bytes()
+                self.stats.user_bytes_written += nbytes
+                self.env.meta_grow(_MEMTABLE_REGION, nbytes)
+                self._touch_memtable(record.key, nbytes, write=True)
+            self.env.clock.charge("compute", self.env.costs.cpu_op_base_us)
+            if self.memtable.approximate_bytes >= self.config.write_buffer_bytes:
+                self.flush()
+            return stamps
+
+    def get(self, key: bytes, ts_query: int | None = None) -> bytes | None:
+        """Latest value of ``key`` at ``ts_query`` (None = now)."""
+        result = self.get_with_level(key, ts_query)
+        if result.record is None or result.record.is_tombstone:
+            return None
+        return result.record.value
+
+    def get_with_level(self, key: bytes, ts_query: int | None = None) -> GetResult:
+        """Point lookup that also reports the level that served it."""
+        with self._lock:
+            self.env.clock.charge("compute", self.env.costs.cpu_op_base_us)
+            record = self.memtable.get(key, ts_query)
+            if record is not None:
+                self._touch_memtable(key, record.approximate_bytes())
+                return GetResult(record=record, level=0)
+            for level in self.level_indices():
+                run = self._levels[level]
+                self.env.clock.charge(
+                    "compute", self.env.costs.cpu_block_scan_us
+                )
+                if self.config.use_bloom and not run.may_contain(key):
+                    continue
+                group = run.get_group(self.fetcher, key)
+                for candidate, _aux in group:
+                    if ts_query is None or candidate.ts <= ts_query:
+                        return GetResult(record=candidate, level=level)
+            return GetResult(record=None, level=None)
+
+    def scan(
+        self, lo: bytes, hi: bytes, ts_query: int | None = None
+    ) -> list[Record]:
+        """All live records with lo <= key <= hi at ``ts_query``."""
+        with self._lock:
+            best: dict[bytes, Record] = {}
+
+            def consider(record: Record) -> None:
+                if ts_query is not None and record.ts > ts_query:
+                    return
+                incumbent = best.get(record.key)
+                if incumbent is None or record.ts > incumbent.ts:
+                    best[record.key] = record
+
+            for record in self.memtable.range(lo, hi):
+                consider(record)
+            for level in self.level_indices():
+                run = self._levels[level]
+                _, entries, _ = run.range_entries(self.fetcher, lo, hi)
+                for record, _aux in entries:
+                    consider(record)
+            return [
+                best[key]
+                for key in sorted(best)
+                if not best[key].is_tombstone
+            ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def last_ts(self) -> int:
+        """Largest timestamp the store has seen (recovery restores it)."""
+        return self._auto_ts
+
+    def level_indices(self) -> list[int]:
+        """Non-empty level ids, shallowest (newest) first."""
+        return sorted(i for i, run in self._levels.items() if not run.is_empty)
+
+    def level_run(self, level: int) -> LevelRun | None:
+        """The sorted run at a level (None if the level never existed)."""
+        return self._levels.get(level)
+
+    def total_data_bytes(self) -> int:
+        """Bytes across all levels plus the MemTable."""
+        return sum(run.total_bytes for run in self._levels.values()) + (
+            self.memtable.approximate_bytes
+        )
+
+    def resize_read_buffer(self, capacity_bytes: int) -> None:
+        """Swap in a fresh read buffer of a new capacity.
+
+        Used by the buffer-size sweeps (Figures 2 and 6c) so each point
+        reuses the loaded dataset instead of rebuilding the store.
+        """
+        if self.config.read_mode != "buffer":
+            raise ValueError("resize_read_buffer requires buffer read mode")
+        region = f"{self.name_prefix}.read_buffer"
+        if self.config.buffer_location != LOCATION_UNTRUSTED:
+            self.env.meta_reset(region)
+        self.config.read_buffer_bytes = capacity_bytes
+        self.read_buffer = ReadBuffer(
+            self.env,
+            capacity_bytes,
+            location=self.config.buffer_location,
+            block_stride=self.config.block_bytes,
+            region=region,
+        )
+        self.fetcher = BlockFetcher(
+            self.env,
+            mode="buffer",
+            buffer=self.read_buffer,
+            protected=self.config.protect_files,
+        )
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def _resolve_ts(self, ts: int | None) -> int:
+        if ts is None:
+            self._auto_ts += 1
+            return self._auto_ts
+        self._auto_ts = max(self._auto_ts, ts)
+        return ts
+
+    def _write(self, record: Record, log: bool = True) -> None:
+        if log and self.wal is not None:
+            for listener in self.listeners:
+                listener.on_wal_append(record)
+            self.wal.append(record)
+        self.memtable.add(record)
+        nbytes = record.approximate_bytes()
+        self.stats.user_bytes_written += nbytes
+        self.env.meta_grow(_MEMTABLE_REGION, nbytes)
+        self._touch_memtable(record.key, nbytes, write=True)
+        self.env.clock.charge("compute", self.env.costs.cpu_op_base_us)
+        if (
+            not self._recovering
+            and self.memtable.approximate_bytes >= self.config.write_buffer_bytes
+        ):
+            self.flush()
+
+    def _touch_memtable(self, key: bytes, nbytes: int, write: bool = False) -> None:
+        """Approximate the skip list's enclave page accesses."""
+        if self.env.enclave is None:
+            return
+        region_bytes = max(1, self.env.enclave.region_bytes(_MEMTABLE_REGION))
+        offset = hash(key) % region_bytes
+        self.env.meta_touch(_MEMTABLE_REGION, offset, nbytes, write=write)
+
+    def recover(self) -> int:
+        """Replay the WAL into the MemTable; returns records recovered.
+
+        The replay is materialised up front and flushing is deferred to
+        the end — a flush mid-replay would truncate the very log being
+        iterated.
+        """
+        if self.wal is None:
+            return 0
+        with self._lock:
+            records = list(self.wal.replay())
+            self._recovering = True
+            try:
+                for record in records:
+                    self._resolve_ts(record.ts)
+                    self._write(record, log=False)
+            finally:
+                self._recovering = False
+            if self.memtable.approximate_bytes >= self.config.write_buffer_bytes:
+                self.flush()
+            return len(records)
+
+    # ------------------------------------------------------------------
+    # Flush & compaction
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Persist the MemTable into level 1."""
+        with self._lock:
+            if len(self.memtable) == 0:
+                return
+            if self.config.compaction_enabled:
+                self._flush_merging()
+                self._maybe_compact()
+            else:
+                self._flush_stacking()
+            self.memtable = SkipListMemTable(seed=self.stats.flushes)
+            self.env.meta_reset(_MEMTABLE_REGION)
+            if self.wal is not None:
+                self.wal.reset()
+                for listener in self.listeners:
+                    listener.on_wal_reset()
+            self.stats.flushes += 1
+
+    def _memtable_source(self) -> list[Entry]:
+        return [(record, b"") for record in self.memtable]
+
+    def _flush_merging(self) -> None:
+        """Merge the MemTable with the existing L1 run (leveled flush)."""
+        existing = self._levels.get(1)
+        sources: list[tuple[int, Iterable[Entry]]] = [(0, self._memtable_source())]
+        input_levels = [0]
+        if existing is not None and not existing.is_empty:
+            sources.append((1, existing.iter_entries(self.env)))
+            input_levels.append(1)
+        ctx = CompactionContext(
+            kind="flush",
+            input_levels=input_levels,
+            output_level=1,
+            is_bottom_level=self._is_bottom(1),
+        )
+        metas = self._compactor.run(ctx, sources, self._next_file)
+        self.stats.bytes_flushed += sum(m.size_bytes for m in metas)
+        self._install_run(1, metas, replaced=[1] if existing else [])
+
+    def _flush_stacking(self) -> None:
+        """No-compaction mode: stack the flush as a brand-new level 1."""
+        ctx = CompactionContext(
+            kind="flush",
+            input_levels=[0],
+            output_level=1,
+            is_bottom_level=not self._levels,
+        )
+        # Shift existing levels one deeper to make room at level 1.
+        for level in sorted(self._levels, reverse=True):
+            self._levels[level + 1] = self._levels.pop(level)
+        for listener in self.listeners:
+            listener.on_level_inserted(1)
+        metas = self._compactor.run(ctx, [(0, self._memtable_source())], self._next_file)
+        self.stats.bytes_flushed += sum(m.size_bytes for m in metas)
+        self._install_run(1, metas, replaced=[])
+
+    def compact_level(self, level: int) -> None:
+        """Merge level ``level`` into ``level + 1`` (authenticated in eLSM)."""
+        with self._lock:
+            source = self._levels.get(level)
+            if source is None or source.is_empty:
+                return
+            target = self._levels.get(level + 1)
+            sources: list[tuple[int, Iterable[Entry]]] = [
+                (level, source.iter_entries(self.env))
+            ]
+            input_levels = [level]
+            if target is not None and not target.is_empty:
+                sources.append((level + 1, target.iter_entries(self.env)))
+                input_levels.append(level + 1)
+            ctx = CompactionContext(
+                kind="compaction",
+                input_levels=input_levels,
+                output_level=level + 1,
+                is_bottom_level=self._is_bottom(level + 1),
+            )
+            metas = self._compactor.run(ctx, sources, self._next_file)
+            self.stats.compactions += 1
+            self.stats.bytes_compacted += sum(m.size_bytes for m in metas)
+            self._drop_run(level)
+            self._levels[level] = LevelRun(level, [])
+            for listener in self.listeners:
+                listener.on_level_replaced(level)
+            # Install (and persist the manifest) only after the emptied
+            # source level is reflected in the in-memory state.
+            self._install_run(level + 1, metas, replaced=[level + 1] if target else [])
+
+    def compact_levels(self, levels: list[int]) -> None:
+        """Merge several adjacent levels into the deepest of them.
+
+        The paper's COMPACTION generalisation: "it is natural to extend
+        it to more complicated cases such as merging more than two
+        levels".  ``levels`` must be contiguous ascending level ids; the
+        output replaces the deepest one and the rest become empty.
+        """
+        with self._lock:
+            levels = sorted(levels)
+            if len(levels) < 2:
+                raise ValueError("need at least two levels to merge")
+            if levels != list(range(levels[0], levels[-1] + 1)):
+                raise ValueError("levels must be contiguous")
+            sources: list[tuple[int, Iterable[Entry]]] = []
+            input_levels: list[int] = []
+            for level in levels:
+                run = self._levels.get(level)
+                if run is None or run.is_empty:
+                    continue
+                sources.append((level, run.iter_entries(self.env)))
+                input_levels.append(level)
+            if not input_levels:
+                return
+            output = levels[-1]
+            ctx = CompactionContext(
+                kind="compaction",
+                input_levels=input_levels,
+                output_level=output,
+                is_bottom_level=self._is_bottom(output),
+            )
+            metas = self._compactor.run(ctx, sources, self._next_file)
+            self.stats.compactions += 1
+            self.stats.bytes_compacted += sum(m.size_bytes for m in metas)
+            for level in levels[:-1]:
+                self._drop_run(level)
+                self._levels[level] = LevelRun(level, [])
+                for listener in self.listeners:
+                    listener.on_level_replaced(level)
+            self._install_run(output, metas, replaced=[output])
+
+    def _maybe_compact(self) -> None:
+        """Cascade compactions while any level exceeds its capacity."""
+        level = 1
+        while True:
+            run = self._levels.get(level)
+            if run is None:
+                break
+            if not run.is_empty and run.total_bytes > self._level_capacity(level):
+                # An over-capacity deepest level spills into a brand-new
+                # deeper level; that is how the tree grows with the data.
+                self.compact_level(level)
+            level += 1
+
+    def _level_capacity(self, level: int) -> int:
+        return self.config.level1_max_bytes * (
+            self.config.level_size_ratio ** (level - 1)
+        )
+
+    def _is_bottom(self, level: int) -> bool:
+        return all(
+            idx <= level or run.is_empty for idx, run in self._levels.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Run installation & bookkeeping
+    # ------------------------------------------------------------------
+    def _next_file(self, level: int) -> tuple[str, int]:
+        self._file_no += 1
+        return (
+            f"{self.name_prefix}/L{level}-{self._file_no:06d}.sst",
+            self._file_no,
+        )
+
+    def _drop_run(self, level: int) -> None:
+        run = self._levels.get(level)
+        if run is None:
+            return
+        for meta in run.tables:
+            self.fetcher.invalidate_file(meta.name)
+            self.env.file_delete(meta.name)
+        self._account_meta()
+
+    def _install_run(
+        self, level: int, metas: list[SSTableMeta], replaced: list[int]
+    ) -> None:
+        for old_level in replaced:
+            old = self._levels.get(old_level)
+            if old is not None:
+                for meta in old.tables:
+                    self.fetcher.invalidate_file(meta.name)
+                    self.env.file_delete(meta.name)
+        self._levels[level] = LevelRun(level, metas)
+        for listener in self.listeners:
+            listener.on_level_replaced(level)
+        self._account_meta()
+        self._write_manifest()
+
+    def _manifest_name(self) -> str:
+        return f"{self.name_prefix}/MANIFEST"
+
+    def _write_manifest(self) -> None:
+        """Persist the level -> files mapping (LevelDB's MANIFEST)."""
+        payload = {
+            "file_no": self._file_no,
+            "levels": {
+                str(level): [
+                    {"name": meta.name, "file_no": meta.file_no}
+                    for meta in run.tables
+                ]
+                for level, run in self._levels.items()
+            },
+        }
+        self.env.file_write(self._manifest_name(), json.dumps(payload).encode())
+
+    def load_manifest(self) -> bool:
+        """Rebuild the level structure from disk (store reopen).
+
+        Returns True when a manifest was found.  SSTable metadata —
+        block index, Bloom filters, MACs — is re-derived from the file
+        bytes; the WAL is NOT replayed here (eLSM authenticates it first
+        via its digest; see ELSMP2Store.recover_from_seal).
+        """
+        if not self.env.file_exists(self._manifest_name()):
+            return False
+        size = self.env.disk.size(self._manifest_name())
+        payload = json.loads(self.env.file_read(self._manifest_name(), 0, size))
+        self._file_no = payload["file_no"]
+        self._levels = {}
+        for level_str, files in payload["levels"].items():
+            level = int(level_str)
+            metas = [
+                rebuild_meta(
+                    self.env,
+                    entry["name"],
+                    level,
+                    entry["file_no"],
+                    block_bytes=self.config.block_bytes,
+                    bloom_bits_per_key=self.config.bloom_bits_per_key,
+                    protect=self.config.protect_files,
+                    compress=self.config.compression,
+                )
+                for entry in files
+            ]
+            self._levels[level] = LevelRun(level, metas)
+        self._account_meta()
+        return True
+
+    def _account_meta(self) -> None:
+        """Re-account the enclave footprint of indexes and Bloom filters."""
+        total = sum(
+            meta.meta_bytes()
+            for run in self._levels.values()
+            for meta in run.tables
+        )
+        delta = total - self._meta_bytes
+        if delta > 0:
+            self.env.meta_grow(_TABLE_META_REGION, delta)
+        elif delta < 0:
+            if self.env.enclave is not None:
+                self.env.enclave.shrink(_TABLE_META_REGION, -delta)
+        self._meta_bytes = total

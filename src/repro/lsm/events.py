@@ -1,0 +1,86 @@
+"""RocksDB-style event listeners.
+
+Section 5.5.3: RocksDB exposes callbacks through which applications can
+listen to internal events, and eLSM is implemented purely as handlers for
+them — no engine changes.  We expose the same surface:
+
+* ``on_compaction_output_record`` is the paper's ``Filter()`` event,
+  fired for every record a compaction or flush produces;
+* ``on_table_file_created`` is ``OnTableFileCreated()``, fired per output
+  file and allowed to rewrite the entries' ``aux`` annotations (the
+  embedded proofs);
+* ``on_compaction_input_record`` feeds the authentication of compaction
+  *inputs* (the paper's input MHT reconstruction);
+* ``on_wal_append`` lets the enclave digest the WAL stream;
+* ``on_compaction_finish`` is where input roots are checked and the new
+  output root takes effect;
+* ``on_level_inserted`` / ``on_level_replaced`` track level lifecycle so
+  a digest registry can shadow the manifest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.lsm.records import Record
+from repro.lsm.sstable import Entry
+
+
+@dataclass
+class CompactionContext:
+    """Describes one flush or compaction to the listeners.
+
+    ``input_levels`` uses 0 for the MemTable.  ``trusted_levels`` are the
+    inputs whose bytes never left the enclave (the MemTable): they need
+    no integrity verification.
+    """
+
+    kind: str  # "flush" or "compaction"
+    input_levels: list[int]
+    output_level: int
+    is_bottom_level: bool = False
+    #: Listener scratch space (e.g. the eLSM digesters live here).
+    state: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def trusted_levels(self) -> set[int]:
+        return {level for level in self.input_levels if level == 0}
+
+
+class EventListener:
+    """Base listener with no-op hooks; subclass what you need."""
+
+    def on_wal_append(self, record: Record) -> None:
+        """A record is about to be appended to the write-ahead log."""
+
+    def on_wal_reset(self) -> None:
+        """The WAL was truncated after a successful flush."""
+
+    def on_compaction_begin(self, ctx: CompactionContext) -> None:
+        """A flush/compaction is starting."""
+
+    def on_compaction_input_record(
+        self, ctx: CompactionContext, level_id: int, record: Record
+    ) -> None:
+        """One input record was consumed from ``level_id``."""
+
+    def on_compaction_output_record(
+        self, ctx: CompactionContext, record: Record
+    ) -> None:
+        """The paper's Filter(): one record survived into the output."""
+
+    def on_compaction_finish(self, ctx: CompactionContext) -> None:
+        """All records merged; inputs may now be verified."""
+
+    def on_table_file_created(
+        self, ctx: CompactionContext, entries: list[Entry]
+    ) -> list[Entry]:
+        """An output file is about to be written; may rewrite ``aux``."""
+        return entries
+
+    def on_level_inserted(self, level: int) -> None:
+        """A new level was inserted at ``level`` (deeper levels shifted)."""
+
+    def on_level_replaced(self, level: int) -> None:
+        """The run at ``level`` was replaced by a compaction output."""

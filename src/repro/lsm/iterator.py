@@ -1,0 +1,69 @@
+"""Merging iterators over sorted entry sources.
+
+The compactor inlines its own heap merge; this module exposes the same
+machinery as a public utility for applications that want a sorted,
+version-resolved view across the MemTable and all levels — e.g. backup
+tools or the CT monitor's full-log export.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from repro.lsm.records import Record
+
+
+def merge_sorted(
+    sources: Iterable[Iterable[Record]],
+) -> Iterator[Record]:
+    """Merge sorted record streams into one (key asc, ts desc) stream.
+
+    Sources must each already be sorted in (key asc, ts desc) order;
+    timestamps are assumed globally unique (the store's invariant).
+    """
+
+    def keyed(source: Iterable[Record]):
+        for record in source:
+            yield (record.sort_key(), record)
+
+    for _key, record in heapq.merge(*(keyed(s) for s in sources)):
+        yield record
+
+
+def latest_versions(
+    records: Iterable[Record], ts_query: int | None = None
+) -> Iterator[Record]:
+    """Collapse a (key asc, ts desc) stream to the newest live version.
+
+    Tombstones suppress their key.  With ``ts_query``, versions newer
+    than the horizon are ignored (snapshot semantics).
+    """
+    current_key: bytes | None = None
+    emitted = False
+    for record in records:
+        if record.key != current_key:
+            current_key = record.key
+            emitted = False
+        if emitted:
+            continue
+        if ts_query is not None and record.ts > ts_query:
+            continue
+        emitted = True
+        if not record.is_tombstone:
+            yield record
+
+
+def store_snapshot(store, ts_query: int | None = None) -> Iterator[Record]:
+    """A sorted, version-resolved iterator over an entire LSM store.
+
+    ``store`` is an :class:`~repro.lsm.db.LSMStore`; the iteration is a
+    consistent snapshot if the store is quiesced (no concurrent writes).
+    """
+    sources: list[Iterable[Record]] = [iter(store.memtable)]
+    for level in store.level_indices():
+        run = store.level_run(level)
+        sources.append(
+            record for record, _aux in run.iter_entries(store.env)
+        )
+    return latest_versions(merge_sorted(sources), ts_query)

@@ -1,0 +1,120 @@
+"""Skip-list MemTable (the LSM tree's mutable level L0).
+
+A probabilistic skip list keyed by ``(key, -ts)``, matching LevelDB's
+MemTable: O(log n) inserts and lookups, in-order iteration for flushes,
+and support for multiple timestamped versions of the same key.  The RNG
+is seeded so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.lsm.records import Record
+
+_MAX_HEIGHT = 12
+_BRANCHING = 4
+
+
+class _Node:
+    __slots__ = ("record", "nexts")
+
+    def __init__(self, record: Record | None, height: int) -> None:
+        self.record = record
+        self.nexts: list[_Node | None] = [None] * height
+
+
+class SkipListMemTable:
+    """Sorted in-memory buffer of recent writes."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._head = _Node(None, _MAX_HEIGHT)
+        self._height = 1
+        self._count = 0
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Bytes of record payload buffered (flush trigger input)."""
+        return self._bytes
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < _MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    @staticmethod
+    def _order(record: Record) -> tuple[bytes, int]:
+        return record.sort_key()
+
+    def add(self, record: Record) -> None:
+        """Insert a record; (key, ts) pairs must be unique."""
+        target = self._order(record)
+        update: list[_Node] = [self._head] * _MAX_HEIGHT
+        node = self._head
+        for level in range(self._height - 1, -1, -1):
+            nxt = node.nexts[level]
+            while nxt is not None and self._order(nxt.record) < target:
+                node = nxt
+                nxt = node.nexts[level]
+            update[level] = node
+        nxt = node.nexts[0]
+        if nxt is not None and self._order(nxt.record) == target:
+            raise ValueError(f"duplicate (key, ts): {record.key!r}@{record.ts}")
+        height = self._random_height()
+        if height > self._height:
+            self._height = height
+        new_node = _Node(record, height)
+        for level in range(height):
+            new_node.nexts[level] = update[level].nexts[level]
+            update[level].nexts[level] = new_node
+        self._count += 1
+        self._bytes += record.approximate_bytes()
+
+    def _seek(self, key: bytes) -> _Node | None:
+        """First node with key >= ``key`` (any timestamp)."""
+        node = self._head
+        for level in range(self._height - 1, -1, -1):
+            nxt = node.nexts[level]
+            while nxt is not None and nxt.record.key < key:
+                node = nxt
+                nxt = node.nexts[level]
+        return node.nexts[0]
+
+    def get(self, key: bytes, ts_query: int | None = None) -> Record | None:
+        """Newest record of ``key`` with ts <= ``ts_query`` (None = any)."""
+        node = self._seek(key)
+        while node is not None and node.record.key == key:
+            if ts_query is None or node.record.ts <= ts_query:
+                return node.record
+            node = node.nexts[0]
+        return None
+
+    def versions(self, key: bytes) -> list[Record]:
+        """All buffered versions of ``key``, newest first."""
+        out = []
+        node = self._seek(key)
+        while node is not None and node.record.key == key:
+            out.append(node.record)
+            node = node.nexts[0]
+        return out
+
+    def __iter__(self) -> Iterator[Record]:
+        """All records in (key asc, ts desc) order."""
+        node = self._head.nexts[0]
+        while node is not None:
+            yield node.record
+            node = node.nexts[0]
+
+    def range(self, lo: bytes, hi: bytes) -> Iterator[Record]:
+        """Records with lo <= key <= hi, in sorted order."""
+        node = self._seek(lo)
+        while node is not None and node.record.key <= hi:
+            yield node.record
+            node = node.nexts[0]

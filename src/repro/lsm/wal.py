@@ -1,0 +1,71 @@
+"""Write-ahead log.
+
+Every PUT/DELETE is appended to the WAL before entering the MemTable, so
+buffered writes survive a crash.  In eLSM the WAL *file* lives outside
+the enclave (untrusted) while the enclave keeps a running hash digest of
+it — the listener hook :meth:`~repro.lsm.events.EventListener.on_wal_append`
+is where eLSM attaches that digest.
+
+Entries are length-prefixed with a CRC32, and replay stops at the first
+torn or corrupt entry (LevelDB's recovery semantics).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator
+
+from repro.lsm.records import Record, decode_record, encode_record
+from repro.sgx.env import ExecutionEnv
+
+_ENTRY_HEADER = struct.Struct("<II")  # payload length, crc32
+
+
+class WriteAheadLog:
+    """Append-only log of recent writes on the (untrusted) disk."""
+
+    def __init__(self, env: ExecutionEnv, name: str, sync_every: int = 64) -> None:
+        self.env = env
+        self.name = name
+        self.sync_every = sync_every
+        self._appends_since_sync = 0
+        if not env.file_exists(name):
+            env.file_create(name)
+
+    def append(self, record: Record) -> None:
+        """Append one record; fsyncs every ``sync_every`` appends."""
+        payload = encode_record(record)
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        self.env.file_append(self.name, _ENTRY_HEADER.pack(len(payload), crc) + payload)
+        self._appends_since_sync += 1
+        if self._appends_since_sync >= self.sync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        """fsync the log now and reset the cadence counter."""
+        self.env.file_fsync(self.name)
+        self._appends_since_sync = 0
+
+    def reset(self) -> None:
+        """Truncate after a successful MemTable flush."""
+        self.env.file_delete(self.name)
+        self.env.file_create(self.name)
+        self._appends_since_sync = 0
+
+    def replay(self) -> Iterator[Record]:
+        """Yield all intact records; stops at the first corrupt entry."""
+        size = self.env.disk.size(self.name)
+        offset = 0
+        while offset + _ENTRY_HEADER.size <= size:
+            header = self.env.file_read(self.name, offset, _ENTRY_HEADER.size)
+            length, crc = _ENTRY_HEADER.unpack(header)
+            offset += _ENTRY_HEADER.size
+            if offset + length > size:
+                return  # torn tail
+            payload = self.env.file_read(self.name, offset, length)
+            if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                return  # corruption: discard the tail
+            offset += length
+            record, _ = decode_record(payload)
+            yield record

@@ -1,0 +1,25 @@
+"""Merkle hash trees, same-key hash chains, and range proofs.
+
+These are the building blocks of the eLSM digest structure (Section 5.2):
+one Merkle tree per LSM level, with same-key records collapsed into hash
+chains at the leaves, plus segment-tree style range covers for SCAN
+completeness proofs (Section 5.4).
+"""
+
+from repro.mht.merkle import EMPTY_ROOT, MerkleTree, compute_root
+from repro.mht.chain import chain_digest, fold_chain
+from repro.mht.incremental import ChainGroup, LevelTree, StreamingLevelDigester
+from repro.mht.range_proof import build_range_proof, compute_root_from_range
+
+__all__ = [
+    "MerkleTree",
+    "EMPTY_ROOT",
+    "compute_root",
+    "chain_digest",
+    "fold_chain",
+    "StreamingLevelDigester",
+    "LevelTree",
+    "ChainGroup",
+    "build_range_proof",
+    "compute_root_from_range",
+]

@@ -1,0 +1,85 @@
+"""Segment-tree range covers for SCAN completeness proofs.
+
+Section 5.4 treats each level's Merkle tree as a segment tree: a queried
+key range maps to a contiguous run of leaves, and the proof consists of
+the sibling hashes needed to recompute the root from exactly that run.
+A verifier that reconstructs the root knows the revealed leaves are
+*consecutive* and *complete* for the range — no record can be dropped.
+"""
+
+from __future__ import annotations
+
+from repro.cryptoprim.hashing import hash_internal
+from repro.mht.merkle import MerkleTree, ProofError
+
+
+def build_range_proof(tree: MerkleTree, lo: int, hi: int) -> list[bytes]:
+    """Sibling hashes covering the contiguous leaf range [lo, hi]."""
+    if not 0 <= lo <= hi < tree.n:
+        raise IndexError(f"bad leaf range [{lo},{hi}] for n={tree.n}")
+    proof: list[bytes] = []
+    level = 0
+    width = tree.n
+    while width > 1:
+        if lo % 2 == 1:
+            proof.append(tree.node(level, lo - 1))
+        if hi % 2 == 0 and hi + 1 < width:
+            proof.append(tree.node(level, hi + 1))
+        lo //= 2
+        hi //= 2
+        width = (width + 1) // 2
+        level += 1
+    return proof
+
+
+def compute_root_from_range(
+    leaf_hashes: list[bytes], lo: int, n: int, proof: list[bytes]
+) -> bytes:
+    """Recompute the root from a contiguous run of leaves plus siblings.
+
+    ``leaf_hashes`` are the leaves at positions ``lo .. lo+len-1`` of a
+    tree with ``n`` leaves.  Raises :class:`ProofError` on shape mismatch.
+    """
+    if not leaf_hashes:
+        raise ProofError("range proof needs at least one leaf")
+    hi = lo + len(leaf_hashes) - 1
+    if not 0 <= lo <= hi < n:
+        raise ProofError(f"bad leaf range [{lo},{hi}] for n={n}")
+    nodes = list(leaf_hashes)
+    width = n
+    position = 0
+
+    def take() -> bytes:
+        nonlocal position
+        if position >= len(proof):
+            raise ProofError("range proof too short")
+        value = proof[position]
+        position += 1
+        return value
+
+    while width > 1:
+        if lo % 2 == 1:
+            nodes.insert(0, take())
+            lo -= 1
+        if hi % 2 == 0 and hi + 1 < width:
+            nodes.append(take())
+            hi += 1
+        combined: list[bytes] = []
+        index = 0
+        while index < len(nodes):
+            if index + 1 < len(nodes):
+                combined.append(hash_internal(nodes[index], nodes[index + 1]))
+                index += 2
+            else:
+                # Trailing promoted node (hi is the last, even-position leaf).
+                combined.append(nodes[index])
+                index += 1
+        nodes = combined
+        lo //= 2
+        hi //= 2
+        width = (width + 1) // 2
+    if position != len(proof):
+        raise ProofError("range proof too long")
+    if len(nodes) != 1:
+        raise ProofError("range cover did not collapse to the root")
+    return nodes[0]

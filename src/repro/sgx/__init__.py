@@ -1,0 +1,41 @@
+"""Simulated Intel SGX substrate.
+
+The paper's performance story hinges on three SGX mechanisms, all modelled
+here with explicit cost accounting:
+
+* the **EPC** (enclave page cache), 128 MB of protected memory; touching
+  more than fits triggers expensive enclave paging
+  (:class:`~repro.sgx.memory.EpcPager`);
+* **ECall/OCall world switches** between the enclave and the untrusted
+  host (:class:`~repro.sgx.boundary.WorldBoundary`);
+* **sealing, attestation, and trusted monotonic counters** used for state
+  continuity and rollback defence (:mod:`repro.sgx.sealing`,
+  :mod:`repro.sgx.attestation`, :mod:`repro.sgx.counter`).
+
+:class:`~repro.sgx.env.ExecutionEnv` bundles these with the simulated
+disk so storage engines can run "inside" or "outside" the enclave by
+configuration alone.
+"""
+
+from repro.sgx.boundary import WorldBoundary
+from repro.sgx.counter import BufferedCounterAnchor, TrustedMonotonicCounter
+from repro.sgx.enclave import Enclave
+from repro.sgx.env import ExecutionEnv
+from repro.sgx.memory import EpcPager
+from repro.sgx.sealing import SealedBlob, seal, unseal
+from repro.sgx.attestation import Quote, attest, verify_quote
+
+__all__ = [
+    "Enclave",
+    "EpcPager",
+    "WorldBoundary",
+    "ExecutionEnv",
+    "TrustedMonotonicCounter",
+    "BufferedCounterAnchor",
+    "SealedBlob",
+    "seal",
+    "unseal",
+    "Quote",
+    "attest",
+    "verify_quote",
+]

@@ -1,0 +1,53 @@
+"""ECall/OCall world-switch accounting.
+
+Crossing the enclave boundary costs thousands of cycles (context save,
+TLB flush, SDK marshalling).  The paper's YCSB port wraps every PUT/GET
+in an ECall and every file operation in an OCall; its Appendix D argues
+placement choices precisely by counting these switches.  ``WorldBoundary``
+charges each switch plus per-byte marshalling copies and keeps counters so
+experiments can report switch rates.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+
+
+class WorldBoundary:
+    """Charges and counts ECall/OCall transitions."""
+
+    def __init__(self, clock: SimClock, costs: CostModel) -> None:
+        self.clock = clock
+        self.costs = costs
+        self.ecall_count = 0
+        self.ocall_count = 0
+
+    @contextmanager
+    def ecall(self, name: str = "", in_bytes: int = 0, out_bytes: int = 0) -> Iterator[None]:
+        """Enter the enclave to run a trusted function."""
+        self.ecall_count += 1
+        self.clock.charge("ecall", self.costs.ecall_us)
+        if in_bytes:
+            self.clock.charge("ecall_copy", self.costs.enclave_copy_cost(in_bytes))
+        try:
+            yield
+        finally:
+            if out_bytes:
+                self.clock.charge("ecall_copy", self.costs.enclave_copy_cost(out_bytes))
+
+    @contextmanager
+    def ocall(self, name: str = "", in_bytes: int = 0, out_bytes: int = 0) -> Iterator[None]:
+        """Exit the enclave to run an untrusted function (e.g. a syscall)."""
+        self.ocall_count += 1
+        self.clock.charge("ocall", self.costs.ocall_us)
+        if in_bytes:
+            self.clock.charge("ocall_copy", self.costs.enclave_copy_cost(in_bytes))
+        try:
+            yield
+        finally:
+            if out_bytes:
+                self.clock.charge("ocall_copy", self.costs.enclave_copy_cost(out_bytes))

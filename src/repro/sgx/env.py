@@ -1,0 +1,143 @@
+"""Execution environment: where code runs and where data lives.
+
+The paper's two designs differ only in *placement* (Table 1): eLSM-P1 and
+eLSM-P2 both run the LSM codebase inside the enclave but place the read
+buffer inside vs outside, while the unsecured baselines run with no
+enclave at all.  ``ExecutionEnv`` captures these choices so the generic
+LSM engine (:mod:`repro.lsm`) stays placement-agnostic:
+
+* with an enclave, file system calls cross the boundary as OCalls and
+  trusted metadata is accounted in enclave regions;
+* without one, the same calls charge only untrusted costs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import ContextManager, Iterator
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.disk import SimDisk
+from repro.sgx.boundary import WorldBoundary
+from repro.sgx.enclave import Enclave
+
+
+class ExecutionEnv:
+    """Bundles clock, costs, disk, and the (optional) enclave."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        costs: CostModel,
+        disk: SimDisk,
+        enclave: Enclave | None = None,
+        boundary: WorldBoundary | None = None,
+    ) -> None:
+        self.clock = clock
+        self.costs = costs
+        self.disk = disk
+        self.enclave = enclave
+        if enclave is not None and boundary is None:
+            boundary = WorldBoundary(clock, costs)
+        self.boundary = boundary
+
+    @property
+    def in_enclave(self) -> bool:
+        """True when the store's code runs inside an enclave."""
+        return self.enclave is not None
+
+    # ------------------------------------------------------------------
+    # Boundary crossings
+    # ------------------------------------------------------------------
+    def op_call(self, name: str = "", in_bytes: int = 0, out_bytes: int = 0) -> ContextManager[None]:
+        """The application-level ECall wrapping one PUT/GET/SCAN."""
+        if self.boundary is None:
+            return nullcontext()
+        return self.boundary.ecall(name, in_bytes=in_bytes, out_bytes=out_bytes)
+
+    @contextmanager
+    def _syscall(self, name: str, in_bytes: int = 0, out_bytes: int = 0) -> Iterator[None]:
+        """A file-system call; an OCall when running inside the enclave."""
+        if self.boundary is None:
+            yield
+            return
+        with self.boundary.ocall(name, in_bytes=in_bytes, out_bytes=out_bytes):
+            yield
+
+    # ------------------------------------------------------------------
+    # File system (as seen by the store's code)
+    # ------------------------------------------------------------------
+    def file_create(self, name: str) -> None:
+        """Create a file (an OCall when inside the enclave)."""
+        with self._syscall("create"):
+            self.disk.create(name)
+
+    def file_delete(self, name: str) -> None:
+        """Delete a file (an OCall when inside the enclave)."""
+        with self._syscall("unlink"):
+            self.disk.delete(name)
+
+    def file_write(self, name: str, data: bytes) -> None:
+        """Create-or-replace a file (SSTable output)."""
+        with self._syscall("write", in_bytes=len(data)):
+            self.disk.write_file(name, data)
+
+    def file_append(self, name: str, data: bytes) -> int:
+        """Append to a file (an OCall when inside the enclave)."""
+        with self._syscall("append", in_bytes=len(data)):
+            return self.disk.append(name, data)
+
+    def file_read(self, name: str, offset: int, length: int, mmap: bool = False) -> bytes:
+        """Read file bytes.
+
+        The mmap path models eLSM-P2-mmap: after the initial mapping, the
+        enclave reads the untrusted mapping directly with no OCall.  The
+        syscall path pays an OCall per read when inside the enclave.
+        """
+        if mmap:
+            return self.disk.read_mmap(name, offset, length)
+        with self._syscall("read", out_bytes=length):
+            return self.disk.read(name, offset, length)
+
+    def file_fsync(self, name: str) -> None:
+        """fsync a file (an OCall when inside the enclave)."""
+        with self._syscall("fsync"):
+            self.disk.fsync(name)
+
+    def file_exists(self, name: str) -> bool:
+        """Existence check against the simulated disk."""
+        return self.disk.exists(name)
+
+    # ------------------------------------------------------------------
+    # Trusted metadata accounting (no-ops without an enclave)
+    # ------------------------------------------------------------------
+    def meta_region(self, region: str) -> None:
+        """Ensure a named enclave region exists for metadata accounting."""
+        if self.enclave is not None and not self.enclave.has_region(region):
+            self.enclave.alloc(region, 0)
+
+    def meta_grow(self, region: str, nbytes: int) -> None:
+        """Grow an enclave metadata region (no-op without an enclave)."""
+        if self.enclave is not None:
+            self.enclave.grow(region, nbytes)
+
+    def meta_reset(self, region: str) -> None:
+        """Empty an enclave metadata region (no-op without an enclave)."""
+        if self.enclave is not None:
+            self.enclave.reset_region(region)
+
+    def meta_touch(
+        self, region: str, offset: int, nbytes: int, write: bool = False
+    ) -> None:
+        """Access enclave metadata, paying paging costs as needed."""
+        if self.enclave is not None:
+            self.enclave.touch(region, offset, nbytes, write=write)
+
+    def trusted_hash(self, nbytes: int) -> None:
+        """Charge a hash computed by trusted code (enclave or client)."""
+        self.clock.charge("hash", self.costs.hash_cost(nbytes))
+
+    def trusted_cipher(self, nbytes: int) -> None:
+        """Charge an encryption/decryption performed by trusted code."""
+        self.clock.charge("crypto", self.costs.encrypt_cost(nbytes))

@@ -1,0 +1,71 @@
+"""SGX sealing: persist enclave secrets to untrusted storage.
+
+A real enclave seals state with a key derived from the CPU and its own
+measurement, so only the same enclave on the same machine can unseal it.
+eLSM uses sealing to persist its trusted digests (per-level Merkle roots,
+the WAL digest, the rollback anchor) across restarts.  Sealing alone does
+NOT prevent rollback — an old sealed blob still unseals — which is why the
+paper pairs it with a trusted monotonic counter (Section 5.6.1).
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """An opaque sealed payload as stored on untrusted media."""
+
+    ciphertext: bytes
+    mac: bytes
+    measurement: bytes
+
+
+class SealError(RuntimeError):
+    """Raised when unsealing fails (tampered blob or wrong enclave)."""
+
+
+def _keystream(key: bytes, nbytes: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < nbytes:
+        out += hashlib.sha256(key + counter.to_bytes(8, "little")).digest()
+        counter += 1
+    return bytes(out[:nbytes])
+
+
+def seal(enclave: "Enclave", payload: dict[str, Any]) -> SealedBlob:  # noqa: F821
+    """Seal a JSON-serialisable payload under the enclave's sealing key."""
+    plaintext = json.dumps(payload, sort_keys=True).encode()
+    body = bytes(
+        a ^ b for a, b in zip(plaintext, _keystream(enclave.sealing_key, len(plaintext)))
+    )
+    mac = hmac.new(enclave.sealing_key, enclave.measurement + body, hashlib.sha256).digest()
+    enclave.compute_cipher(len(plaintext))
+    enclave.compute_hash(len(body))
+    return SealedBlob(ciphertext=body, mac=mac, measurement=enclave.measurement)
+
+
+def unseal(enclave: "Enclave", blob: SealedBlob) -> dict[str, Any]:  # noqa: F821
+    """Unseal a blob; fails if it was tampered with or sealed elsewhere."""
+    if blob.measurement != enclave.measurement:
+        raise SealError("sealed by a different enclave identity")
+    expect = hmac.new(
+        enclave.sealing_key, enclave.measurement + blob.ciphertext, hashlib.sha256
+    ).digest()
+    if not hmac.compare_digest(expect, blob.mac):
+        raise SealError("sealed blob failed authentication")
+    plaintext = bytes(
+        a ^ b
+        for a, b in zip(
+            blob.ciphertext, _keystream(enclave.sealing_key, len(blob.ciphertext))
+        )
+    )
+    enclave.compute_cipher(len(plaintext))
+    enclave.compute_hash(len(blob.ciphertext))
+    return json.loads(plaintext.decode())

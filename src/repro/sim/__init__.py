@@ -1,0 +1,16 @@
+"""Simulation substrate: clock, cost model, scaling, and disk.
+
+eLSM's evaluation ran on SGX hardware; this package replaces the hardware
+with a discrete-cost simulation.  Every performance-relevant event (page
+fault, world switch, memory copy, disk seek, hash) charges microseconds to
+a shared :class:`~repro.sim.clock.SimClock` according to a calibrated
+:class:`~repro.sim.costs.CostModel`.  Benchmarks report simulated latency,
+which preserves the paper's comparative shapes.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.disk import SimDisk, SimFile
+from repro.sim.scale import ScaleConfig
+
+__all__ = ["SimClock", "CostModel", "SimDisk", "SimFile", "ScaleConfig"]

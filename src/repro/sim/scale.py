@@ -1,0 +1,80 @@
+"""Experiment scaling between paper sizes and tractable simulated sizes.
+
+The paper's datasets are 0.6-5 GB with a 128 MB EPC.  Running gigabytes of
+records through pure Python is infeasible, so every experiment scales all
+byte quantities (EPC, dataset, buffer sizes, RAM) by one common factor.
+Because the EPC and the datasets scale together, crossover points — such
+as the paging cliff when a buffer exceeds the EPC — stay at the same
+relative position, which is what the paper's figures show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+#: Paper constants (Section 4.2 / Appendix A): SGX1 protected memory.
+PAPER_EPC_BYTES = 128 * MB
+#: The paper's testbed RAM (16 GB laptop).
+PAPER_RAM_BYTES = 16 * GB
+#: Default record shape in the paper's YCSB runs (Section 6.1).
+PAPER_KEY_BYTES = 16
+PAPER_VALUE_BYTES = 100
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Maps paper byte-sizes onto scaled simulation byte-sizes.
+
+    ``factor`` is the scale ratio; 1/256 turns the 128 MB EPC into 512 KB
+    and a "3 GB" dataset into 12 MB (~100k records).
+    """
+
+    factor: float = 1.0 / 256.0
+    key_bytes: int = PAPER_KEY_BYTES
+    value_bytes: int = PAPER_VALUE_BYTES
+
+    def scale_bytes(self, paper_bytes: float) -> int:
+        """Scaled simulation size for a size quoted in the paper."""
+        return max(1, int(paper_bytes * self.factor))
+
+    @property
+    def epc_bytes(self) -> int:
+        """Scaled EPC (enclave protected memory) size."""
+        return self.scale_bytes(PAPER_EPC_BYTES)
+
+    @property
+    def ram_bytes(self) -> int:
+        """Scaled untrusted RAM (bounds the kernel page cache)."""
+        return self.scale_bytes(PAPER_RAM_BYTES)
+
+    @property
+    def record_bytes(self) -> int:
+        """Approximate on-disk bytes of one key-value record."""
+        return self.key_bytes + self.value_bytes
+
+    def records_for(self, paper_bytes: float) -> int:
+        """Number of records that make up a dataset of ``paper_bytes``."""
+        return max(1, self.scale_bytes(paper_bytes) // self.record_bytes)
+
+    def label(self, paper_bytes: float) -> str:
+        """Human-readable "paper size (scaled size)" label for tables."""
+        scaled = self.scale_bytes(paper_bytes)
+        return f"{_fmt_bytes(paper_bytes)} ({_fmt_bytes(scaled)} scaled)"
+
+
+def _fmt_bytes(n: float) -> str:
+    """Format a byte count the way the paper's axes do (MB / GB)."""
+    if n >= GB:
+        value = n / GB
+        unit = "GB"
+    elif n >= MB:
+        value = n / MB
+        unit = "MB"
+    else:
+        value = n / 1024
+        unit = "KB"
+    text = f"{value:.1f}".rstrip("0").rstrip(".")
+    return f"{text}{unit}"

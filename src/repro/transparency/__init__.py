@@ -1,0 +1,21 @@
+"""Certificate Transparency case study (Section 5.7).
+
+eLSM as a trustworthy CT log server: log servers ingest an intensive
+certificate stream, auditors validate single certificates with verified
+inclusion proofs, and per-domain monitors download only their own
+certificates (sublinear bandwidth) — all without gossip or replica
+quorums, because the enclave's digest forest replaces them.
+"""
+
+from repro.transparency.certs import Certificate, CertificateStream
+from repro.transparency.log_server import CTLogServer
+from repro.transparency.auditor import LogAuditor
+from repro.transparency.monitor import DomainMonitor
+
+__all__ = [
+    "Certificate",
+    "CertificateStream",
+    "CTLogServer",
+    "LogAuditor",
+    "DomainMonitor",
+]

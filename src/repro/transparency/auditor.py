@@ -1,0 +1,66 @@
+"""The log auditor: validates the certificate a TLS handshake presented.
+
+"A log auditor running along with a web browser needs to validate the
+certificate being used by the browser.  Given a certificate, the log
+auditor queries the log server for a proof of inclusion of the
+certificate in the CT log" (Section 5.7).  With eLSM the heavy proof
+verification already happened inside the enclave; the auditor only has
+to compare fingerprints and check freshness/revocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.transparency.certs import Certificate
+from repro.transparency.log_server import CTLogServer
+
+
+@dataclass
+class AuditReport:
+    """Outcome of auditing one presented certificate."""
+
+    hostname: str
+    included: bool
+    current: bool  # the presented cert is the *latest* logged one
+    revoked: bool
+    proof_bytes: int
+    notes: list[str] = field(default_factory=list)
+
+
+class LogAuditor:
+    """Audits presented certificates against the eLSM-backed log."""
+
+    def __init__(self, log: CTLogServer) -> None:
+        self.log = log
+        self.audits = 0
+
+    def audit(self, presented: Certificate) -> AuditReport:
+        """Check the presented certificate's inclusion and currency."""
+        self.audits += 1
+        result = self.log.lookup(presented.hostname)
+        notes: list[str] = []
+        if result.fingerprint is None:
+            notes.append("hostname absent or revoked in the log")
+            return AuditReport(
+                hostname=presented.hostname,
+                included=False,
+                current=False,
+                revoked=result.timestamp is None and result.fingerprint is None,
+                proof_bytes=result.proof_bytes,
+                notes=notes,
+            )
+        current = result.fingerprint == presented.fingerprint
+        if not current:
+            notes.append(
+                "presented certificate is not the latest logged one "
+                "(possible use of a superseded/rotated certificate)"
+            )
+        return AuditReport(
+            hostname=presented.hostname,
+            included=current,
+            current=current,
+            revoked=False,
+            proof_bytes=result.proof_bytes,
+            notes=notes,
+        )

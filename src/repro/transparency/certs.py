@@ -1,0 +1,83 @@
+"""Synthetic certificate streams.
+
+The paper's prototype downloads certificates from Google's CT pilot log;
+that data source is unavailable offline, so we synthesise an equivalent
+stream: hostname popularity follows a Zipfian distribution over domains
+(busy CAs re-issue for the same hosts — this is what exercises the
+same-key hash chains), issuance is an intensive append stream of small
+records, and each certificate is identified by the hash of its DER bytes
+(the paper stores "the hash of the certificate" as the value).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.ycsb.distributions import ZipfianGenerator
+
+_TLDS = ("com", "org", "net", "io", "dev")
+_ISSUERS = ("LetsEncrypt", "DigiCert", "Sectigo", "GlobalSign")
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A simplified X.509 certificate."""
+
+    hostname: str
+    serial: int
+    issuer: str
+    not_before: int
+    not_after: int
+    der: bytes
+
+    @property
+    def fingerprint(self) -> bytes:
+        return hashlib.sha256(self.der).digest()
+
+    @property
+    def log_key(self) -> bytes:
+        """The CT-log data key: the hostname (the paper's choice)."""
+        return self.hostname.encode()
+
+
+class CertificateStream:
+    """Generates an issuance stream with Zipfian hostname popularity."""
+
+    def __init__(self, domain_count: int = 1000, seed: int = 7) -> None:
+        self.domain_count = domain_count
+        self._rng = random.Random(seed)
+        self._popularity = ZipfianGenerator(domain_count, seed=seed)
+        self._serial = 0
+        self._now = 1_600_000_000  # seconds; advances per issuance
+
+    def hostname(self, index: int) -> str:
+        """Deterministic hostname for a domain index."""
+        tld = _TLDS[index % len(_TLDS)]
+        return f"host{index:06d}.example.{tld}"
+
+    def issue(self) -> Certificate:
+        """Issue the next certificate (intensive small-write stream)."""
+        index = self._popularity.next()
+        self._serial += 1
+        self._now += self._rng.randint(1, 30)
+        hostname = self.hostname(index)
+        issuer = self._rng.choice(_ISSUERS)
+        der = hashlib.sha256(
+            f"{hostname}|{self._serial}|{issuer}".encode()
+        ).digest() + self._rng.randbytes(64)
+        return Certificate(
+            hostname=hostname,
+            serial=self._serial,
+            issuer=issuer,
+            not_before=self._now,
+            not_after=self._now + 90 * 24 * 3600,
+            der=der,
+        )
+
+    def stream(self, count: int) -> Iterator[Certificate]:
+        """Yield the next `count` issued certificates."""
+        for _ in range(count):
+            yield self.issue()

@@ -1,0 +1,53 @@
+"""YCSB workload generator and runner (Cooper et al., SoCC'10).
+
+A faithful re-implementation of the YCSB core pieces the paper's
+evaluation uses: the Zipfian/scrambled-Zipfian/latest/uniform request
+distributions, the standard workload mixes A-F, the load/run phases, and
+latency statistics — measured on the *simulated* clock.
+"""
+
+from repro.ycsb.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.ycsb.workload import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    CoreWorkload,
+    Operation,
+    WorkloadSpec,
+    mixed_workload,
+    read_only_workload,
+    write_only_workload,
+)
+from repro.ycsb.runner import RunResult, load_phase, run_phase
+from repro.ycsb.stats import LatencyStats
+
+__all__ = [
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "LatestGenerator",
+    "WorkloadSpec",
+    "CoreWorkload",
+    "Operation",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_D",
+    "WORKLOAD_E",
+    "WORKLOAD_F",
+    "read_only_workload",
+    "write_only_workload",
+    "mixed_workload",
+    "load_phase",
+    "run_phase",
+    "RunResult",
+    "LatencyStats",
+]

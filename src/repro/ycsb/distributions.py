@@ -1,0 +1,133 @@
+"""YCSB request-key distributions.
+
+Ports of the generators in the YCSB core package:
+
+* ``UniformGenerator`` — uniform over [0, n);
+* ``ZipfianGenerator`` — the Gray et al. "Quickly generating
+  billion-record synthetic databases" rejection-free algorithm YCSB
+  uses, with the standard constant 0.99;
+* ``ScrambledZipfianGenerator`` — Zipfian popularity spread over the
+  keyspace by an FNV hash (so popular keys are not clustered);
+* ``LatestGenerator`` — Zipfian over recency: the most recently inserted
+  records are the most popular (the paper's "Latest" in Figure 5c).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv64(value: int) -> int:
+    """FNV-1 64-bit hash of an integer, as in YCSB's Utils.fnvhash64."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        octet = value & 0xFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        h ^= octet
+        value >>= 8
+    return h
+
+
+class UniformGenerator:
+    """Uniform choice over [0, item_count)."""
+
+    def __init__(self, item_count: int, seed: int = 0) -> None:
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        self.item_count = item_count
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        """Next uniformly-chosen key index."""
+        return self._rng.randrange(self.item_count)
+
+
+class ZipfianGenerator:
+    """YCSB's ZipfianGenerator (Gray et al. algorithm)."""
+
+    ZIPFIAN_CONSTANT = 0.99
+
+    def __init__(
+        self,
+        item_count: int,
+        theta: float = ZIPFIAN_CONSTANT,
+        seed: int = 0,
+    ) -> None:
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        self.item_count = item_count
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self.alpha = 1.0 / (1.0 - theta)
+        self.zeta2 = self._zeta(2, theta)
+        self.zetan = self._zeta(item_count, theta)
+        self.eta = (1 - (2.0 / item_count) ** (1 - theta)) / (
+            1 - self.zeta2 / self.zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        """Next zipf-distributed rank (0 = most popular)."""
+        u = self._rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + math.pow(0.5, self.theta):
+            return 1
+        return int(self.item_count * math.pow(self.eta * u - self.eta + 1, self.alpha))
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity scattered across the keyspace by FNV hashing."""
+
+    def __init__(self, item_count: int, seed: int = 0) -> None:
+        self.item_count = item_count
+        self._zipf = ZipfianGenerator(item_count, seed=seed)
+
+    def next(self) -> int:
+        """Next zipf-popular key index, scattered by FNV."""
+        return fnv64(self._zipf.next()) % self.item_count
+
+
+class LatestGenerator:
+    """Skewed towards the most recently inserted records.
+
+    ``insert_count`` is a callable so the generator always sees the live
+    record count while inserts keep happening during the run phase.
+    """
+
+    def __init__(self, insert_count, seed: int = 0) -> None:
+        self._insert_count = insert_count
+        self._rng = random.Random(seed)
+        self._zipf_cache: ZipfianGenerator | None = None
+        self._zipf_n = 0
+
+    def next(self) -> int:
+        """Next key index, skewed towards the most recent inserts."""
+        count = max(1, int(self._insert_count()))
+        if self._zipf_cache is None or self._zipf_n != count:
+            # Re-deriving zeta(n) incrementally keeps this O(delta).
+            if self._zipf_cache is not None and count > self._zipf_n:
+                extra = sum(
+                    1.0 / (i ** self._zipf_cache.theta)
+                    for i in range(self._zipf_n + 1, count + 1)
+                )
+                self._zipf_cache.zetan += extra
+                self._zipf_cache.item_count = count
+                self._zipf_cache.eta = (
+                    1 - (2.0 / count) ** (1 - self._zipf_cache.theta)
+                ) / (1 - self._zipf_cache.zeta2 / self._zipf_cache.zetan)
+            else:
+                self._zipf_cache = ZipfianGenerator(
+                    count, seed=self._rng.randrange(1 << 30)
+                )
+            self._zipf_n = count
+        offset = self._zipf_cache.next()
+        return max(0, count - 1 - offset)

@@ -1,0 +1,68 @@
+"""Latency statistics over simulated microseconds."""
+
+from __future__ import annotations
+
+import math
+
+
+class LatencyStats:
+    """Collects per-operation latencies and summarises them."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._sorted: list[float] | None = None
+
+    def add(self, micros: float) -> None:
+        """Record one latency sample (microseconds)."""
+        self._samples.append(micros)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def stdev(self) -> float:
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / (n - 1))
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = max(0, min(len(self._sorted) - 1, math.ceil(p / 100.0 * len(self._sorted)) - 1))
+        return self._sorted[rank]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def merge(self, other: "LatencyStats") -> None:
+        """Fold another stats object's samples into this one."""
+        self._samples.extend(other._samples)
+        self._sorted = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyStats(n={self.count}, mean={self.mean:.1f}us, "
+            f"p95={self.p95:.1f}us)"
+        )

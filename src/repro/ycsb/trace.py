@@ -1,0 +1,102 @@
+"""Workload traces: record once, replay identically everywhere.
+
+Generators with a fixed seed are *almost* reproducible across systems —
+but stateful distributions (Latest) and insert ops couple the sequence
+to the store's behaviour.  A trace freezes the exact operation sequence
+so each compared system sees byte-identical requests, and a saved trace
+makes an experiment independently re-runnable.
+
+The on-disk format is one op per line (host filesystem, not the
+simulated disk): ``read 42``, ``update 7``, ``insert 100``,
+``scan 13 25``, ``readmodifywrite 5``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.ycsb.stats import LatencyStats
+from repro.ycsb.runner import RunResult
+from repro.ycsb.workload import (
+    OP_INSERT,
+    OP_READ,
+    OP_RMW,
+    OP_SCAN,
+    OP_UPDATE,
+    CoreWorkload,
+    Operation,
+)
+
+_KINDS = {OP_READ, OP_UPDATE, OP_INSERT, OP_SCAN, OP_RMW}
+
+
+def record_trace(workload: CoreWorkload, operations: int) -> list[Operation]:
+    """Draw ``operations`` ops from the workload and freeze them."""
+    return [workload.next_op() for _ in range(operations)]
+
+
+def save_trace(path: str | Path, trace: Iterable[Operation]) -> Path:
+    """Write a trace to a host file, one op per line."""
+    out = Path(path)
+    lines = []
+    for op in trace:
+        if op.kind == OP_SCAN:
+            lines.append(f"{op.kind} {op.key_index} {op.scan_length}")
+        else:
+            lines.append(f"{op.kind} {op.key_index}")
+    out.write_text("\n".join(lines) + "\n")
+    return out
+
+
+def load_trace(path: str | Path) -> list[Operation]:
+    """Parse a trace file (strict; raises ValueError on bad lines)."""
+    trace: list[Operation] = []
+    for line_no, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] not in _KINDS or len(parts) not in (2, 3):
+            raise ValueError(f"bad trace line {line_no}: {line!r}")
+        kind = parts[0]
+        key_index = int(parts[1])
+        scan_length = int(parts[2]) if len(parts) == 3 else 0
+        if kind == OP_SCAN and scan_length <= 0:
+            raise ValueError(f"scan without a length at line {line_no}")
+        trace.append(Operation(kind, key_index, scan_length))
+    return trace
+
+
+def replay_trace(
+    store, workload: CoreWorkload, trace: Iterable[Operation]
+) -> RunResult:
+    """Replay a frozen trace; measures simulated per-op latency."""
+    clock = store.clock
+    result = RunResult(
+        workload=f"{workload.spec.name} (trace)", operations=0, duration_us=0.0
+    )
+    start = clock.now_us
+    version = 1
+    for op in trace:
+        key = workload.key(op.key_index)
+        before = clock.now_us
+        if op.kind == OP_READ:
+            store.get(key)
+        elif op.kind == OP_UPDATE:
+            store.put(key, workload.value(op.key_index, version))
+            version += 1
+        elif op.kind == OP_INSERT:
+            store.put(key, workload.value(op.key_index))
+        elif op.kind == OP_SCAN:
+            store.scan(key, workload.key(op.key_index + op.scan_length))
+        elif op.kind == OP_RMW:
+            store.get(key)
+            store.put(key, workload.value(op.key_index, version))
+            version += 1
+        elapsed = clock.lap(before)
+        result.per_op.setdefault(op.kind, LatencyStats()).add(elapsed)
+        result.overall.add(elapsed)
+        result.operations += 1
+    result.duration_us = clock.now_us - start
+    return result

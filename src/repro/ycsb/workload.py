@@ -1,0 +1,199 @@
+"""YCSB CoreWorkload: operation mixes and key/value synthesis.
+
+Standard workloads (YCSB wiki, used by the paper's Section 6):
+
+=========  =========================  ==================
+Workload   Mix                        Request distribution
+=========  =========================  ==================
+A          50% read / 50% update      zipfian
+B          95% read / 5% update       zipfian
+C          100% read                  zipfian
+D          95% read / 5% insert       latest
+E          95% scan / 5% insert       zipfian
+F          50% read / 50% RMW         zipfian
+=========  =========================  ==================
+
+The paper additionally sweeps the read percentage with a *uniform*
+distribution (Figure 5a) and uses read-only / write-only mixes
+(Figures 6, 7) — :func:`mixed_workload`, :func:`read_only_workload`,
+:func:`write_only_workload`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, replace
+
+from repro.ycsb.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+DIST_UNIFORM = "uniform"
+DIST_ZIPFIAN = "zipfian"
+DIST_LATEST = "latest"
+
+OP_READ = "read"
+OP_UPDATE = "update"
+OP_INSERT = "insert"
+OP_SCAN = "scan"
+OP_RMW = "readmodifywrite"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A YCSB workload definition."""
+
+    name: str
+    read_prop: float = 0.0
+    update_prop: float = 0.0
+    insert_prop: float = 0.0
+    scan_prop: float = 0.0
+    rmw_prop: float = 0.0
+    request_dist: str = DIST_ZIPFIAN
+    max_scan_len: int = 100
+    key_width: int = 16
+    value_bytes: int = 100
+
+    def __post_init__(self) -> None:
+        total = (
+            self.read_prop
+            + self.update_prop
+            + self.insert_prop
+            + self.scan_prop
+            + self.rmw_prop
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation mix must sum to 1, got {total}")
+        if self.request_dist not in (DIST_UNIFORM, DIST_ZIPFIAN, DIST_LATEST):
+            raise ValueError(f"unknown distribution {self.request_dist}")
+
+
+WORKLOAD_A = WorkloadSpec("A", read_prop=0.5, update_prop=0.5)
+WORKLOAD_B = WorkloadSpec("B", read_prop=0.95, update_prop=0.05)
+WORKLOAD_C = WorkloadSpec("C", read_prop=1.0)
+WORKLOAD_D = WorkloadSpec(
+    "D", read_prop=0.95, insert_prop=0.05, request_dist=DIST_LATEST
+)
+WORKLOAD_E = WorkloadSpec("E", scan_prop=0.95, insert_prop=0.05)
+WORKLOAD_F = WorkloadSpec("F", read_prop=0.5, rmw_prop=0.5)
+
+
+def read_only_workload(dist: str = DIST_UNIFORM) -> WorkloadSpec:
+    """A 100%-reads spec (Figures 2 and 6)."""
+    return WorkloadSpec("read-only", read_prop=1.0, request_dist=dist)
+
+
+def write_only_workload(dist: str = DIST_UNIFORM) -> WorkloadSpec:
+    """A 100%-updates spec (Figures 7 and 8)."""
+    return WorkloadSpec("write-only", update_prop=1.0, request_dist=dist)
+
+
+def mixed_workload(read_pct: int, dist: str = DIST_UNIFORM) -> WorkloadSpec:
+    """The Figure 5a sweep: ``read_pct`` reads, the rest updates."""
+    if not 0 <= read_pct <= 100:
+        raise ValueError("read_pct must be 0..100")
+    return WorkloadSpec(
+        f"mix-{read_pct}r",
+        read_prop=read_pct / 100.0,
+        update_prop=1.0 - read_pct / 100.0,
+        request_dist=dist,
+    )
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One generated request."""
+
+    kind: str
+    key_index: int
+    scan_length: int = 0
+
+
+class CoreWorkload:
+    """Generates the load and run phases for one workload spec."""
+
+    def __init__(
+        self, spec: WorkloadSpec, record_count: int, seed: int = 42
+    ) -> None:
+        if record_count <= 0:
+            raise ValueError("record_count must be positive")
+        self.spec = spec
+        self.record_count = record_count
+        self._insert_count = record_count
+        self._rng = random.Random(seed)
+        self._chooser = self._make_chooser(seed)
+        self._scan_rng = random.Random(seed + 1)
+
+    def _make_chooser(self, seed: int):
+        if self.spec.request_dist == DIST_UNIFORM:
+            return UniformGenerator(self.record_count, seed=seed)
+        if self.spec.request_dist == DIST_LATEST:
+            return LatestGenerator(lambda: self._insert_count, seed=seed)
+        return ScrambledZipfianGenerator(self.record_count, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Key / value synthesis
+    # ------------------------------------------------------------------
+    def key(self, index: int) -> bytes:
+        """YCSB-style fixed-width key ("user" + zero-padded id)."""
+        digits = self.spec.key_width - 4
+        return b"user" + str(index).zfill(digits).encode()
+
+    def value(self, index: int, version: int = 0) -> bytes:
+        """Deterministic pseudo-random value of the configured size."""
+        seed = f"{index}:{version}".encode()
+        out = bytearray()
+        counter = 0
+        while len(out) < self.spec.value_bytes:
+            out += hashlib.sha256(seed + counter.to_bytes(4, "little")).digest()
+            counter += 1
+        return bytes(out[: self.spec.value_bytes])
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def load_ops(self):
+        """The load phase: insert every record once, in key order."""
+        for index in range(self.record_count):
+            yield Operation(kind=OP_INSERT, key_index=index)
+
+    def next_op(self) -> Operation:
+        """One run-phase operation drawn from the configured mix."""
+        u = self._rng.random()
+        spec = self.spec
+        threshold = spec.read_prop
+        if u < threshold:
+            return Operation(OP_READ, self._choose_key())
+        threshold += spec.update_prop
+        if u < threshold:
+            return Operation(OP_UPDATE, self._choose_key())
+        threshold += spec.insert_prop
+        if u < threshold:
+            index = self._insert_count
+            self._insert_count += 1
+            return Operation(OP_INSERT, index)
+        threshold += spec.scan_prop
+        if u < threshold:
+            return Operation(
+                OP_SCAN,
+                self._choose_key(),
+                scan_length=self._scan_rng.randint(1, spec.max_scan_len),
+            )
+        return Operation(OP_RMW, self._choose_key())
+
+    def _choose_key(self) -> int:
+        index = self._chooser.next()
+        return min(index, self._insert_count - 1)
+
+    @property
+    def insert_count(self) -> int:
+        return self._insert_count
+
+
+def scaled_spec(spec: WorkloadSpec, **overrides) -> WorkloadSpec:
+    """A spec with some fields replaced (scan length, value size, ...)."""
+    return replace(spec, **overrides)

@@ -1,0 +1,100 @@
+"""Eleos baseline behaviour."""
+
+import pytest
+
+from repro.baselines.eleos import EleosCapacityError, EleosStore
+from repro.sim.scale import GB, ScaleConfig
+
+SCALE = ScaleConfig(factor=1 / 4096)
+
+
+@pytest.fixture
+def store():
+    return EleosStore(scale=SCALE)
+
+
+def test_put_get(store):
+    store.put(b"a", b"1")
+    store.put(b"b", b"2")
+    assert store.get(b"a") == b"1"
+    assert store.get(b"missing") is None
+
+
+def test_update_in_place(store):
+    store.put(b"k", b"old")
+    store.put(b"k", b"new")
+    assert store.get(b"k") == b"new"
+    assert len(store) == 1
+
+
+def test_no_version_history(store):
+    """Update-in-place: old versions are gone (unlike eLSM chains)."""
+    t1 = store.put(b"k", b"v1")
+    store.put(b"k", b"v2")
+    assert store.get(b"k", ts_query=t1) is None
+
+
+def test_delete(store):
+    store.put(b"k", b"v")
+    store.delete(b"k")
+    assert store.get(b"k") is None
+    assert len(store) == 0
+
+
+def test_scan_sorted(store):
+    for i in (3, 1, 2, 9):
+        store.put(b"k%d" % i, b"v%d" % i)
+    result = store.scan(b"k1", b"k3")
+    assert result == [(b"k1", b"v1"), (b"k2", b"v2"), (b"k3", b"v3")]
+
+
+def test_capacity_cap_enforced():
+    store = EleosStore(scale=SCALE, max_data_paper_bytes=0.001 * GB)
+    with pytest.raises(EleosCapacityError):
+        for i in range(100_000):
+            store.put(b"key%06d" % i, b"x" * 100)
+
+
+def test_updates_never_hit_capacity(store):
+    for _ in range(50):
+        store.put(b"same", b"x" * 100)
+    assert len(store) == 1
+
+
+def test_paging_beyond_epc():
+    store = EleosStore(scale=SCALE)
+    n = (2 * SCALE.epc_bytes) // store.record_bytes
+    for i in range(n):
+        store.put(b"key%06d" % i, b"x" * 100)
+    before = store.pager.fault_count
+    for i in range(0, n, 7):
+        store.get(b"key%06d" % i)
+    assert store.pager.fault_count > before
+    assert store.clock.breakdown().get("userspace_page_miss", 0) > 0
+    # Eleos avoids *hardware* paging entirely.
+    assert store.clock.breakdown().get("epc_page_fault", 0) == 0
+
+
+def test_periodic_persistence():
+    store = EleosStore(scale=SCALE, persist_every=10)
+    for i in range(25):
+        store.put(b"key%03d" % i, b"v")
+    assert store.clock.event_count("fsync") >= 2
+    store.flush()
+    assert store.disk.size("eleos/persist.log") > 0
+
+
+def test_writes_pay_lookup_probes(store):
+    """Update-in-place writes incur the location lookup (Section 3.1)."""
+    for i in range(500):
+        store.put(b"key%06d" % i, b"x")
+    touches_before = store.pager.touch_count
+    store.put(b"key%06d" % 250, b"y")  # update of an existing key
+    assert store.pager.touch_count - touches_before > 1
+
+
+def test_bad_slack_rejected():
+    with pytest.raises(ValueError):
+        EleosStore(scale=SCALE, slack=0.0)
+    with pytest.raises(ValueError):
+        EleosStore(scale=SCALE, slack=1.5)

@@ -1,0 +1,137 @@
+"""Update-in-place Merkle B+-tree baseline."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.merkle_btree import MerkleBTreeStore
+from repro.sim.scale import ScaleConfig
+
+SCALE = ScaleConfig(factor=1 / 4096)
+
+
+def make_store(fanout=8):
+    return MerkleBTreeStore(scale=SCALE, fanout=fanout)
+
+
+def test_put_get():
+    store = make_store()
+    store.put(b"a", b"1")
+    assert store.get(b"a") == b"1"
+    assert store.get(b"zz") is None
+
+
+def test_update():
+    store = make_store()
+    store.put(b"k", b"old")
+    store.put(b"k", b"new")
+    assert store.get(b"k") == b"new"
+    assert len(store) == 1
+
+
+def test_splits_preserve_all_keys():
+    store = make_store(fanout=4)
+    n = 300
+    for i in range(n):
+        store.put(b"key%04d" % i, b"v%d" % i)
+    assert len(store) == n
+    for i in range(0, n, 11):
+        assert store.get(b"key%04d" % i) == b"v%d" % i
+
+
+def test_scan_through_leaf_chain():
+    store = make_store(fanout=4)
+    for i in range(100):
+        store.put(b"key%04d" % i, b"v%d" % i)
+    result = store.scan(b"key0020", b"key0030")
+    assert [k for k, _ in result] == [b"key%04d" % i for i in range(20, 31)]
+
+
+def test_scan_ts_query():
+    store = make_store()
+    t1 = store.put(b"a", b"v1")
+    store.put(b"a", b"v2")
+    assert store.scan(b"a", b"z", ts_query=t1) == []  # overwritten in place
+
+
+def test_delete():
+    store = make_store(fanout=4)
+    for i in range(30):
+        store.put(b"key%04d" % i, b"v")
+    store.delete(b"key0005")
+    assert store.get(b"key0005") is None
+    assert len(store) == 29
+
+
+def test_root_hash_changes_on_update():
+    store = make_store()
+    store.put(b"a", b"1")
+    first = store.root_hash
+    store.put(b"b", b"2")
+    second = store.root_hash
+    store.put(b"a", b"3")
+    assert len({bytes(first), bytes(second), bytes(store.root_hash)}) == 3
+
+
+def test_proof_verifies():
+    store = make_store(fanout=4)
+    for i in range(120):
+        store.put(b"key%04d" % i, b"v%d" % i)
+    proof = store.get_with_proof(b"key0042")
+    assert proof.value == b"v42"
+    assert store.verify_proof(proof, store.root_hash)
+
+
+def test_proof_fails_against_stale_root():
+    store = make_store(fanout=4)
+    for i in range(120):
+        store.put(b"key%04d" % i, b"v")
+    stale_root = store.root_hash
+    store.put(b"key0001", b"changed")
+    proof = store.get_with_proof(b"key0042")
+    assert not store.verify_proof(proof, stale_root)
+
+
+def test_tampered_proof_fails():
+    from dataclasses import replace
+
+    store = make_store(fanout=4)
+    for i in range(120):
+        store.put(b"key%04d" % i, b"v%d" % i)
+    proof = store.get_with_proof(b"key0042")
+    values = list(proof.leaf_values)
+    values[0] = (b"FORGED", values[0][1])
+    forged = replace(proof, leaf_values=tuple(values))
+    assert not store.verify_proof(forged, store.root_hash)
+
+
+def test_writes_cost_random_disk_io():
+    store = make_store(fanout=4)
+    for i in range(200):
+        store.put(b"key%04d" % i, b"v")
+    breakdown = store.clock.breakdown()
+    assert breakdown.get("disk_write", 0) > 0
+    assert breakdown.get("disk_seek", 0) > 0
+
+
+def test_small_fanout_rejected():
+    with pytest.raises(ValueError):
+        make_store(fanout=2)
+
+
+@given(
+    st.dictionaries(
+        st.integers(0, 200), st.integers(0, 100), min_size=1, max_size=80
+    )
+)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_matches_model(data):
+    store = make_store(fanout=4)
+    for key_index, payload in data.items():
+        store.put(b"key%04d" % key_index, b"v%d" % payload)
+    for key_index, payload in data.items():
+        assert store.get(b"key%04d" % key_index) == b"v%d" % payload
+    scanned = dict(store.scan(b"key0000", b"key9999"))
+    assert scanned == {
+        b"key%04d" % k: b"v%d" % v for k, v in data.items()
+    }

@@ -1,0 +1,145 @@
+"""The authenticated COMPACTION listener in isolation."""
+
+import pytest
+
+from repro.core.auth_compaction import (
+    WAL_DIGEST_INIT,
+    AuthCompactionListener,
+    advance_wal_digest,
+)
+from repro.core.digest import DigestRegistry, LevelDigest
+from repro.core.errors import IntegrityViolation
+from repro.core.proofs import EmbeddedProof
+from repro.lsm.events import CompactionContext
+from repro.lsm.records import Record
+
+
+def rec(key, ts):
+    return Record(key=key, ts=ts, value=b"v")
+
+
+@pytest.fixture
+def listener(free_env):
+    return AuthCompactionListener(DigestRegistry(free_env), free_env)
+
+
+def flush_ctx():
+    return CompactionContext(kind="flush", input_levels=[0], output_level=1)
+
+
+def run_flush(listener, records):
+    """Drive a memtable-only flush through the listener hooks."""
+    ctx = flush_ctx()
+    listener.on_compaction_begin(ctx)
+    for record in records:
+        listener.on_compaction_input_record(ctx, 0, record)
+        listener.on_compaction_output_record(ctx, record)
+    listener.on_compaction_finish(ctx)
+    return ctx
+
+
+def test_wal_digest_chain(listener):
+    first = advance_wal_digest(WAL_DIGEST_INIT, rec(b"a", 1))
+    listener.on_wal_append(rec(b"a", 1))
+    assert listener.wal_digest == first
+    listener.on_wal_append(rec(b"b", 2))
+    assert listener.wal_digest == advance_wal_digest(first, rec(b"b", 2))
+
+
+def test_flush_installs_output_digest(listener):
+    run_flush(listener, [rec(b"a", 2), rec(b"b", 1)])
+    digest = listener.registry.get(1)
+    assert digest.leaf_count == 2
+    assert digest.record_count == 2
+    assert digest.min_key == b"a"
+    assert digest.max_key == b"b"
+
+
+def test_compaction_verifies_untrusted_inputs(listener):
+    run_flush(listener, [rec(b"a", 2), rec(b"b", 1)])
+    # Now merge level 1 into level 2 with honest inputs.
+    ctx = CompactionContext(kind="compaction", input_levels=[1], output_level=2)
+    listener.on_compaction_begin(ctx)
+    for record in (rec(b"a", 2), rec(b"b", 1)):
+        listener.on_compaction_input_record(ctx, 1, record)
+        listener.on_compaction_output_record(ctx, record)
+    listener.on_compaction_finish(ctx)
+    assert listener.registry.get(1).is_empty
+    assert listener.registry.get(2).leaf_count == 2
+
+
+def test_compaction_rejects_tampered_inputs(listener):
+    run_flush(listener, [rec(b"a", 2), rec(b"b", 1)])
+    ctx = CompactionContext(kind="compaction", input_levels=[1], output_level=2)
+    listener.on_compaction_begin(ctx)
+    evil = Record(key=b"a", ts=2, value=b"TAMPERED")
+    listener.on_compaction_input_record(ctx, 1, evil)
+    listener.on_compaction_input_record(ctx, 1, rec(b"b", 1))
+    listener.on_compaction_output_record(ctx, evil)
+    with pytest.raises(IntegrityViolation):
+        listener.on_compaction_finish(ctx)
+
+
+def test_compaction_rejects_omitted_inputs(listener):
+    run_flush(listener, [rec(b"a", 2), rec(b"b", 1)])
+    ctx = CompactionContext(kind="compaction", input_levels=[1], output_level=2)
+    listener.on_compaction_begin(ctx)
+    listener.on_compaction_input_record(ctx, 1, rec(b"a", 2))  # b omitted
+    listener.on_compaction_output_record(ctx, rec(b"a", 2))
+    with pytest.raises(IntegrityViolation):
+        listener.on_compaction_finish(ctx)
+
+
+def test_embedded_proofs_cursor(listener):
+    records = [rec(b"a", 5), rec(b"b", 9), rec(b"b", 3), rec(b"c", 1)]
+    ctx = run_flush(listener, records)
+    entries = listener.on_table_file_created(ctx, [(r, b"") for r in records])
+    proofs = [EmbeddedProof.deserialize(aux) for _, aux in entries]
+    assert [p.leaf_index for p in proofs] == [0, 1, 1, 2]
+    assert [p.position for p in proofs] == [0, 0, 1, 0]
+    assert proofs[1].older_digest is not None  # b@9 has an older suffix
+    assert proofs[2].older_digest is None  # b@3 is the oldest
+
+
+def test_embedded_proofs_span_multiple_files(listener):
+    records = [rec(b"a", 5), rec(b"b", 9), rec(b"c", 1)]
+    ctx = run_flush(listener, records)
+    first = listener.on_table_file_created(ctx, [(records[0], b"")])
+    rest = listener.on_table_file_created(ctx, [(r, b"") for r in records[1:]])
+    indices = [
+        EmbeddedProof.deserialize(aux).leaf_index for _, aux in first + rest
+    ]
+    assert indices == [0, 1, 2]
+
+
+def test_embedding_rejects_diverging_records(listener):
+    records = [rec(b"a", 5)]
+    ctx = run_flush(listener, records)
+    with pytest.raises(IntegrityViolation):
+        listener.on_table_file_created(ctx, [(rec(b"z", 99), b"")])
+
+
+def test_embed_disabled(free_env):
+    listener = AuthCompactionListener(
+        DigestRegistry(free_env), free_env, embed_proofs=False
+    )
+    records = [rec(b"a", 5)]
+    ctx = run_flush(listener, records)
+    entries = listener.on_table_file_created(ctx, [(records[0], b"")])
+    assert entries[0][1] == b""
+
+
+def test_level_inserted_shifts_registry(listener):
+    run_flush(listener, [rec(b"a", 1)])
+    old = listener.registry.get(1)
+    listener.on_level_inserted(1)
+    assert listener.registry.get(1).is_empty
+    assert listener.registry.get(2) == old
+    assert listener.level_trees.get(2) is not None
+
+
+def test_trusted_memtable_not_verified(listener):
+    """Level-0 input needs no digester (it never left the enclave)."""
+    ctx = flush_ctx()
+    listener.on_compaction_begin(ctx)
+    assert ctx.state["input_digesters"] == {}

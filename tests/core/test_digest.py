@@ -1,0 +1,87 @@
+"""The trusted digest registry."""
+
+from repro.core.auth_compaction import WAL_DIGEST_INIT
+from repro.core.digest import DigestRegistry, LevelDigest
+from repro.mht.merkle import EMPTY_ROOT
+
+
+def digest(root=b"\x01" * 32, leaves=3, lo=b"a", hi=b"z"):
+    return LevelDigest(
+        root=root, leaf_count=leaves, record_count=leaves, min_key=lo, max_key=hi
+    )
+
+
+def test_default_is_empty():
+    registry = DigestRegistry()
+    assert registry.get(5).is_empty
+    assert registry.get(5).root == EMPTY_ROOT
+
+
+def test_set_get_clear():
+    registry = DigestRegistry()
+    registry.set(1, digest())
+    assert not registry.get(1).is_empty
+    registry.clear(1)
+    assert registry.get(1).is_empty
+
+
+def test_nonempty_levels_sorted():
+    registry = DigestRegistry()
+    registry.set(3, digest())
+    registry.set(1, digest())
+    registry.set(2, LevelDigest.empty())
+    assert registry.nonempty_levels() == [1, 3]
+
+
+def test_shift_deeper():
+    registry = DigestRegistry()
+    registry.set(1, digest(root=b"\x01" * 32))
+    registry.set(2, digest(root=b"\x02" * 32))
+    registry.shift_deeper(1)
+    assert registry.get(1).is_empty
+    assert registry.get(2).root == b"\x01" * 32
+    assert registry.get(3).root == b"\x02" * 32
+
+
+def test_excludes_key():
+    d = digest(lo=b"c", hi=b"m")
+    assert d.excludes_key(b"a")
+    assert d.excludes_key(b"z")
+    assert not d.excludes_key(b"g")
+    assert LevelDigest.empty().excludes_key(b"anything")
+
+
+def test_excludes_range():
+    d = digest(lo=b"c", hi=b"m")
+    assert d.excludes_range(b"n", b"z")
+    assert d.excludes_range(b"a", b"b")
+    assert not d.excludes_range(b"a", b"d")
+    assert not d.excludes_range(b"k", b"z")
+
+
+def test_dataset_hash_changes_with_state():
+    registry = DigestRegistry()
+    empty = registry.dataset_hash(WAL_DIGEST_INIT)
+    registry.set(1, digest())
+    one_level = registry.dataset_hash(WAL_DIGEST_INIT)
+    assert empty != one_level
+    assert one_level != registry.dataset_hash(b"\x05" * 32)
+
+
+def test_dataset_hash_depends_on_level_position():
+    a = DigestRegistry()
+    a.set(1, digest())
+    b = DigestRegistry()
+    b.set(2, digest())
+    assert a.dataset_hash(WAL_DIGEST_INIT) != b.dataset_hash(WAL_DIGEST_INIT)
+
+
+def test_payload_roundtrip():
+    registry = DigestRegistry()
+    registry.set(1, digest())
+    registry.set(4, LevelDigest.empty())
+    restored = DigestRegistry()
+    restored.load_payload(registry.to_payload())
+    assert restored.get(1) == registry.get(1)
+    assert restored.get(4) == registry.get(4)
+    assert restored.nonempty_levels() == registry.nonempty_levels()

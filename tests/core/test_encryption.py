@@ -1,0 +1,78 @@
+"""KeyValueCodec: the confidentiality layer in isolation."""
+
+import pytest
+
+from repro.core.encryption import (
+    MODE_DETERMINISTIC,
+    MODE_ORDER_PRESERVING,
+    MODE_PLAIN,
+    KeyValueCodec,
+)
+
+SECRET = b"a-32-byte-test-secret-material!!"
+
+
+def test_plain_codec_is_identity():
+    codec = KeyValueCodec(MODE_PLAIN)
+    assert codec.encode_key(b"k") == b"k"
+    assert codec.decode_key(b"k") == b"k"
+    assert codec.encode_value(b"v") == b"v"
+    assert codec.decode_value(b"v") == b"v"
+    assert codec.supports_range
+    assert codec.encode_range(b"a", b"z") == (b"a", b"z")
+
+
+def test_de_codec_roundtrip():
+    codec = KeyValueCodec(MODE_DETERMINISTIC, SECRET)
+    stored = codec.encode_key(b"hostname")
+    assert stored != b"hostname"
+    assert codec.decode_key(stored) == b"hostname"
+    value = codec.encode_value(b"secret")
+    assert codec.decode_value(value) == b"secret"
+
+
+def test_de_codec_is_deterministic():
+    codec = KeyValueCodec(MODE_DETERMINISTIC, SECRET)
+    assert codec.encode_key(b"same") == codec.encode_key(b"same")
+
+
+def test_de_codec_values_are_probabilistic():
+    codec = KeyValueCodec(MODE_DETERMINISTIC, SECRET)
+    assert codec.encode_value(b"same") != codec.encode_value(b"same")
+
+
+def test_de_codec_rejects_ranges():
+    codec = KeyValueCodec(MODE_DETERMINISTIC, SECRET)
+    assert not codec.supports_range
+    with pytest.raises(ValueError):
+        codec.encode_range(b"a", b"z")
+
+
+def test_ope_codec_preserves_order():
+    codec = KeyValueCodec(MODE_ORDER_PRESERVING, SECRET)
+    keys = [b"apple", b"banana", b"cherry"]
+    encoded = [codec.encode_key(k) for k in keys]
+    assert encoded == sorted(encoded)
+    for key, enc in zip(keys, encoded):
+        assert codec.decode_key(enc) == key
+
+
+def test_ope_codec_range_bounds():
+    codec = KeyValueCodec(MODE_ORDER_PRESERVING, SECRET)
+    lo, hi = codec.encode_range(b"b", b"d")
+    assert lo <= codec.encode_key(b"c") <= hi
+    assert codec.encode_key(b"a") < lo
+    assert codec.encode_key(b"e") > hi
+    assert codec.supports_range
+
+
+def test_encrypted_modes_require_secret():
+    with pytest.raises(ValueError):
+        KeyValueCodec(MODE_DETERMINISTIC, b"short")
+    with pytest.raises(ValueError):
+        KeyValueCodec(MODE_ORDER_PRESERVING, b"")
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        KeyValueCodec("rot13", SECRET)

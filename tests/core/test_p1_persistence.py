@@ -1,0 +1,82 @@
+"""eLSM-P1 persistence: reopening the strawman from disk.
+
+P1 has no Merkle forest — its trusted state is just the per-block MACs,
+which are *re-derived from the file bytes* at reopen time.  That makes
+P1's restart trust model strictly weaker than P2's (a host that swaps
+the files before the reopen hands the enclave a consistent-but-wrong
+store), which these tests document alongside the functional behaviour.
+"""
+
+from repro.core.store_p1 import ELSMP1Store
+from tests.conftest import TEST_SCALE, kv
+
+
+def make_p1(**overrides):
+    defaults = dict(
+        scale=TEST_SCALE,
+        write_buffer_bytes=2 * 1024,
+        level1_max_bytes=4 * 1024,
+        file_max_bytes=4 * 1024,
+        block_bytes=1024,
+        name_prefix="p1rec",
+    )
+    defaults.update(overrides)
+    return ELSMP1Store(**defaults)
+
+
+def test_p1_reopen_restores_data():
+    store = make_p1()
+    for i in range(150):
+        store.put(*kv(i))
+    store.flush()
+    revived = make_p1(disk=store.disk, clock=store.clock, reopen=True)
+    revived.recover()
+    assert revived.get(kv(42)[0]) == kv(42)[1]
+    assert revived.get(b"missing") is None
+    assert len(revived.scan(kv(10)[0], kv(19)[0])) == 10
+
+
+def test_p1_reopen_recovers_wal_tail():
+    store = make_p1(write_buffer_bytes=1 << 20)  # everything stays in WAL
+    for i in range(30):
+        store.put(*kv(i))
+    revived = make_p1(
+        disk=store.disk, clock=store.clock,
+        write_buffer_bytes=1 << 20, reopen=True,
+    )
+    assert revived.recover() == 30
+    assert revived.get(kv(7)[0]) == kv(7)[1]
+
+
+def test_p1_reopen_rebuilds_block_macs():
+    store = make_p1()
+    for i in range(150):
+        store.put(*kv(i))
+    store.flush()
+    revived = make_p1(disk=store.disk, clock=store.clock, reopen=True)
+    for level in revived.db.level_indices():
+        run = revived.db.level_run(level)
+        assert all(
+            handle.mac is not None
+            for meta in run.tables
+            for handle in meta.handles
+        )
+
+
+def test_p1_reopen_trusts_whatever_is_on_disk():
+    """The documented weakness: pre-reopen tampering goes undetected
+    because MACs are re-derived, not recovered from sealed state.
+    eLSM-P2's registry (sealed roots) is what closes this hole."""
+    from repro.core.adversary import tamper_sstable_byte
+
+    store = make_p1()
+    for i in range(150):
+        store.put(*kv(i))
+    store.flush()
+    tampered = tamper_sstable_byte(store.disk)
+    assert tampered is not None
+    revived = make_p1(disk=store.disk, clock=store.clock, reopen=True)
+    # Every read succeeds — the tampered value is served as authentic.
+    values = [revived.get(kv(i)[0]) for i in range(150)]
+    assert all(v is not None for v in values)
+    assert any(v != kv(i)[1] for i, v in enumerate(values))

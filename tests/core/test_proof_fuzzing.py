@@ -1,0 +1,121 @@
+"""Proof-mutation fuzzing: no bit-flip may change an accepted answer.
+
+The soundness contract: for ANY mutation of a serialized proof, the
+verifier either rejects (any exception) or still returns the *correct*
+answer.  A mutation that silently changes the accepted result would be
+a protocol break.  We fuzz both GET and SCAN proofs with deterministic
+byte flips, truncations, and splices.
+"""
+
+import random
+
+import pytest
+
+from repro.core.wire import (
+    deserialize_get_proof,
+    deserialize_scan_proof,
+    serialize_get_proof,
+    serialize_scan_proof,
+)
+from tests.conftest import kv, make_p2_store
+
+
+@pytest.fixture(scope="module")
+def fixture_store():
+    store = make_p2_store()
+    for i in range(120):
+        store.put(*kv(i))
+    for i in range(0, 120, 6):
+        store.put(*kv(i, version=1))
+    store.flush()
+    return store
+
+
+def mutations(blob: bytes, rng: random.Random, count: int):
+    """Deterministic stream of mutated blobs."""
+    for _ in range(count):
+        kind = rng.randrange(3)
+        data = bytearray(blob)
+        if kind == 0 and data:  # flip one byte
+            data[rng.randrange(len(data))] ^= 1 << rng.randrange(8)
+        elif kind == 1 and len(data) > 2:  # truncate
+            data = data[: rng.randrange(1, len(data))]
+        else:  # splice a random chunk
+            at = rng.randrange(len(data) + 1)
+            data[at:at] = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 9)))
+        yield bytes(data)
+
+
+def test_get_proof_mutations_never_change_the_answer(fixture_store):
+    store = fixture_store
+    rng = random.Random(1234)
+    for key_index in (0, 7, 60, 119):
+        key, expected_value = kv(key_index, version=1 if key_index % 6 == 0 else 0)
+        verified = store.get_verified(key)
+        assert verified.record.value == expected_value
+        blob = serialize_get_proof(verified.proof)
+        tsq = verified.proof.ts_query
+        accepted_wrong = 0
+        for mutated in mutations(blob, rng, 120):
+            try:
+                proof = deserialize_get_proof(mutated)
+                record = store.verifier.verify_get(
+                    key, tsq, proof, trusted_absence=store._trusted_absence
+                )
+            except Exception:
+                continue  # rejection is always fine
+            if record is None or record.value != expected_value:
+                accepted_wrong += 1
+        assert accepted_wrong == 0
+
+
+def test_absence_proof_mutations_never_fabricate_presence(fixture_store):
+    store = fixture_store
+    rng = random.Random(99)
+    key = b"nonexistent-key"
+    tsq = store.current_ts
+    proof = store._build_get_proof(key, tsq)
+    assert store.verifier.verify_get(
+        key, tsq, proof, trusted_absence=store._trusted_absence
+    ) is None
+    blob = serialize_get_proof(proof)
+    for mutated in mutations(blob, rng, 150):
+        try:
+            revived = deserialize_get_proof(mutated)
+            record = store.verifier.verify_get(
+                key, tsq, revived, trusted_absence=store._trusted_absence
+            )
+        except Exception:
+            continue
+        assert record is None  # absence can never mutate into presence
+
+
+def test_scan_proof_mutations_never_change_the_result(fixture_store):
+    from repro.core.proofs import LevelSkipped, ScanProof
+
+    store = fixture_store
+    rng = random.Random(7)
+    lo, hi = kv(30)[0], kv(50)[0]
+    tsq = store.current_ts
+    proof = ScanProof(lo=lo, hi=hi, ts_query=tsq)
+    for level in store.registry.nonempty_levels():
+        digest = store.registry.get(level)
+        if digest.excludes_range(lo, hi):
+            proof.levels.append(LevelSkipped(level, "range-disjoint"))
+        else:
+            proof.levels.append(
+                store.prover.level_range_proof(level, lo, hi, tsq)
+            )
+    expected = store.verifier.verify_scan(lo, hi, tsq, proof)
+    expected_pairs = [(r.key, r.value) for r in expected]
+    blob = serialize_scan_proof(proof)
+    accepted_wrong = 0
+    for mutated in mutations(blob, rng, 150):
+        try:
+            revived = deserialize_scan_proof(mutated)
+            records = store.verifier.verify_scan(lo, hi, tsq, revived)
+        except Exception:
+            continue
+        if [(r.key, r.value) for r in records] != expected_pairs:
+            accepted_wrong += 1
+    assert accepted_wrong == 0

@@ -1,0 +1,92 @@
+"""Proof wire formats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.proofs import (
+    EmbeddedProof,
+    GetProof,
+    LeafReveal,
+    LevelMembership,
+    LevelNonMembership,
+    LevelSkipped,
+)
+from repro.lsm.records import Record
+
+hashes = st.binary(min_size=32, max_size=32)
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.integers(1, 2**31 - 1),
+    st.integers(0, 2**31 - 1),
+    st.none() | hashes,
+    st.lists(hashes, max_size=20),
+)
+def test_embedded_proof_roundtrip(leaf_index, chain_len, position, older, path):
+    proof = EmbeddedProof(
+        leaf_index=leaf_index,
+        chain_len=chain_len,
+        position=position,
+        older_digest=older,
+        path=tuple(path),
+    )
+    assert EmbeddedProof.deserialize(proof.serialize()) == proof
+
+
+def test_embedded_proof_rejects_truncation():
+    proof = EmbeddedProof(1, 2, 0, b"\x00" * 32, (b"\x11" * 32,))
+    blob = proof.serialize()
+    with pytest.raises(ValueError):
+        EmbeddedProof.deserialize(blob[:-1] )
+    with pytest.raises(ValueError):
+        EmbeddedProof.deserialize(blob + b"\x00")
+    with pytest.raises(ValueError):
+        EmbeddedProof.deserialize(b"")
+
+
+def test_embedded_proof_size_matches_serialization():
+    proof = EmbeddedProof(1, 2, 0, b"\x00" * 32, (b"\x11" * 32, b"\x22" * 32))
+    assert proof.size_bytes() == len(proof.serialize())
+
+
+def reveal(key=b"k", ts=5):
+    return LeafReveal(records=(Record(key=key, ts=ts, value=b"v"),), older_digest=None)
+
+
+def test_leaf_reveal_key():
+    assert reveal(b"abc").key == b"abc"
+
+
+def test_get_proof_size_accumulates():
+    proof = GetProof(key=b"k", ts_query=9)
+    assert proof.size_bytes() == 0
+    proof.levels.append(LevelSkipped(level=1, reason="bloom"))
+    skipped_only = proof.size_bytes()
+    proof.levels.append(
+        LevelMembership(level=2, leaf_index=0, reveal=reveal(), path=(b"\x00" * 32,))
+    )
+    assert proof.size_bytes() > skipped_only
+
+
+def test_non_membership_size_counts_both_sides():
+    one_sided = LevelNonMembership(
+        level=1,
+        left_index=0,
+        left=reveal(b"a"),
+        left_path=(b"\x00" * 32,),
+        right_index=None,
+        right=None,
+        right_path=(),
+    )
+    two_sided = LevelNonMembership(
+        level=1,
+        left_index=0,
+        left=reveal(b"a"),
+        left_path=(b"\x00" * 32,),
+        right_index=1,
+        right=reveal(b"c"),
+        right_path=(b"\x00" * 32,),
+    )
+    assert two_sided.size_bytes() > one_sided.size_bytes()

@@ -1,0 +1,144 @@
+"""Property-based tests of the eLSM invariants.
+
+* equivalence to a model dict under arbitrary PUT/DELETE/GET/SCAN mixes;
+* Lemma 5.4: for any key, versions at lower levels are strictly newer
+  than versions at higher levels;
+* proofs verify for every key in arbitrary datasets, and the registry
+  always mirrors the manifest.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_p2_store
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete", "get"]),
+        st.integers(0, 25),
+        st.integers(0, 1000),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def key_of(index: int) -> bytes:
+    return b"key%03d" % index
+
+
+@given(ops)
+@settings(**SETTINGS)
+def test_store_matches_model(script):
+    store = make_p2_store()
+    model: dict[bytes, bytes] = {}
+    for action, key_index, payload in script:
+        key = key_of(key_index)
+        if action == "put":
+            value = b"v%d" % payload
+            store.put(key, value)
+            model[key] = value
+        elif action == "delete":
+            store.delete(key)
+            model.pop(key, None)
+        else:
+            assert store.get(key) == model.get(key)
+    for key_index in range(26):
+        key = key_of(key_index)
+        assert store.get(key) == model.get(key)
+    assert dict(store.scan(b"key000", b"key999")) == model
+
+
+@given(ops)
+@settings(**SETTINGS)
+def test_lemma_5_4_level_order_matches_timestamp_order(script):
+    """Lower level <=> larger timestamp, for records of the same key."""
+    store = make_p2_store()
+    for action, key_index, payload in script:
+        key = key_of(key_index)
+        if action == "delete":
+            store.delete(key)
+        else:
+            store.put(key, b"v%d" % payload)
+    store.flush()
+    per_key: dict[bytes, list[tuple[int, int]]] = {}
+    for level in store.db.level_indices():
+        run = store.db.level_run(level)
+        for record, _aux in run.iter_entries(store.env):
+            per_key.setdefault(record.key, []).append((level, record.ts))
+    for key, entries in per_key.items():
+        entries.sort()
+        timestamps = [ts for _level, ts in entries]
+        # Ascending level order must give non-increasing timestamps, and
+        # across *different* levels strictly decreasing newest-first.
+        newest_per_level: dict[int, int] = {}
+        oldest_per_level: dict[int, int] = {}
+        for level, ts in entries:
+            newest_per_level[level] = max(newest_per_level.get(level, ts), ts)
+            oldest_per_level[level] = min(oldest_per_level.get(level, ts), ts)
+        levels = sorted(newest_per_level)
+        for shallow, deep in zip(levels, levels[1:]):
+            assert oldest_per_level[shallow] > newest_per_level[deep], key
+
+
+@given(ops)
+@settings(**SETTINGS)
+def test_registry_mirrors_manifest(script):
+    store = make_p2_store()
+    for action, key_index, payload in script:
+        key = key_of(key_index)
+        if action == "delete":
+            store.delete(key)
+        else:
+            store.put(key, b"v%d" % payload)
+    store.flush()
+    assert store.registry.nonempty_levels() == store.db.level_indices()
+    for level in store.db.level_indices():
+        run = store.db.level_run(level)
+        digest = store.registry.get(level)
+        assert digest.record_count == run.record_count
+        assert digest.min_key == run.min_key
+        assert digest.max_key == run.max_key
+
+
+@given(
+    st.sets(st.integers(0, 60), min_size=1, max_size=40),
+    st.integers(0, 60),
+)
+@settings(**SETTINGS)
+def test_every_proof_verifies_and_absences_hold(present, probe):
+    store = make_p2_store()
+    for key_index in sorted(present):
+        store.put(key_of(key_index), b"v%d" % key_index)
+    store.flush()
+    for key_index in sorted(present):
+        assert store.get(key_of(key_index)) == b"v%d" % key_index
+    expected = b"v%d" % probe if probe in present else None
+    assert store.get(key_of(probe)) == expected
+
+
+@given(
+    st.sets(st.integers(0, 40), min_size=1, max_size=30),
+    st.integers(0, 40),
+    st.integers(0, 40),
+)
+@settings(**SETTINGS)
+def test_verified_scan_matches_model(present, a, b):
+    lo_index, hi_index = min(a, b), max(a, b)
+    store = make_p2_store()
+    for key_index in sorted(present):
+        store.put(key_of(key_index), b"v%d" % key_index)
+    store.flush()
+    result = store.scan(key_of(lo_index), key_of(hi_index))
+    expected = [
+        (key_of(i), b"v%d" % i)
+        for i in sorted(present)
+        if lo_index <= i <= hi_index
+    ]
+    assert result == expected

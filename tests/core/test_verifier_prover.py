@@ -1,0 +1,192 @@
+"""Protocol-level tests of QUERYGET/QUERYSCAN and VRFY."""
+
+import pytest
+
+from repro.core.errors import CompletenessViolation, ProofFormatError
+from repro.core.proofs import (
+    GetProof,
+    LevelMembership,
+    LevelNonMembership,
+    LevelSkipped,
+    ScanProof,
+)
+from tests.conftest import kv, make_p2_store
+
+
+@pytest.fixture
+def store():
+    s = make_p2_store()
+    for i in range(0, 200, 2):  # even keys only
+        s.put(*kv(i))
+    for i in range(0, 200, 10):  # chains for every 10th key
+        s.put(*kv(i, version=1))
+    s.compact_all()
+    return s
+
+
+def level_of(store):
+    levels = store.registry.nonempty_levels()
+    assert len(levels) == 1
+    return levels[0]
+
+
+def test_membership_proof_verifies(store):
+    level = level_of(store)
+    key = kv(4)[0]
+    entry = store.prover.level_get_proof(level, key, store.current_ts)
+    assert isinstance(entry, LevelMembership)
+    proof = GetProof(key=key, ts_query=store.current_ts, levels=[entry])
+    record = store.verifier.verify_get(key, store.current_ts, proof)
+    assert record.value == kv(4)[1]
+
+
+def test_non_membership_between_keys(store):
+    level = level_of(store)
+    key = kv(5)[0]  # odd: absent
+    entry = store.prover.level_get_proof(level, key, store.current_ts)
+    assert isinstance(entry, LevelNonMembership)
+    assert entry.left is not None and entry.right is not None
+    assert entry.right_index == entry.left_index + 1
+    proof = GetProof(key=key, ts_query=store.current_ts, levels=[entry])
+    assert store.verifier.verify_get(key, store.current_ts, proof) is None
+
+
+def test_non_membership_before_first_key(store):
+    level = level_of(store)
+    key = b"aaaaaa"
+    entry = store.prover.level_get_proof(level, key, store.current_ts)
+    assert entry.left is None
+    assert entry.right_index == 0
+    proof = GetProof(key=key, ts_query=store.current_ts, levels=[entry])
+    assert store.verifier.verify_get(key, store.current_ts, proof) is None
+
+
+def test_non_membership_after_last_key(store):
+    level = level_of(store)
+    key = b"zzzzzz"
+    entry = store.prover.level_get_proof(level, key, store.current_ts)
+    assert entry.right is None
+    assert entry.left_index == store.registry.get(level).leaf_count - 1
+    proof = GetProof(key=key, ts_query=store.current_ts, levels=[entry])
+    assert store.verifier.verify_get(key, store.current_ts, proof) is None
+
+
+def test_historical_query_reveals_newer_versions(store):
+    level = level_of(store)
+    key = kv(10)[0]  # has two versions
+    newest = store.prover.level_get_proof(level, key, store.current_ts)
+    newest_ts = newest.reveal.records[0].ts
+    entry = store.prover.level_get_proof(level, key, newest_ts - 1)
+    assert len(entry.reveal.records) == 2  # newer one exposed
+    proof = GetProof(key=key, ts_query=newest_ts - 1, levels=[entry])
+    record = store.verifier.verify_get(key, newest_ts - 1, proof)
+    assert record.value == kv(10)[1]  # the original version
+
+
+def test_query_before_any_version_exhausts_chain(store):
+    level = level_of(store)
+    key = kv(10)[0]
+    entry = store.prover.level_get_proof(level, key, 0)
+    assert entry.reveal.older_digest is None
+    assert len(entry.reveal.records) == 2  # entire chain revealed
+    proof = GetProof(key=key, ts_query=0, levels=[entry])
+    assert store.verifier.verify_get(key, 0, proof) is None
+
+
+def test_proof_for_wrong_query_rejected(store):
+    level = level_of(store)
+    key = kv(4)[0]
+    entry = store.prover.level_get_proof(level, key, store.current_ts)
+    proof = GetProof(key=key, ts_query=store.current_ts, levels=[entry])
+    with pytest.raises(ProofFormatError):
+        store.verifier.verify_get(b"other", store.current_ts, proof)
+    with pytest.raises(ProofFormatError):
+        store.verifier.verify_get(key, store.current_ts - 1, proof)
+
+
+def test_missing_level_entry_rejected(store):
+    key = kv(4)[0]
+    proof = GetProof(key=key, ts_query=store.current_ts, levels=[])
+    with pytest.raises(CompletenessViolation):
+        store.verifier.verify_get(key, store.current_ts, proof)
+
+
+def test_unjustified_skip_rejected(store):
+    level = level_of(store)
+    key = kv(4)[0]  # present: bloom will NOT witness absence
+    proof = GetProof(
+        key=key,
+        ts_query=store.current_ts,
+        levels=[LevelSkipped(level=level, reason="lies")],
+    )
+    with pytest.raises(CompletenessViolation):
+        store.verifier.verify_get(
+            key, store.current_ts, proof, trusted_absence=store._trusted_absence
+        )
+
+
+def test_trailing_entries_rejected_with_early_stop(store):
+    level = level_of(store)
+    key = kv(4)[0]
+    entry = store.prover.level_get_proof(level, key, store.current_ts)
+    proof = GetProof(
+        key=key, ts_query=store.current_ts, levels=[entry, entry]
+    )
+    with pytest.raises(ProofFormatError):
+        store.verifier.verify_get(key, store.current_ts, proof)
+
+
+def test_scan_proof_verifies(store):
+    level = level_of(store)
+    lo, hi = kv(20)[0], kv(40)[0]
+    entry = store.prover.level_range_proof(level, lo, hi, store.current_ts)
+    proof = ScanProof(lo=lo, hi=hi, ts_query=store.current_ts, levels=[entry])
+    records = store.verifier.verify_scan(lo, hi, store.current_ts, proof)
+    assert [r.key for r in records] == [kv(i)[0] for i in range(20, 41, 2)]
+
+
+def test_scan_range_with_no_matches(store):
+    level = level_of(store)
+    lo, hi = kv(21)[0], kv(21)[0] + b"z"  # between keys
+    entry = store.prover.level_range_proof(level, lo, hi, store.current_ts)
+    proof = ScanProof(lo=lo, hi=hi, ts_query=store.current_ts, levels=[entry])
+    assert store.verifier.verify_scan(lo, hi, store.current_ts, proof) == []
+
+
+def test_scan_covering_whole_level(store):
+    level = level_of(store)
+    lo, hi = b"a", b"z"
+    entry = store.prover.level_range_proof(level, lo, hi, store.current_ts)
+    proof = ScanProof(lo=lo, hi=hi, ts_query=store.current_ts, levels=[entry])
+    records = store.verifier.verify_scan(lo, hi, store.current_ts, proof)
+    assert len(records) == 100
+
+
+def test_scan_historical_ts(store):
+    level = level_of(store)
+    key = kv(10)[0]
+    newest = store.prover.level_get_proof(level, key, store.current_ts)
+    newest_ts = newest.reveal.records[0].ts
+    lo, hi = kv(10)[0], kv(10)[0]
+    entry = store.prover.level_range_proof(level, lo, hi, newest_ts - 1)
+    proof = ScanProof(lo=lo, hi=hi, ts_query=newest_ts - 1, levels=[entry])
+    records = store.verifier.verify_scan(lo, hi, newest_ts - 1, proof)
+    assert [r.value for r in records] == [kv(10)[1]]
+
+
+def test_scan_skip_must_be_range_disjoint(store):
+    level = level_of(store)
+    lo, hi = kv(20)[0], kv(30)[0]
+    proof = ScanProof(
+        lo=lo,
+        hi=hi,
+        ts_query=store.current_ts,
+        levels=[LevelSkipped(level=level, reason="lies")],
+    )
+    with pytest.raises(CompletenessViolation):
+        store.verifier.verify_scan(lo, hi, store.current_ts, proof)
+
+
+def test_prover_refuses_empty_level(store):
+    with pytest.raises(LookupError):
+        store.prover.level_get_proof(99, kv(0)[0], store.current_ts)

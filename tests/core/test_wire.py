@@ -1,0 +1,163 @@
+"""Proof wire-format round trips and strictness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ProofFormatError
+from repro.core.proofs import (
+    GetProof,
+    LeafReveal,
+    LevelMembership,
+    LevelNonMembership,
+    LevelSkipped,
+    RangeLevelProof,
+    ScanProof,
+)
+from repro.core.wire import (
+    deserialize_get_proof,
+    deserialize_scan_proof,
+    serialize_get_proof,
+    serialize_scan_proof,
+)
+from repro.lsm.records import Record
+
+hashes = st.binary(min_size=32, max_size=32)
+records = st.builds(
+    Record,
+    key=st.binary(min_size=1, max_size=24),
+    ts=st.integers(1, 2**40),
+    kind=st.sampled_from([0, 1]),
+    value=st.binary(max_size=64),
+)
+reveals = st.builds(
+    LeafReveal,
+    records=st.lists(records, min_size=1, max_size=4).map(tuple),
+    older_digest=st.none() | hashes,
+)
+paths = st.lists(hashes, max_size=8).map(tuple)
+
+memberships = st.builds(
+    LevelMembership,
+    level=st.integers(1, 50),
+    leaf_index=st.integers(0, 2**20),
+    reveal=reveals,
+    path=paths,
+)
+skips = st.builds(
+    LevelSkipped, level=st.integers(1, 50), reason=st.sampled_from(["bloom", "range"])
+)
+non_memberships = st.builds(
+    lambda level, left, right: LevelNonMembership(
+        level=level,
+        left_index=left[0] if left else None,
+        left=left[1] if left else None,
+        left_path=left[2] if left else (),
+        right_index=right[0] if right else None,
+        right=right[1] if right else None,
+        right_path=right[2] if right else (),
+    ),
+    level=st.integers(1, 50),
+    left=st.none() | st.tuples(st.integers(0, 1000), reveals, paths),
+    right=st.none() | st.tuples(st.integers(0, 1000), reveals, paths),
+)
+ranges = st.builds(
+    RangeLevelProof,
+    level=st.integers(1, 50),
+    window_lo=st.integers(0, 1000),
+    leaves=st.lists(reveals, min_size=1, max_size=5).map(tuple),
+    cover_hashes=st.lists(hashes, max_size=8).map(tuple),
+)
+
+
+@given(
+    st.binary(min_size=1, max_size=32),
+    st.integers(0, 2**40),
+    st.lists(st.one_of(memberships, non_memberships, skips), max_size=5),
+)
+@settings(max_examples=50, deadline=None)
+def test_get_proof_roundtrip(key, tsq, levels):
+    proof = GetProof(key=key, ts_query=tsq, levels=levels)
+    assert deserialize_get_proof(serialize_get_proof(proof)) == proof
+
+
+@given(
+    st.binary(min_size=1, max_size=16),
+    st.binary(min_size=1, max_size=16),
+    st.integers(0, 2**40),
+    st.lists(st.one_of(ranges, skips), max_size=4),
+)
+@settings(max_examples=50, deadline=None)
+def test_scan_proof_roundtrip(lo, hi, tsq, levels):
+    proof = ScanProof(lo=lo, hi=hi, ts_query=tsq, levels=levels)
+    assert deserialize_scan_proof(serialize_scan_proof(proof)) == proof
+
+
+def sample_get_proof():
+    return GetProof(
+        key=b"k",
+        ts_query=9,
+        levels=[
+            LevelSkipped(level=1, reason="bloom"),
+            LevelMembership(
+                level=2,
+                leaf_index=3,
+                reveal=LeafReveal(
+                    records=(Record(key=b"k", ts=5, value=b"v"),),
+                    older_digest=b"\x01" * 32,
+                ),
+                path=(b"\x02" * 32,),
+            ),
+        ],
+    )
+
+
+def test_truncation_rejected():
+    blob = serialize_get_proof(sample_get_proof())
+    for cut in (1, len(blob) // 2, len(blob) - 1):
+        with pytest.raises(ProofFormatError):
+            deserialize_get_proof(blob[:cut])
+
+
+def test_trailing_bytes_rejected():
+    blob = serialize_get_proof(sample_get_proof())
+    with pytest.raises(ProofFormatError):
+        deserialize_get_proof(blob + b"\x00")
+
+
+def test_wrong_magic_rejected():
+    get_blob = serialize_get_proof(sample_get_proof())
+    with pytest.raises(ProofFormatError):
+        deserialize_scan_proof(get_blob)
+    with pytest.raises(ProofFormatError):
+        deserialize_get_proof(b"garbage-garbage-garbage")
+
+
+def test_unknown_tag_rejected():
+    blob = bytearray(serialize_get_proof(sample_get_proof()))
+    # The first entry tag sits right after magic + key blob + tsq + count.
+    tag_offset = 6 + 4 + 1 + 8 + 2
+    assert blob[tag_offset] == 3  # LevelSkipped
+    blob[tag_offset] = 99
+    with pytest.raises(ProofFormatError):
+        deserialize_get_proof(bytes(blob))
+
+
+def test_serialized_proof_verifies_after_roundtrip():
+    """A proof that verified before serialization verifies after."""
+    from tests.conftest import kv, make_p2_store
+
+    store = make_p2_store()
+    for i in range(100):
+        store.put(*kv(i))
+    store.flush()
+    verified = store.get_verified(kv(42)[0])
+    blob = serialize_get_proof(verified.proof)
+    revived = deserialize_get_proof(blob)
+    record = store.verifier.verify_get(
+        verified.proof.key,
+        verified.proof.ts_query,
+        revived,
+        trusted_absence=store._trusted_absence,
+    )
+    assert record.value == kv(42)[1]

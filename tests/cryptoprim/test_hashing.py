@@ -1,0 +1,59 @@
+"""Hashing helpers: determinism and domain separation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cryptoprim.hashing import (
+    HASH_LEN,
+    hash_chain_node,
+    hash_internal,
+    hash_leaf,
+    sha256,
+    tagged_hash,
+)
+
+
+def test_hash_length():
+    assert len(sha256(b"x")) == HASH_LEN
+    assert len(tagged_hash(b"t", b"a")) == HASH_LEN
+
+
+def test_deterministic():
+    assert tagged_hash(b"t", b"a", b"b") == tagged_hash(b"t", b"a", b"b")
+
+
+def test_tag_separates_domains():
+    assert tagged_hash(b"t1", b"x") != tagged_hash(b"t2", b"x")
+
+
+def test_leaf_internal_chain_are_distinct():
+    payload = b"p" * 32
+    values = {
+        hash_leaf(payload),
+        hash_internal(payload, payload),
+        hash_chain_node(payload, payload),
+    }
+    assert len(values) == 3
+
+
+@given(st.binary(max_size=64), st.binary(max_size=64))
+def test_length_prefix_prevents_ambiguity(a, b):
+    """(a, b) and (a+b, b"") must never collide."""
+    if b:
+        assert tagged_hash(b"t", a, b) != tagged_hash(b"t", a + b, b"")
+
+
+@given(st.binary(max_size=64), st.binary(max_size=64))
+def test_internal_order_matters(left, right):
+    if left != right:
+        assert hash_internal(left, right) != hash_internal(right, left)
+
+
+def test_chain_node_none_vs_empty_suffix():
+    record = b"record"
+    assert hash_chain_node(record, None) == hash_chain_node(record, b"")
+
+
+@given(st.binary(min_size=1, max_size=100))
+def test_chain_node_depends_on_suffix(record):
+    assert hash_chain_node(record, None) != hash_chain_node(record, b"\x01" * 32)

@@ -1,0 +1,98 @@
+"""Order-preserving encryption."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cryptoprim.ope import OrderPreservingEncoder
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+keys = st.binary(min_size=0, max_size=16)
+
+
+@given(keys, keys)
+@settings(max_examples=60, deadline=None)
+def test_order_preserved(a, b):
+    ope = OrderPreservingEncoder(KEY)
+    a_pad = a.ljust(16, b"\x00")
+    b_pad = b.ljust(16, b"\x00")
+    ea, eb = ope.encode(a), ope.encode(b)
+    if a_pad < b_pad:
+        assert ea < eb
+    elif a_pad > b_pad:
+        assert ea > eb
+    else:
+        assert ea == eb
+
+
+@given(keys)
+@settings(max_examples=60, deadline=None)
+def test_decode_recovers_padded_key(k):
+    ope = OrderPreservingEncoder(KEY)
+    assert ope.decode_key(ope.encode(k)) == k.ljust(16, b"\x00")
+
+
+def test_encoded_width():
+    ope = OrderPreservingEncoder(KEY, key_width=16)
+    assert ope.encoded_width == 32
+    assert len(ope.encode(b"abc")) == 32
+
+
+def test_ciphertext_hides_plaintext_bytes():
+    """The weakness of naive x*M+noise schemes: plaintext bytes in the
+    ciphertext.  Our prefix-conditioned cipher must not exhibit it."""
+    ope = OrderPreservingEncoder(KEY)
+    plaintext = b"secret-hostname!"
+    ct = ope.encode(plaintext)
+    assert plaintext not in ct
+    for window in range(len(plaintext) - 3):
+        assert plaintext[window : window + 4] not in ct
+
+
+def test_range_bounds_cover_all_keys_in_range():
+    ope = OrderPreservingEncoder(KEY)
+    lo, hi = b"user000010", b"user000020"
+    enc_lo, enc_hi = ope.range_bounds(lo, hi)
+    for mid in (lo, hi, b"user000015"):
+        assert enc_lo <= ope.encode(mid) <= enc_hi
+
+
+def test_range_bounds_exclude_outside_keys():
+    ope = OrderPreservingEncoder(KEY)
+    enc_lo, enc_hi = ope.range_bounds(b"b", b"d")
+    assert ope.encode(b"a") < enc_lo
+    assert ope.encode(b"e") > enc_hi
+
+
+def test_empty_range_rejected():
+    ope = OrderPreservingEncoder(KEY)
+    with pytest.raises(ValueError):
+        ope.range_bounds(b"z", b"a")
+
+
+def test_key_too_long_rejected():
+    ope = OrderPreservingEncoder(KEY, key_width=8)
+    with pytest.raises(ValueError):
+        ope.encode(b"way-too-long-key!")
+
+
+def test_different_secrets_give_different_ciphertexts():
+    a = OrderPreservingEncoder(KEY)
+    b = OrderPreservingEncoder(b"another-secret-16-bytes-min!!")
+    assert a.encode(b"same") != b.encode(b"same")
+
+
+def test_garbage_ciphertext_rejected():
+    ope = OrderPreservingEncoder(KEY)
+    with pytest.raises(ValueError):
+        ope.decode_key(b"\x00" * 32)  # 0 is never a valid code
+    with pytest.raises(ValueError):
+        ope.decode_key(b"short")
+
+
+def test_bad_params_rejected():
+    with pytest.raises(ValueError):
+        OrderPreservingEncoder(KEY, key_width=0)
+    with pytest.raises(ValueError):
+        OrderPreservingEncoder(b"short")

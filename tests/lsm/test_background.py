@@ -1,0 +1,76 @@
+"""Background compaction concurrent with verified reads/writes."""
+
+import time
+
+from repro.lsm.background import BackgroundCompactor
+from tests.conftest import kv, make_p2_store
+
+
+def test_drain_compacts_over_capacity_levels():
+    store = make_p2_store()
+    for i in range(400):
+        store.put(*kv(i))
+    store.flush()
+    compactor = BackgroundCompactor(store.db)
+    compactor.drain()
+    for level in store.db.level_indices():
+        run = store.db.level_run(level)
+        assert run.total_bytes <= store.db._level_capacity(level) or (
+            level == store.db.level_indices()[-1]
+        )
+    assert store.get(kv(123)[0]) == kv(123)[1]
+
+
+def test_background_thread_compacts_while_clients_operate():
+    store = make_p2_store(level1_max_bytes=2 * 1024)
+    errors: list[Exception] = []
+    with BackgroundCompactor(store.db, poll_interval_s=0.001) as compactor:
+        for i in range(600):
+            store.put(*kv(i % 200, version=i // 200))
+            if i % 7 == 0:
+                try:
+                    store.get(kv(i % 200)[0])  # verified read mid-churn
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+            if i % 50 == 0:
+                compactor.nudge()
+        store.flush()
+        deadline = time.time() + 5
+        while compactor._over_capacity_level() is not None:
+            assert time.time() < deadline, "background thread stalled"
+            time.sleep(0.002)
+    assert not errors
+    assert not compactor.errors
+    # Everything still reads back verified after the dust settles.
+    for i in range(0, 200, 11):
+        assert store.get(kv(i)[0]) == kv(i, version=2)[1]
+
+
+def test_registry_consistent_after_background_churn():
+    store = make_p2_store(level1_max_bytes=2 * 1024)
+    with BackgroundCompactor(store.db, poll_interval_s=0.001):
+        for i in range(500):
+            store.put(*kv(i))
+        store.flush()
+        time.sleep(0.05)
+    assert store.registry.nonempty_levels() == store.db.level_indices()
+    assert store.audit(check_embedded_proofs=False).clean
+
+
+def test_double_start_rejected():
+    import pytest
+
+    store = make_p2_store()
+    compactor = BackgroundCompactor(store.db).start()
+    try:
+        with pytest.raises(RuntimeError):
+            compactor.start()
+    finally:
+        compactor.stop()
+
+
+def test_stop_is_idempotent():
+    store = make_p2_store()
+    compactor = BackgroundCompactor(store.db).start()
+    compactor.stop()
+    compactor.stop()  # no error

@@ -1,0 +1,63 @@
+"""Bloom filters: the no-false-negative contract eLSM's skips rely on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lsm.bloom import BloomFilter
+
+
+def test_inserted_keys_always_match():
+    keys = [b"key-%d" % i for i in range(500)]
+    bloom = BloomFilter.build(keys)
+    assert all(bloom.may_contain(k) for k in keys)
+
+
+@given(st.sets(st.binary(min_size=1, max_size=24), min_size=1, max_size=200))
+def test_no_false_negatives_property(keys):
+    bloom = BloomFilter.build(keys)
+    assert all(bloom.may_contain(k) for k in keys)
+
+
+def test_false_positive_rate_reasonable():
+    keys = [b"in-%d" % i for i in range(2000)]
+    bloom = BloomFilter.build(keys, bits_per_key=10)
+    false_positives = sum(
+        bloom.may_contain(b"out-%d" % i) for i in range(2000)
+    )
+    assert false_positives / 2000 < 0.05  # ~1% expected at 10 bits/key
+
+
+def test_more_bits_fewer_false_positives():
+    keys = [b"in-%d" % i for i in range(1000)]
+    small = BloomFilter.build(keys, bits_per_key=4)
+    large = BloomFilter.build(keys, bits_per_key=16)
+    probe = [b"out-%d" % i for i in range(3000)]
+    fp_small = sum(small.may_contain(k) for k in probe)
+    fp_large = sum(large.may_contain(k) for k in probe)
+    assert fp_large < fp_small
+
+
+def test_serialize_roundtrip():
+    keys = [b"key-%d" % i for i in range(100)]
+    bloom = BloomFilter.build(keys)
+    restored = BloomFilter.deserialize(bloom.serialize())
+    assert restored.num_hashes == bloom.num_hashes
+    assert all(restored.may_contain(k) for k in keys)
+
+
+def test_empty_build():
+    bloom = BloomFilter.build([])
+    assert not bloom.may_contain(b"anything") or True  # just must not crash
+    assert bloom.size_bytes >= 8
+
+
+def test_deserialize_rejects_garbage():
+    with pytest.raises(ValueError):
+        BloomFilter.deserialize(b"")
+
+
+def test_size_scales_with_keys():
+    small = BloomFilter.build([b"k%d" % i for i in range(10)])
+    large = BloomFilter.build([b"k%d" % i for i in range(10_000)])
+    assert large.size_bytes > small.size_bytes

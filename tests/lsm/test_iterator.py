@@ -1,0 +1,72 @@
+"""Merging iterators and whole-store snapshots."""
+
+from repro.lsm.db import LSMConfig, LSMStore
+from repro.lsm.iterator import latest_versions, merge_sorted, store_snapshot
+from repro.lsm.records import Record, tombstone
+
+
+def rec(key, ts, value=b"v"):
+    return Record(key=key, ts=ts, value=value)
+
+
+def test_merge_sorted_global_order():
+    a = [rec(b"a", 5), rec(b"c", 1)]
+    b = [rec(b"b", 4), rec(b"c", 3)]
+    merged = list(merge_sorted([a, b]))
+    assert [(r.key, r.ts) for r in merged] == [
+        (b"a", 5), (b"b", 4), (b"c", 3), (b"c", 1),
+    ]
+
+
+def test_merge_sorted_empty_sources():
+    assert list(merge_sorted([[], []])) == []
+
+
+def test_latest_versions_picks_newest():
+    stream = [rec(b"a", 5, b"new"), rec(b"a", 1, b"old"), rec(b"b", 3)]
+    out = list(latest_versions(stream))
+    assert [(r.key, r.value) for r in out] == [(b"a", b"new"), (b"b", b"v")]
+
+
+def test_latest_versions_drops_tombstoned_keys():
+    stream = [tombstone(b"a", 5), rec(b"a", 1), rec(b"b", 3)]
+    out = list(latest_versions(stream))
+    assert [r.key for r in out] == [b"b"]
+
+
+def test_latest_versions_snapshot_ts():
+    stream = [rec(b"a", 9, b"future"), rec(b"a", 2, b"past")]
+    out = list(latest_versions(stream, ts_query=5))
+    assert [r.value for r in out] == [b"past"]
+
+
+def test_latest_versions_snapshot_resurrects_before_delete():
+    stream = [tombstone(b"a", 9), rec(b"a", 2, b"alive")]
+    assert [r.value for r in latest_versions(stream, ts_query=5)] == [b"alive"]
+    assert list(latest_versions(stream, ts_query=10)) == []
+
+
+def test_store_snapshot(free_env):
+    store = LSMStore(
+        free_env,
+        LSMConfig(write_buffer_bytes=512, level1_max_bytes=2048, block_bytes=256),
+    )
+    for i in range(60):
+        store.put(b"key%03d" % i, b"v%d" % i)
+    store.delete(b"key010")
+    store.put(b"key011", b"updated")
+    snapshot = list(store_snapshot(store))
+    as_dict = {r.key: r.value for r in snapshot}
+    assert len(snapshot) == 59
+    assert b"key010" not in as_dict
+    assert as_dict[b"key011"] == b"updated"
+    keys = [r.key for r in snapshot]
+    assert keys == sorted(keys)
+
+
+def test_store_snapshot_historical(free_env):
+    store = LSMStore(free_env, LSMConfig(write_buffer_bytes=100_000))
+    t1 = store.put(b"k", b"v1")
+    store.put(b"k", b"v2")
+    snap = list(store_snapshot(store, ts_query=t1))
+    assert [r.value for r in snap] == [b"v1"]

@@ -1,0 +1,100 @@
+"""Skip-list MemTable."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lsm.memtable import SkipListMemTable
+from repro.lsm.records import Record, tombstone
+
+
+def rec(key, ts, value=b"v"):
+    return Record(key=key, ts=ts, value=value)
+
+
+def test_insert_and_get():
+    table = SkipListMemTable()
+    table.add(rec(b"a", 1))
+    table.add(rec(b"b", 2))
+    assert table.get(b"a").ts == 1
+    assert table.get(b"c") is None
+
+
+def test_newest_version_wins():
+    table = SkipListMemTable()
+    table.add(rec(b"k", 1, b"old"))
+    table.add(rec(b"k", 5, b"new"))
+    assert table.get(b"k").value == b"new"
+
+
+def test_ts_query_selects_version():
+    table = SkipListMemTable()
+    table.add(rec(b"k", 1, b"v1"))
+    table.add(rec(b"k", 5, b"v5"))
+    assert table.get(b"k", ts_query=3).value == b"v1"
+    assert table.get(b"k", ts_query=5).value == b"v5"
+    assert table.get(b"k", ts_query=0) is None
+
+
+def test_versions_newest_first():
+    table = SkipListMemTable()
+    for ts in (3, 1, 7):
+        table.add(rec(b"k", ts))
+    assert [r.ts for r in table.versions(b"k")] == [7, 3, 1]
+
+
+def test_duplicate_key_ts_rejected():
+    table = SkipListMemTable()
+    table.add(rec(b"k", 1))
+    with pytest.raises(ValueError):
+        table.add(rec(b"k", 1))
+
+
+def test_iteration_order():
+    table = SkipListMemTable()
+    table.add(rec(b"b", 1))
+    table.add(rec(b"a", 2))
+    table.add(rec(b"b", 3))
+    order = [(r.key, r.ts) for r in table]
+    assert order == [(b"a", 2), (b"b", 3), (b"b", 1)]
+
+
+def test_range():
+    table = SkipListMemTable()
+    for i in range(10):
+        table.add(rec(b"k%02d" % i, i + 1))
+    keys = [r.key for r in table.range(b"k03", b"k06")]
+    assert keys == [b"k03", b"k04", b"k05", b"k06"]
+
+
+def test_len_and_bytes():
+    table = SkipListMemTable()
+    assert len(table) == 0
+    table.add(rec(b"a", 1, b"x" * 10))
+    assert len(table) == 1
+    assert table.approximate_bytes > 10
+
+
+def test_tombstones_stored_like_records():
+    table = SkipListMemTable()
+    table.add(rec(b"k", 1, b"v"))
+    table.add(tombstone(b"k", 2))
+    assert table.get(b"k").is_tombstone
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(1, 10_000)),
+        min_size=1,
+        max_size=200,
+        unique_by=lambda t: t[1],
+    )
+)
+def test_matches_sorted_model(entries):
+    table = SkipListMemTable()
+    for key_index, ts in entries:
+        table.add(rec(b"k%03d" % key_index, ts))
+    expected = sorted(
+        [(b"k%03d" % k, ts) for k, ts in entries], key=lambda p: (p[0], -p[1])
+    )
+    assert [(r.key, r.ts) for r in table] == expected

@@ -1,0 +1,89 @@
+"""The multi-level COMPACTION extension (merge > 2 levels at once)."""
+
+import pytest
+
+from repro.lsm.db import LSMConfig, LSMStore
+from tests.conftest import kv, make_p2_store
+
+
+def stacked_store(free_env):
+    """A store whose flushes stack as levels (no automatic merging)."""
+    store = LSMStore(
+        free_env,
+        LSMConfig(
+            write_buffer_bytes=512,
+            compaction_enabled=False,
+            block_bytes=256,
+        ),
+    )
+    for i in range(90):
+        store.put(b"key%03d" % (i % 45), b"v%d" % i)
+    store.flush()
+    return store
+
+
+def test_merge_three_levels(free_env):
+    store = stacked_store(free_env)
+    levels = store.level_indices()
+    assert len(levels) >= 3
+    targets = levels[:3]
+    store.compact_levels(targets)
+    remaining = store.level_indices()
+    assert targets[0] not in remaining
+    assert targets[1] not in remaining
+    assert targets[2] in remaining
+    for i in range(45):
+        assert store.get(b"key%03d" % i) is not None
+
+
+def test_merge_preserves_freshness(free_env):
+    store = stacked_store(free_env)
+    levels = store.level_indices()
+    store.compact_levels(levels)  # merge everything
+    assert len(store.level_indices()) == 1
+    # key i was written twice (i and i+45); the newer value must win.
+    for i in range(45):
+        assert store.get(b"key%03d" % i) == b"v%d" % (i + 45)
+
+
+def test_merge_requires_contiguous_levels(free_env):
+    store = stacked_store(free_env)
+    with pytest.raises(ValueError):
+        store.compact_levels([1, 3])
+    with pytest.raises(ValueError):
+        store.compact_levels([2])
+
+
+def test_merge_skips_empty_levels_gracefully(free_env):
+    store = stacked_store(free_env)
+    levels = store.level_indices()
+    store.compact_levels(levels)
+    # Merging the (now empty) shallow levels again is a no-op.
+    store.compact_levels([1, 2])
+
+
+def test_authenticated_multilevel_merge():
+    """eLSM's listener verifies all inputs of an n-way merge."""
+    store = make_p2_store(compaction=False)
+    for i in range(120):
+        store.put(*kv(i % 60, version=i // 60))
+    store.flush()
+    levels = store.db.level_indices()
+    assert len(levels) >= 2
+    store.db.compact_levels(levels)
+    assert store.registry.nonempty_levels() == store.db.level_indices()
+    for i in range(60):
+        assert store.get(kv(i)[0]) == kv(i, version=1)[1]
+
+
+def test_tampering_detected_during_multilevel_merge():
+    from repro.core.adversary import tamper_sstable_byte
+    from repro.core.errors import AuthenticationError
+
+    store = make_p2_store(compaction=False)
+    for i in range(120):
+        store.put(*kv(i % 60))
+    store.flush()
+    assert tamper_sstable_byte(store.disk) is not None
+    with pytest.raises(AuthenticationError):
+        store.db.compact_levels(store.db.level_indices())

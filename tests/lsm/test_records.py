@@ -1,0 +1,66 @@
+"""Record encoding and ordering."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lsm.records import (
+    KIND_DELETE,
+    KIND_PUT,
+    Record,
+    decode_record,
+    encode_record,
+    tombstone,
+)
+
+
+@given(
+    st.binary(max_size=100),
+    st.integers(0, 2**60),
+    st.sampled_from([KIND_PUT, KIND_DELETE]),
+    st.binary(max_size=300),
+)
+def test_encode_decode_roundtrip(key, ts, kind, value):
+    record = Record(key=key, ts=ts, kind=kind, value=value)
+    decoded, offset = decode_record(encode_record(record))
+    assert decoded == record
+    assert offset == len(encode_record(record))
+
+
+def test_decode_at_offset():
+    a = Record(key=b"a", ts=1, value=b"va")
+    b = Record(key=b"b", ts=2, value=b"vb")
+    buf = encode_record(a) + encode_record(b)
+    first, offset = decode_record(buf)
+    second, end = decode_record(buf, offset)
+    assert (first, second) == (a, b)
+    assert end == len(buf)
+
+
+def test_sort_key_orders_newest_first():
+    older = Record(key=b"k", ts=1)
+    newer = Record(key=b"k", ts=2)
+    assert newer.sort_key() < older.sort_key()
+
+
+def test_sort_key_orders_by_key_first():
+    a = Record(key=b"a", ts=1)
+    b = Record(key=b"b", ts=99)
+    assert a.sort_key() < b.sort_key()
+
+
+def test_tombstone():
+    t = tombstone(b"k", 5)
+    assert t.is_tombstone
+    assert t.value == b""
+    assert not Record(key=b"k", ts=5).is_tombstone
+
+
+def test_approximate_bytes_tracks_payload():
+    small = Record(key=b"k", ts=1, value=b"")
+    big = Record(key=b"k", ts=1, value=b"x" * 100)
+    assert big.approximate_bytes() == small.approximate_bytes() + 100
+
+
+def test_records_are_immutable_and_hashable():
+    record = Record(key=b"k", ts=1, value=b"v")
+    assert record in {record}

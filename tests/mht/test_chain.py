@@ -1,0 +1,61 @@
+"""Same-key hash chains."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cryptoprim.hashing import hash_chain_node
+from repro.mht.chain import chain_digest, fold_chain, suffix_digests
+
+
+def test_single_record_chain():
+    assert chain_digest([b"r0"]) == hash_chain_node(b"r0", None)
+
+
+def test_paper_example_structure():
+    """h4 = H(<Z,7> || H(<Z,6>)) — newest outermost."""
+    z7, z6 = b"Z,7", b"Z,6"
+    assert chain_digest([z7, z6]) == hash_chain_node(z7, hash_chain_node(z6, None))
+
+
+def test_empty_chain_rejected():
+    with pytest.raises(ValueError):
+        chain_digest([])
+
+
+def test_fold_empty_prefix_needs_suffix():
+    with pytest.raises(ValueError):
+        fold_chain([], None)
+    assert fold_chain([], b"\x01" * 32) == b"\x01" * 32
+
+
+@given(st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=8))
+def test_fold_prefix_plus_suffix_equals_full(records):
+    full = chain_digest(records)
+    suffixes = suffix_digests(records)
+    for split in range(len(records)):
+        assert fold_chain(records[: split + 1], suffixes[split]) == full
+
+
+@given(st.lists(st.binary(min_size=1, max_size=32), min_size=2, max_size=8))
+def test_order_matters(records):
+    if records[0] != records[1]:
+        swapped = [records[1], records[0]] + records[2:]
+        assert chain_digest(records) != chain_digest(swapped)
+
+
+def test_suffix_digests_shape():
+    records = [b"a", b"b", b"c"]
+    suffixes = suffix_digests(records)
+    assert suffixes[-1] is None
+    assert suffixes[0] == chain_digest([b"b", b"c"])
+    assert suffixes[1] == chain_digest([b"c"])
+
+
+def test_hiding_newest_changes_digest():
+    """Serving a stale record without the newer one cannot reproduce
+    the chain digest — the crux of the freshness guarantee."""
+    records = [b"new", b"old"]
+    full = chain_digest(records)
+    hidden = chain_digest([b"old"])
+    assert hidden != full

@@ -1,0 +1,137 @@
+"""Streaming level digester (the paper's MHT_add)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cryptoprim.hashing import hash_leaf
+from repro.mht.chain import chain_digest
+from repro.mht.incremental import OrderingError, StreamingLevelDigester
+from repro.mht.merkle import MerkleTree
+
+
+def build(records):
+    """records: list of (key, ts, encoded)."""
+    digester = StreamingLevelDigester()
+    for key, ts, encoded in records:
+        digester.add(key, ts, encoded)
+    return digester.finalize()
+
+
+def test_groups_by_key_newest_first():
+    tree = build(
+        [
+            (b"a", 9, b"a9"),
+            (b"t", 4, b"t4"),
+            (b"t", 1, b"t1"),
+            (b"z", 7, b"z7"),
+        ]
+    )
+    assert tree.leaf_count == 3
+    assert [g.key for g in tree.groups] == [b"a", b"t", b"z"]
+    assert tree.groups[1].entries == [(4, b"t4"), (1, b"t1")]
+    assert tree.record_count == 4
+
+
+def test_matches_manual_merkle_construction():
+    tree = build([(b"a", 2, b"A"), (b"b", 3, b"B"), (b"b", 1, b"Bold")])
+    manual = MerkleTree(
+        [
+            hash_leaf(chain_digest([b"A"])),
+            hash_leaf(chain_digest([b"B", b"Bold"])),
+        ]
+    )
+    assert tree.root == manual.root
+
+
+def test_rejects_descending_keys():
+    digester = StreamingLevelDigester()
+    digester.add(b"b", 1, b"x")
+    with pytest.raises(OrderingError):
+        digester.add(b"a", 2, b"y")
+
+
+def test_rejects_non_descending_timestamps():
+    digester = StreamingLevelDigester()
+    digester.add(b"a", 5, b"x")
+    with pytest.raises(OrderingError):
+        digester.add(b"a", 5, b"y")
+    with pytest.raises(OrderingError):
+        digester.add(b"a", 7, b"z")
+
+
+def test_add_after_finalize_rejected():
+    digester = StreamingLevelDigester()
+    digester.add(b"a", 1, b"x")
+    digester.finalize()
+    with pytest.raises(RuntimeError):
+        digester.add(b"b", 2, b"y")
+
+
+def test_finalize_idempotent():
+    digester = StreamingLevelDigester()
+    digester.add(b"a", 1, b"x")
+    assert digester.finalize() is digester.finalize()
+
+
+def test_empty_stream():
+    tree = StreamingLevelDigester().finalize()
+    assert tree.leaf_count == 0
+    assert tree.record_count == 0
+
+
+def test_find():
+    tree = build([(b"a", 1, b"x"), (b"c", 2, b"y")])
+    index, group = tree.find(b"a")
+    assert index == 0 and group is not None
+    index, group = tree.find(b"b")
+    assert index == 1 and group is None
+    index, group = tree.find(b"z")
+    assert index == 2 and group is None
+
+
+def test_suffixes_populated_after_finalize():
+    tree = build([(b"a", 3, b"new"), (b"a", 1, b"old")])
+    group = tree.groups[0]
+    assert group.suffixes[0] == chain_digest([b"old"])
+    assert group.suffixes[1] is None
+
+
+def test_position_for_ts():
+    tree = build([(b"a", 9, b"n"), (b"a", 5, b"m"), (b"a", 1, b"o")])
+    group = tree.groups[0]
+    assert group.position_for_ts(10) == 0
+    assert group.position_for_ts(9) == 0
+    assert group.position_for_ts(6) == 1
+    assert group.position_for_ts(1) == 2
+    assert group.position_for_ts(0) is None
+
+
+def test_on_hash_charged():
+    charges = []
+    digester = StreamingLevelDigester(on_hash=charges.append)
+    digester.add(b"a", 1, b"abc")
+    digester.finalize()
+    assert charges  # at least record + leaf hashes
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(1, 1000), st.binary(min_size=1, max_size=8)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_random_streams_consistent_with_sorted_input(raw):
+    # Deduplicate (key, ts), sort into merge order.
+    seen = {}
+    for key_index, ts, payload in raw:
+        seen[(key_index, ts)] = payload
+    ordered = sorted(seen.items(), key=lambda item: (item[0][0], -item[0][1]))
+    records = [
+        (b"k%02d" % key_index, ts, payload)
+        for (key_index, ts), payload in ordered
+    ]
+    tree = build(records)
+    assert tree.record_count == len(records)
+    assert tree.leaf_count == len({key for key, _, _ in records})

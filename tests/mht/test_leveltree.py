@@ -1,0 +1,80 @@
+"""LevelTree: the finalized per-level digest object."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mht.incremental import StreamingLevelDigester
+from repro.mht.merkle import compute_root
+from repro.mht.range_proof import compute_root_from_range
+
+
+def build(groups):
+    """groups: list of (key, [ts desc...])."""
+    digester = StreamingLevelDigester()
+    for key, ts_list in groups:
+        for ts in ts_list:
+            digester.add(key, ts, b"%s@%d" % (key, ts))
+    return digester.finalize()
+
+
+GROUPS = [(b"a", [9]), (b"c", [7, 3]), (b"e", [5]), (b"g", [8, 4, 1]), (b"i", [2])]
+
+
+def test_auth_paths_verify_for_every_leaf():
+    tree = build(GROUPS)
+    for group in tree.groups:
+        leaf = tree.tree.leaf(group.leaf_index)
+        path = tree.auth_path(group.leaf_index)
+        assert compute_root(leaf, group.leaf_index, tree.leaf_count, path) == tree.root
+
+
+def test_range_proofs_verify_for_every_window():
+    tree = build(GROUPS)
+    n = tree.leaf_count
+    leaves = [tree.tree.leaf(i) for i in range(n)]
+    for lo in range(n):
+        for hi in range(lo, n):
+            proof = tree.range_proof(lo, hi)
+            assert (
+                compute_root_from_range(leaves[lo : hi + 1], lo, n, proof)
+                == tree.root
+            )
+
+
+def test_group_at_and_find_agree():
+    tree = build(GROUPS)
+    for index, group in enumerate(tree.groups):
+        assert tree.group_at(index) is group
+        found_index, found = tree.find(group.key)
+        assert found is group and found_index == index
+
+
+def test_counts():
+    tree = build(GROUPS)
+    assert tree.leaf_count == 5
+    assert tree.record_count == 8
+
+
+@given(
+    st.dictionaries(
+        st.integers(0, 30),
+        st.sets(st.integers(1, 100), min_size=1, max_size=4),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_random_trees_consistent(data):
+    groups = [
+        (b"k%02d" % key, sorted(ts_set, reverse=True))
+        for key, ts_set in sorted(data.items())
+    ]
+    tree = build(groups)
+    assert tree.leaf_count == len(groups)
+    assert tree.record_count == sum(len(ts) for _, ts in groups)
+    # Identical input -> identical root (determinism).
+    assert build(groups).root == tree.root
+    # Any single timestamp perturbation changes the root.
+    key, ts_list = groups[0]
+    mutated = [(key, [ts_list[0] + 1000] + ts_list[1:])] + groups[1:]
+    assert build(mutated).root != tree.root

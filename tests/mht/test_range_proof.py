@@ -1,0 +1,94 @@
+"""Segment-tree range covers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cryptoprim.hashing import sha256
+from repro.mht.merkle import MerkleTree, ProofError
+from repro.mht.range_proof import build_range_proof, compute_root_from_range
+
+
+def leaves(n):
+    return [sha256(b"leaf-%d" % i) for i in range(n)]
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 11, 16, 19])
+def test_every_window_verifies_exhaustively(n):
+    ls = leaves(n)
+    tree = MerkleTree(ls)
+    for lo in range(n):
+        for hi in range(lo, n):
+            proof = build_range_proof(tree, lo, hi)
+            root = compute_root_from_range(ls[lo : hi + 1], lo, n, proof)
+            assert root == tree.root, (n, lo, hi)
+
+
+def test_mutated_leaf_fails():
+    ls = leaves(9)
+    tree = MerkleTree(ls)
+    proof = build_range_proof(tree, 2, 5)
+    window = ls[2:6]
+    window[1] = sha256(b"evil")
+    assert compute_root_from_range(window, 2, 9, proof) != tree.root
+
+
+def test_dropped_leaf_fails():
+    """Omission: removing a leaf from the window breaks verification."""
+    ls = leaves(9)
+    tree = MerkleTree(ls)
+    proof = build_range_proof(tree, 2, 5)
+    window = ls[2:5]  # one leaf short
+    with pytest.raises(ProofError):
+        compute_root_from_range(window, 2, 9, proof)
+
+
+def test_shifted_window_fails():
+    ls = leaves(9)
+    tree = MerkleTree(ls)
+    proof = build_range_proof(tree, 2, 5)
+    try:
+        result = compute_root_from_range(ls[3:7], 3, 9, proof)
+        assert result != tree.root
+    except ProofError:
+        pass  # shape mismatch is an equally valid detection
+
+
+def test_proof_too_long_rejected():
+    ls = leaves(8)
+    tree = MerkleTree(ls)
+    proof = build_range_proof(tree, 1, 2) + [sha256(b"extra")]
+    with pytest.raises(ProofError):
+        compute_root_from_range(ls[1:3], 1, 8, proof)
+
+
+def test_empty_window_rejected():
+    with pytest.raises(ProofError):
+        compute_root_from_range([], 0, 4, [])
+
+
+def test_bad_bounds_rejected():
+    ls = leaves(4)
+    tree = MerkleTree(ls)
+    with pytest.raises(IndexError):
+        build_range_proof(tree, 2, 5)
+    with pytest.raises(ProofError):
+        compute_root_from_range(ls[2:4], 3, 4, [])
+
+
+def test_full_window_needs_no_proof():
+    ls = leaves(8)
+    tree = MerkleTree(ls)
+    proof = build_range_proof(tree, 0, 7)
+    assert proof == []
+    assert compute_root_from_range(ls, 0, 8, proof) == tree.root
+
+
+@given(st.integers(1, 50), st.data())
+def test_random_windows(n, data):
+    ls = leaves(n)
+    tree = MerkleTree(ls)
+    lo = data.draw(st.integers(0, n - 1))
+    hi = data.draw(st.integers(lo, n - 1))
+    proof = build_range_proof(tree, lo, hi)
+    assert compute_root_from_range(ls[lo : hi + 1], lo, n, proof) == tree.root

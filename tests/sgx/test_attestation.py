@@ -1,0 +1,39 @@
+"""Remote attestation quotes."""
+
+from dataclasses import replace
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sgx.attestation import attest, verify_quote
+from repro.sgx.enclave import Enclave
+
+
+def make_enclave(identity=b"elsm"):
+    return Enclave(SimClock(), CostModel(), 1024, code_identity=identity)
+
+
+def test_valid_quote_verifies():
+    enclave = make_enclave()
+    quote = attest(enclave, report_data=b"session-key")
+    assert verify_quote(quote, enclave.measurement)
+
+
+def test_wrong_measurement_rejected():
+    enclave = make_enclave(b"good")
+    other = make_enclave(b"evil")
+    quote = attest(enclave)
+    assert not verify_quote(quote, other.measurement)
+
+
+def test_tampered_signature_rejected():
+    enclave = make_enclave()
+    quote = attest(enclave)
+    forged = replace(quote, signature=bytes(32))
+    assert not verify_quote(forged, enclave.measurement)
+
+
+def test_tampered_report_data_rejected():
+    enclave = make_enclave()
+    quote = attest(enclave, report_data=b"original")
+    forged = replace(quote, report_data=b"swapped")
+    assert not verify_quote(forged, enclave.measurement)

@@ -1,0 +1,111 @@
+"""EPC pager: residency, faults, LRU, dirty write-back."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import PAGE_SIZE, CostModel
+from repro.sgx.memory import EpcPager
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+def make_pager(clock, pages=4, **kw):
+    return EpcPager(clock, CostModel(), capacity_bytes=pages * PAGE_SIZE, **kw)
+
+
+def test_first_touch_faults(clock):
+    pager = make_pager(clock)
+    assert pager.touch("r", 0, 10) == 1
+    assert pager.fault_count == 1
+
+
+def test_repeat_touch_is_resident(clock):
+    pager = make_pager(clock)
+    pager.touch("r", 0, 10)
+    assert pager.touch("r", 0, 10) == 0
+
+
+def test_touch_spanning_pages(clock):
+    pager = make_pager(clock)
+    faults = pager.touch("r", PAGE_SIZE - 10, 20)  # straddles two pages
+    assert faults == 2
+
+
+def test_zero_bytes_no_fault(clock):
+    pager = make_pager(clock)
+    assert pager.touch("r", 0, 0) == 0
+
+
+def test_lru_eviction(clock):
+    pager = make_pager(clock, pages=2)
+    pager.touch("r", 0 * PAGE_SIZE, 1)
+    pager.touch("r", 1 * PAGE_SIZE, 1)
+    pager.touch("r", 0 * PAGE_SIZE, 1)  # refresh page 0
+    pager.touch("r", 2 * PAGE_SIZE, 1)  # evicts page 1 (LRU)
+    assert pager.touch("r", 0 * PAGE_SIZE, 1) == 0  # still resident
+    assert pager.touch("r", 1 * PAGE_SIZE, 1) == 1  # was evicted
+
+
+def test_fault_charges_configured_cost(clock):
+    pager = make_pager(clock)
+    pager.touch("r", 0, 1)
+    assert clock.breakdown()["epc_page_fault"] == CostModel().epc_page_fault_us
+
+
+def test_userspace_fault_category():
+    clock = SimClock()
+    pager = EpcPager(
+        clock,
+        CostModel(),
+        capacity_bytes=PAGE_SIZE,
+        fault_cost_us=12.0,
+        fault_category="userspace_page_miss",
+    )
+    pager.touch("r", 0, 1)
+    assert clock.breakdown() == {"userspace_page_miss": 12.0}
+
+
+def test_dirty_eviction_pays_writeback(clock):
+    pager = make_pager(clock, pages=1)
+    pager.touch("r", 0, 1, write=True)  # dirty resident page
+    before = clock.event_count("epc_page_fault")
+    pager.touch("r", PAGE_SIZE, 1)  # evicts the dirty page
+    # fault for the new page + EWB for the dirty victim
+    assert clock.event_count("epc_page_fault") == before + 2
+    assert pager.evicted_dirty_count == 1
+
+
+def test_clean_eviction_is_single_charge(clock):
+    pager = make_pager(clock, pages=1)
+    pager.touch("r", 0, 1)  # clean
+    before = clock.event_count("epc_page_fault")
+    pager.touch("r", PAGE_SIZE, 1)
+    assert clock.event_count("epc_page_fault") == before + 1
+
+
+def test_write_marks_resident_page_dirty(clock):
+    pager = make_pager(clock, pages=1)
+    pager.touch("r", 0, 1)  # clean fault
+    pager.touch("r", 0, 1, write=True)  # dirty it while resident
+    pager.touch("r", PAGE_SIZE, 1)  # eviction must pay EWB
+    assert pager.evicted_dirty_count == 1
+
+
+def test_discard_region(clock):
+    pager = make_pager(clock)
+    pager.touch("a", 0, 1)
+    pager.touch("b", 0, 1)
+    pager.discard_region("a")
+    assert pager.touch("a", 0, 1) == 1  # faulting again
+    assert pager.touch("b", 0, 1) == 0
+
+
+def test_working_set_within_capacity_stops_faulting(clock):
+    pager = make_pager(clock, pages=8)
+    for _ in range(3):
+        for page in range(8):
+            pager.touch("r", page * PAGE_SIZE, 1)
+    assert pager.fault_count == 8  # only the cold misses

@@ -1,0 +1,62 @@
+"""Sealing: confidentiality and authenticity of persisted enclave state."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sgx.enclave import Enclave
+from repro.sgx.sealing import SealError, seal, unseal
+
+
+@pytest.fixture
+def enclave():
+    return Enclave(SimClock(), CostModel(), 64 * 1024)
+
+
+def test_seal_unseal_roundtrip(enclave):
+    payload = {"roots": ["abc", "def"], "ts": 42}
+    assert unseal(enclave, seal(enclave, payload)) == payload
+
+
+def test_ciphertext_hides_plaintext(enclave):
+    blob = seal(enclave, {"secret": "swordfish"})
+    assert b"swordfish" not in blob.ciphertext
+
+
+def test_tampered_ciphertext_rejected(enclave):
+    blob = seal(enclave, {"ts": 1})
+    bad = replace(blob, ciphertext=bytes([blob.ciphertext[0] ^ 1]) + blob.ciphertext[1:])
+    with pytest.raises(SealError):
+        unseal(enclave, bad)
+
+
+def test_tampered_mac_rejected(enclave):
+    blob = seal(enclave, {"ts": 1})
+    bad = replace(blob, mac=bytes(32))
+    with pytest.raises(SealError):
+        unseal(enclave, bad)
+
+
+def test_other_enclave_cannot_unseal():
+    a = Enclave(SimClock(), CostModel(), 1024, code_identity=b"A")
+    b = Enclave(SimClock(), CostModel(), 1024, code_identity=b"B")
+    blob = seal(a, {"ts": 1})
+    with pytest.raises(SealError):
+        unseal(b, blob)
+
+
+def test_same_identity_enclave_can_unseal():
+    """State continuity: a restarted enclave with the same code unseals."""
+    first = Enclave(SimClock(), CostModel(), 1024, code_identity=b"same")
+    restarted = Enclave(SimClock(), CostModel(), 1024, code_identity=b"same")
+    blob = seal(first, {"ts": 7})
+    assert unseal(restarted, blob)["ts"] == 7
+
+
+def test_old_blob_still_unseals(enclave):
+    """Sealing alone does NOT stop rollbacks — that needs the counter."""
+    old = seal(enclave, {"ts": 1})
+    seal(enclave, {"ts": 2})
+    assert unseal(enclave, old)["ts"] == 1

@@ -1,0 +1,47 @@
+"""Cost model arithmetic."""
+
+import pytest
+
+from repro.sim.costs import DEFAULT_COSTS, ZERO_COSTS, CostModel
+
+
+def test_hash_cost_scales_with_bytes():
+    costs = CostModel(hash_base_us=1.0, hash_us_per_kb=2.0)
+    assert costs.hash_cost(0) == pytest.approx(1.0)
+    assert costs.hash_cost(1024) == pytest.approx(3.0)
+    assert costs.hash_cost(2048) == pytest.approx(5.0)
+
+
+def test_encrypt_cost_linear():
+    costs = CostModel(encrypt_us_per_kb=4.0)
+    assert costs.encrypt_cost(512) == pytest.approx(2.0)
+
+
+def test_copy_costs_differ_by_location():
+    assert DEFAULT_COSTS.enclave_copy_cost(4096) > DEFAULT_COSTS.dram_copy_cost(4096)
+
+
+def test_with_overrides_returns_new_model():
+    base = CostModel()
+    tweaked = base.with_overrides(ecall_us=99.0)
+    assert tweaked.ecall_us == 99.0
+    assert base.ecall_us != 99.0
+    assert tweaked.ocall_us == base.ocall_us
+
+
+def test_zero_costs_are_all_zero():
+    assert ZERO_COSTS.hash_cost(10_000) == 0.0
+    assert ZERO_COSTS.encrypt_cost(10_000) == 0.0
+    assert ZERO_COSTS.enclave_copy_cost(10_000) == 0.0
+    assert ZERO_COSTS.ecall_us == 0.0
+    assert ZERO_COSTS.epc_page_fault_us == 0.0
+    assert ZERO_COSTS.cpu_op_base_us == 0.0
+
+
+def test_default_model_reflects_sgx_hierarchy():
+    """The calibrated ordering the figures rely on."""
+    costs = DEFAULT_COSTS
+    # A page fault dwarfs a world switch, which dwarfs a memory touch.
+    assert costs.epc_page_fault_us > costs.ecall_us > costs.enclave_touch_us
+    # Device access dwarfs a kernel-cached read.
+    assert costs.disk_seek_us > costs.kernel_read_us

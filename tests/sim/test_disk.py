@@ -1,0 +1,153 @@
+"""Simulated disk: namespace, costs, kernel page cache."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import PAGE_SIZE, CostModel
+from repro.sim.disk import SimDisk
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def disk(clock):
+    return SimDisk(clock, CostModel())
+
+
+def test_create_and_read(disk):
+    disk.create("a")
+    disk.append("a", b"hello world")
+    assert disk.read("a", 0, 5) == b"hello"
+    assert disk.read("a", 6, 5) == b"world"
+    assert disk.size("a") == 11
+
+
+def test_create_duplicate_fails(disk):
+    disk.create("a")
+    with pytest.raises(FileExistsError):
+        disk.create("a")
+
+
+def test_open_missing_fails(disk):
+    with pytest.raises(FileNotFoundError):
+        disk.open("nope")
+
+
+def test_delete_removes_file_and_cache(disk):
+    disk.create("a")
+    disk.append("a", b"x" * PAGE_SIZE)
+    disk.delete("a")
+    assert not disk.exists("a")
+    assert all(key[0] != "a" for key in disk._cache)
+
+
+def test_write_file_replaces(disk):
+    disk.write_file("a", b"one")
+    disk.write_file("a", b"two")
+    assert disk.read("a", 0, 3) == b"two"
+
+
+def test_list_files_sorted(disk):
+    for name in ("c", "a", "b"):
+        disk.create(name)
+    assert disk.list_files() == ["a", "b", "c"]
+
+
+def test_total_bytes(disk):
+    disk.write_file("a", b"xx")
+    disk.write_file("b", b"yyy")
+    assert disk.total_bytes() == 5
+
+
+def test_append_returns_offset(disk):
+    disk.create("a")
+    assert disk.append("a", b"abc") == 0
+    assert disk.append("a", b"def") == 3
+
+
+def test_cached_read_avoids_device(clock, disk):
+    disk.create("a")
+    disk.append("a", b"x" * PAGE_SIZE)  # lands in the page cache
+    before = clock.breakdown().get("disk_seek", 0.0)
+    disk.read("a", 0, 100)
+    assert clock.breakdown().get("disk_seek", 0.0) == before
+
+
+def test_uncached_read_pays_seek():
+    clock = SimClock()
+    disk = SimDisk(clock, CostModel(), cache_bytes=PAGE_SIZE)  # tiny cache
+    disk.create("a")
+    disk.append("a", b"x" * (10 * PAGE_SIZE))
+    clock.reset()
+    disk.read("a", 5 * PAGE_SIZE, 10)  # non-sequential, evicted
+    assert clock.breakdown().get("disk_seek", 0.0) > 0
+
+
+def test_sequential_reads_skip_seek():
+    clock = SimClock()
+    disk = SimDisk(clock, CostModel(), cache_bytes=PAGE_SIZE)
+    disk.create("a")
+    disk.append("a", b"x" * (8 * PAGE_SIZE))
+    disk.read("a", 0, PAGE_SIZE)
+    seeks_after_first = clock.event_count("disk_seek")
+    disk.read("a", PAGE_SIZE, PAGE_SIZE)  # sequential continuation
+    assert clock.event_count("disk_seek") == seeks_after_first
+
+
+def test_fsync_charges_for_dirty_bytes(clock, disk):
+    disk.create("a")
+    disk.append("a", b"x" * 4096)
+    clock.reset()
+    disk.fsync("a")
+    first = clock.now_us
+    disk.fsync("a")  # nothing dirty now
+    assert clock.now_us - first < first
+
+
+def test_mmap_read_touches_not_syscalls(clock, disk):
+    disk.create("a")
+    disk.append("a", b"x" * PAGE_SIZE)
+    clock.reset()
+    disk.read_mmap("a", 0, 64)
+    assert clock.event_count("kernel_read") == 0
+    assert clock.event_count("dram_touch") >= 1
+
+
+def test_prefetch_warms_cache():
+    clock = SimClock()
+    disk = SimDisk(clock, CostModel())
+    disk.create("a")
+    f = disk.open("a")
+    f.data = bytearray(b"x" * (4 * PAGE_SIZE))  # bypass append caching
+    disk.prefetch("a")
+    clock.reset()
+    disk.read("a", 2 * PAGE_SIZE, 16)
+    assert clock.event_count("disk_seek") == 0
+
+
+def test_write_at_overwrites_and_extends(disk):
+    disk.create("a")
+    disk.append("a", b"aaaa")
+    disk.write_at("a", 2, b"XX")
+    assert disk.read("a", 0, 4) == b"aaXX"
+    disk.write_at("a", 10, b"Z")
+    assert disk.size("a") == 11
+
+
+def test_write_at_charges_device_write(clock, disk):
+    disk.create("a")
+    clock.reset()
+    disk.write_at("a", 0, b"x" * 4096)
+    assert clock.breakdown().get("disk_write", 0.0) > 0
+
+
+def test_cache_eviction_is_lru():
+    clock = SimClock()
+    disk = SimDisk(clock, CostModel(), cache_bytes=2 * PAGE_SIZE)
+    disk.create("a")
+    disk.append("a", b"x" * (4 * PAGE_SIZE))
+    # Only the last two appended pages remain cached.
+    assert len(disk._cache) == 2

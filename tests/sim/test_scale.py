@@ -1,0 +1,46 @@
+"""Scaling between paper sizes and simulated sizes."""
+
+from repro.sim.scale import GB, MB, PAPER_EPC_BYTES, ScaleConfig
+
+
+def test_epc_scales_with_factor():
+    scale = ScaleConfig(factor=1 / 1024)
+    assert scale.epc_bytes == PAPER_EPC_BYTES // 1024
+    assert scale.epc_bytes == 128 * 1024
+
+
+def test_scale_bytes_floor_of_one():
+    scale = ScaleConfig(factor=1e-12)
+    assert scale.scale_bytes(1) == 1
+
+
+def test_records_for_matches_record_size():
+    scale = ScaleConfig(factor=1 / 1024)
+    records = scale.records_for(3 * GB)
+    assert records == (3 * GB // 1024) // (16 + 100)
+
+
+def test_identity_scale():
+    scale = ScaleConfig(factor=1.0)
+    assert scale.scale_bytes(5 * MB) == 5 * MB
+
+
+def test_label_contains_both_sizes():
+    scale = ScaleConfig(factor=1 / 1024)
+    label = scale.label(3 * GB)
+    assert "3GB" in label
+    assert "scaled" in label
+
+
+def test_label_formats_fractional_sizes():
+    scale = ScaleConfig(factor=1 / 1024)
+    assert "1.5GB" in scale.label(int(1.5 * GB))
+
+
+def test_crossover_invariance():
+    """Buffer > EPC in paper units iff scaled buffer > scaled EPC."""
+    for factor in (1.0, 1 / 256, 1 / 1024, 1 / 4096):
+        scale = ScaleConfig(factor=factor)
+        below = scale.scale_bytes(64 * MB)
+        above = scale.scale_bytes(256 * MB)
+        assert below <= scale.epc_bytes < above

@@ -1,0 +1,74 @@
+"""Experiment-result harness mechanics."""
+
+from repro.bench.harness import ExperimentResult, record_result
+
+
+def make_result():
+    result = ExperimentResult(
+        exp_id="demo",
+        title="A demo table",
+        columns=["x", "latency", "maybe"],
+        notes=["a note"],
+    )
+    result.add_row(1, 10.05, None)
+    result.add_row(2, 20.0, 3)
+    return result
+
+
+def test_format_table_contains_everything():
+    text = make_result().format_table()
+    assert "demo" in text and "A demo table" in text
+    assert "latency" in text
+    assert "10.1" in text and "20.0" in text  # floats at 1 decimal
+    assert "-" in text  # the None cell
+    assert "note: a note" in text
+
+
+def test_column_accessor():
+    result = make_result()
+    assert result.column("x") == [1, 2]
+    assert result.column("maybe") == [None, 3]
+
+
+def test_save_writes_file(tmp_path):
+    path = make_result().save(tmp_path)
+    assert path.read_text().startswith("== demo")
+
+
+def test_record_result_registers_and_saves(tmp_path):
+    from repro.bench import harness
+
+    before = len(harness.all_results())
+    record_result(make_result(), directory=tmp_path)
+    assert len(harness.all_results()) == before + 1
+    assert (tmp_path / "demo.txt").exists()
+
+
+def test_bench_scale_env_default():
+    from repro.bench.experiments import bench_scale
+
+    assert bench_scale(0.5).factor == 0.5
+    assert bench_scale().factor > 0
+
+
+def test_render_chart():
+    result = make_result()
+    chart = result.render_chart()
+    assert "#" in chart and "(n/a)" in chart
+    assert "demo" in chart
+
+
+def test_render_chart_empty():
+    from repro.bench.harness import ExperimentResult
+
+    empty = ExperimentResult("e", "t", ["a", "b"])
+    assert empty.render_chart() == "(no data)"
+    textual = ExperimentResult("e", "t", ["a", "b"])
+    textual.add_row("x", "not-a-number")
+    assert textual.render_chart() == "(no numeric data)"
+
+
+def test_render_chart_selected_series():
+    chart = make_result().render_chart(series=["latency"])
+    assert "latency" in chart
+    assert "maybe" not in chart

@@ -1,0 +1,61 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo_runs_clean(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "stale-read attack detected" in out
+    assert "CLEAN" in out
+
+
+def test_list_experiments(capsys):
+    assert main(["list-experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "fig5a" in out and "ablation_counter_buffer" in out
+
+
+def test_bench_unknown_experiment(capsys):
+    assert main(["bench", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_bench_tiny_run(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(
+        ["bench", "ablation_counter_buffer", "--ops", "10",
+         "--factor", "0.00006", "--save"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "anchor every N writes" in out
+    assert (tmp_path / "results" / "ablation_counter_buffer.txt").exists()
+
+
+def test_ycsb_run(capsys):
+    assert main(
+        ["ycsb", "--workload", "C", "--system", "plain",
+         "--records", "300", "--ops", "100", "--factor", "0.0002"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "us/op mean" in out
+    assert "read" in out
+
+
+def test_audit_clean(capsys):
+    assert main(["audit"]) == 0
+    assert "CLEAN" in capsys.readouterr().out
+
+
+def test_audit_tampered_detects(capsys):
+    assert main(["audit", "--tamper"]) == 0
+    out = capsys.readouterr().out
+    assert "PROBLEMS FOUND" in out
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])

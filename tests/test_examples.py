@@ -1,0 +1,45 @@
+"""The runnable examples must keep running (fast ones, end to end)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "stale read detected" in out
+    assert "verified reads" in out
+
+
+def test_encrypted_outsourcing():
+    out = run_example("encrypted_outsourcing.py")
+    assert "plaintext keys/values visible to the host: 0" in out
+    assert "correctly refused" in out
+
+
+def test_remote_client():
+    out = run_example("remote_client.py")
+    assert "forged balance detected remotely" in out
+    assert "stale balance detected remotely" in out
+
+
+@pytest.mark.slow
+def test_blockchain_ledger():
+    out = run_example("blockchain_ledger.py")
+    assert "rollback detected" in out
+    assert "ledger consistent" in out

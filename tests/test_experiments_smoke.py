@@ -1,0 +1,79 @@
+"""Fast smoke tests of the figure-experiment functions.
+
+The real benchmarks run minutes; these run the same code paths at a
+tiny scale (monkeypatched `BENCH_FACTOR`) with a handful of ops, so a
+broken experiment fails in the unit suite rather than at bench time.
+"""
+
+import pytest
+
+import repro.bench.experiments as experiments
+
+TINY = 1.0 / 16384.0
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setattr(experiments, "BENCH_FACTOR", TINY)
+
+
+def assert_table(result, min_rows=1):
+    assert result.rows and len(result.rows) >= min_rows
+    assert result.format_table()
+    for row in result.rows:
+        assert len(row) == len(result.columns)
+
+
+def test_fig5a_smoke():
+    assert_table(experiments.fig5a_read_write_ratio(ops=15), min_rows=5)
+
+
+def test_fig5b_smoke():
+    assert_table(experiments.fig5b_data_size(ops=15), min_rows=3)
+
+
+def test_fig5c_smoke():
+    assert_table(experiments.fig5c_distributions(ops=15), min_rows=3)
+
+
+def test_fig6b_smoke():
+    assert_table(experiments.fig6b_mmap_vs_buffer(ops=15), min_rows=3)
+
+
+def test_fig6c_smoke():
+    assert_table(experiments.fig6c_buffer_size(ops=15), min_rows=3)
+
+
+def test_fig7b_smoke():
+    assert_table(experiments.fig7b_compaction_onoff(ops=15), min_rows=2)
+
+
+def test_fig8_smoke():
+    assert_table(experiments.fig8_write_buffer(ops=15), min_rows=3)
+
+
+def test_ablation_early_stop_smoke():
+    assert_table(experiments.ablation_early_stop(ops=15), min_rows=2)
+
+
+def test_ablation_counter_buffer_smoke():
+    result = experiments.ablation_counter_buffer(ops=15)
+    assert_table(result, min_rows=4)
+    latencies = result.column("write us/op")
+    assert latencies[0] > latencies[-1]  # buffering helps even at tiny scale
+
+
+def test_fig6a_smoke():
+    assert_table(experiments.fig6a_read_scaling(ops=12), min_rows=4)
+
+
+def test_fig7a_smoke():
+    assert_table(experiments.fig7a_write_compaction(ops=12), min_rows=3)
+
+
+def test_update_in_place_smoke():
+    result = experiments.update_in_place_baseline(ops=12)
+    assert_table(result, min_rows=4)
+    rows = {row[0]: row for row in result.rows}
+    # Even a tiny run keeps the HDD ordering.
+    assert rows["write / hdd"][2] > rows["write / hdd"][1]

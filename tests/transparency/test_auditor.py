@@ -1,0 +1,68 @@
+"""Log auditor behaviour."""
+
+import pytest
+
+from repro.transparency.auditor import LogAuditor
+from repro.transparency.certs import CertificateStream
+from repro.transparency.log_server import CTLogServer
+from tests.conftest import make_p2_store
+
+
+@pytest.fixture
+def setup():
+    log = CTLogServer(make_p2_store(name_prefix="ct"))
+    stream = CertificateStream(domain_count=30, seed=2)
+    certs = list(stream.stream(150))
+    for cert in certs:
+        log.submit(cert)
+    log.store.flush()
+    return log, certs
+
+
+def latest_for(certs, hostname):
+    return [c for c in certs if c.hostname == hostname][-1]
+
+
+def test_current_certificate_passes(setup):
+    log, certs = setup
+    auditor = LogAuditor(log)
+    current = latest_for(certs, certs[0].hostname)
+    report = auditor.audit(current)
+    assert report.included and report.current
+    assert not report.revoked
+
+
+def test_superseded_certificate_flagged(setup):
+    log, certs = setup
+    hot = max(certs, key=lambda c: sum(x.hostname == c.hostname for x in certs))
+    history = [c for c in certs if c.hostname == hot.hostname]
+    assert len(history) >= 2, "need a re-issued hostname"
+    auditor = LogAuditor(log)
+    report = auditor.audit(history[0])  # the old certificate
+    assert not report.current
+    assert report.notes
+
+
+def test_unlogged_certificate_fails(setup):
+    log, _certs = setup
+    rogue = CertificateStream(domain_count=5, seed=99).issue()
+    auditor = LogAuditor(log)
+    report = auditor.audit(rogue)
+    assert not report.included
+
+
+def test_revoked_certificate_fails(setup):
+    log, certs = setup
+    victim = latest_for(certs, certs[5].hostname)
+    log.revoke(victim.hostname)
+    auditor = LogAuditor(log)
+    report = auditor.audit(victim)
+    assert not report.included
+
+
+def test_audits_counted(setup):
+    log, certs = setup
+    auditor = LogAuditor(log)
+    for cert in certs[:5]:
+        auditor.audit(cert)
+    assert auditor.audits == 5

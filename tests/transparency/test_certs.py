@@ -1,0 +1,44 @@
+"""Synthetic certificate stream."""
+
+from collections import Counter
+
+from repro.transparency.certs import CertificateStream
+
+
+def test_stream_produces_unique_serials():
+    stream = CertificateStream(domain_count=50, seed=1)
+    certs = list(stream.stream(200))
+    assert len({c.serial for c in certs}) == 200
+
+
+def test_fingerprint_is_der_hash():
+    import hashlib
+
+    stream = CertificateStream(domain_count=10, seed=2)
+    cert = stream.issue()
+    assert cert.fingerprint == hashlib.sha256(cert.der).digest()
+
+
+def test_log_key_is_hostname():
+    stream = CertificateStream(domain_count=10, seed=3)
+    cert = stream.issue()
+    assert cert.log_key == cert.hostname.encode()
+
+
+def test_popularity_is_skewed():
+    stream = CertificateStream(domain_count=500, seed=4)
+    counts = Counter(c.hostname for c in stream.stream(3000))
+    top_share = sum(c for _, c in counts.most_common(10)) / 3000
+    assert top_share > 0.2  # hot domains get re-issued
+
+
+def test_validity_window_ordering():
+    stream = CertificateStream(domain_count=10, seed=5)
+    cert = stream.issue()
+    assert cert.not_before < cert.not_after
+
+
+def test_deterministic_by_seed():
+    a = [c.hostname for c in CertificateStream(seed=9).stream(50)]
+    b = [c.hostname for c in CertificateStream(seed=9).stream(50)]
+    assert a == b

@@ -1,0 +1,63 @@
+"""CT log server on eLSM."""
+
+import pytest
+
+from repro.transparency.certs import CertificateStream
+from repro.transparency.log_server import CTLogServer
+from tests.conftest import make_p2_store
+
+
+@pytest.fixture
+def log():
+    server = CTLogServer(make_p2_store(name_prefix="ct"))
+    stream = CertificateStream(domain_count=50, seed=1)
+    server._certs = list(stream.stream(300))
+    for cert in server._certs:
+        server.submit(cert)
+    return server
+
+
+def test_lookup_returns_latest_fingerprint(log):
+    cert = log._certs[-1]
+    result = log.lookup(cert.hostname)
+    # The last issuance for that hostname wins (freshness).
+    latest = [c for c in log._certs if c.hostname == cert.hostname][-1]
+    assert result.fingerprint == latest.fingerprint
+    assert result.timestamp is not None
+
+
+def test_lookup_absent_hostname(log):
+    result = log.lookup("never-issued.example.com")
+    assert result.fingerprint is None
+
+
+def test_revocation_hides_certificate(log):
+    cert = log._certs[0]
+    log.revoke(cert.hostname)
+    result = log.lookup(cert.hostname)
+    assert result.fingerprint is None
+
+
+def test_lookup_carries_proof_bytes(log):
+    log.store.flush()
+    cert = log._certs[10]
+    result = log.lookup(cert.hostname)
+    assert result.proof_bytes > 0
+
+
+def test_domain_download_complete(log):
+    log.store.flush()
+    expected = {}
+    for cert in log._certs:
+        expected[cert.log_key] = cert.fingerprint  # latest wins
+    prefix = "host0000"
+    entries = dict(log.download_domain(prefix))
+    expected_subset = {
+        k: v for k, v in expected.items() if k.startswith(prefix.encode())
+    }
+    assert entries == expected_subset
+    assert entries  # hot domains exist under host0000*
+
+
+def test_certificates_logged_counter(log):
+    assert log.certificates_logged == 300

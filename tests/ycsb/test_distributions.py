@@ -1,0 +1,86 @@
+"""YCSB request distributions."""
+
+from collections import Counter
+
+import pytest
+
+from repro.ycsb.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv64,
+)
+
+
+def draws(gen, n=5000):
+    return [gen.next() for _ in range(n)]
+
+
+def test_uniform_range_and_spread():
+    gen = UniformGenerator(100, seed=1)
+    values = draws(gen)
+    assert all(0 <= v < 100 for v in values)
+    counts = Counter(values)
+    assert len(counts) > 90  # nearly every key hit
+
+
+def test_uniform_rejects_empty():
+    with pytest.raises(ValueError):
+        UniformGenerator(0)
+
+
+def test_zipfian_range():
+    gen = ZipfianGenerator(1000, seed=2)
+    assert all(0 <= v < 1000 for v in draws(gen))
+
+
+def test_zipfian_is_skewed():
+    gen = ZipfianGenerator(1000, seed=3)
+    counts = Counter(draws(gen, 20000))
+    top = counts.most_common(10)
+    top_share = sum(c for _, c in top) / 20000
+    assert top_share > 0.3  # the head dominates
+    assert counts[0] == counts.most_common(1)[0][1]  # rank 0 most popular
+
+
+def test_zipfian_deterministic_by_seed():
+    assert draws(ZipfianGenerator(100, seed=9), 100) == draws(
+        ZipfianGenerator(100, seed=9), 100
+    )
+
+
+def test_scrambled_zipfian_spreads_hotspots():
+    gen = ScrambledZipfianGenerator(1000, seed=4)
+    values = draws(gen, 20000)
+    assert all(0 <= v < 1000 for v in values)
+    counts = Counter(values)
+    hottest = [k for k, _ in counts.most_common(5)]
+    # The hottest keys are scattered, not the lowest indices.
+    assert any(k > 100 for k in hottest)
+
+
+def test_latest_prefers_recent():
+    count = 1000
+    gen = LatestGenerator(lambda: count, seed=5)
+    values = draws(gen, 10000)
+    assert all(0 <= v < count for v in values)
+    recent_share = sum(v >= count - 100 for v in values) / len(values)
+    assert recent_share > 0.4
+
+
+def test_latest_tracks_growing_dataset():
+    state = {"count": 10}
+    gen = LatestGenerator(lambda: state["count"], seed=6)
+    assert all(v < 10 for v in draws(gen, 200))
+    state["count"] = 500
+    later = draws(gen, 2000)
+    assert all(v < 500 for v in later)
+    assert any(v >= 10 for v in later)
+
+
+def test_fnv64_is_deterministic_and_spreads():
+    assert fnv64(1) == fnv64(1)
+    assert fnv64(1) != fnv64(2)
+    values = {fnv64(i) % 97 for i in range(1000)}
+    assert len(values) == 97

@@ -1,0 +1,53 @@
+"""Latency statistics."""
+
+import pytest
+
+from repro.ycsb.stats import LatencyStats
+
+
+def filled(values):
+    stats = LatencyStats()
+    for v in values:
+        stats.add(v)
+    return stats
+
+
+def test_empty_stats():
+    stats = LatencyStats()
+    assert stats.count == 0
+    assert stats.mean == 0.0
+    assert stats.p99 == 0.0
+    assert stats.stdev == 0.0
+
+
+def test_mean():
+    assert filled([1, 2, 3]).mean == pytest.approx(2.0)
+
+
+def test_percentiles():
+    stats = filled(range(1, 101))  # 1..100
+    assert stats.p50 == 50
+    assert stats.p95 == 95
+    assert stats.p99 == 99
+    assert stats.percentile(100) == 100
+    assert stats.percentile(0) == 1
+
+
+def test_stdev():
+    assert filled([2, 2, 2]).stdev == 0.0
+    assert filled([1, 3]).stdev == pytest.approx(2 ** 0.5)
+
+
+def test_merge():
+    a = filled([1, 2])
+    b = filled([3, 4])
+    a.merge(b)
+    assert a.count == 4
+    assert a.mean == pytest.approx(2.5)
+
+
+def test_add_after_percentile_resorts():
+    stats = filled([10])
+    assert stats.p50 == 10
+    stats.add(1)
+    assert stats.p50 == 1

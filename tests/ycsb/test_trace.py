@@ -1,0 +1,72 @@
+"""Workload trace record / save / load / replay."""
+
+import pytest
+
+from repro.baselines.unsecured import UnsecuredLSMStore
+from repro.sim.scale import ScaleConfig
+from repro.ycsb.runner import load_phase
+from repro.ycsb.trace import load_trace, record_trace, replay_trace, save_trace
+from repro.ycsb.workload import WORKLOAD_A, WORKLOAD_E, CoreWorkload
+
+SCALE = ScaleConfig(factor=1 / 4096)
+
+
+def test_record_freezes_ops():
+    workload = CoreWorkload(WORKLOAD_A, 100, seed=3)
+    trace = record_trace(workload, 50)
+    assert len(trace) == 50
+    assert all(op.kind in {"read", "update"} for op in trace)
+
+
+def test_save_load_roundtrip(tmp_path):
+    workload = CoreWorkload(WORKLOAD_E, 100, seed=4)
+    trace = record_trace(workload, 80)
+    path = save_trace(tmp_path / "trace.txt", trace)
+    assert load_trace(path) == trace
+
+
+def test_load_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "t.txt"
+    path.write_text("# comment\n\nread 5\nscan 2 10\n")
+    trace = load_trace(path)
+    assert [op.kind for op in trace] == ["read", "scan"]
+    assert trace[1].scan_length == 10
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "t.txt"
+    path.write_text("explode 5\n")
+    with pytest.raises(ValueError):
+        load_trace(path)
+    path.write_text("scan 5\n")  # scan without length
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+def test_replay_is_identical_across_systems(tmp_path):
+    workload = CoreWorkload(WORKLOAD_A, 150, seed=5)
+    trace = record_trace(workload, 100)
+
+    results = []
+    for prefix in ("t1", "t2"):
+        store = UnsecuredLSMStore(scale=SCALE, name_prefix=prefix)
+        load_phase(store, CoreWorkload(WORKLOAD_A, 150, seed=1))
+        result = replay_trace(store, workload, trace)
+        results.append(result)
+    # Same simulated substrate + same trace -> identical measurements.
+    assert results[0].operations == results[1].operations == 100
+    assert results[0].mean_latency_us == pytest.approx(
+        results[1].mean_latency_us
+    )
+
+
+def test_replay_on_authenticated_store():
+    from tests.conftest import make_p2_store
+
+    workload = CoreWorkload(WORKLOAD_A, 80, seed=6)
+    store = make_p2_store()
+    load_phase(store, CoreWorkload(WORKLOAD_A, 80, seed=1))
+    trace = record_trace(workload, 60)
+    result = replay_trace(store, workload, trace)
+    assert result.operations == 60
+    assert result.mean_latency_us > 0

@@ -1,0 +1,105 @@
+"""CoreWorkload: mixes, key/value synthesis, presets."""
+
+from collections import Counter
+
+import pytest
+
+from repro.ycsb.workload import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    CoreWorkload,
+    WorkloadSpec,
+    mixed_workload,
+    read_only_workload,
+    write_only_workload,
+)
+
+
+def test_presets_sum_to_one():
+    for spec in (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D, WORKLOAD_E, WORKLOAD_F):
+        total = (
+            spec.read_prop + spec.update_prop + spec.insert_prop
+            + spec.scan_prop + spec.rmw_prop
+        )
+        assert abs(total - 1.0) < 1e-9
+
+
+def test_invalid_mix_rejected():
+    with pytest.raises(ValueError):
+        WorkloadSpec("bad", read_prop=0.5)
+    with pytest.raises(ValueError):
+        WorkloadSpec("bad", read_prop=1.0, request_dist="gaussian")
+
+
+def test_mixed_workload_bounds():
+    assert mixed_workload(70).read_prop == pytest.approx(0.7)
+    with pytest.raises(ValueError):
+        mixed_workload(101)
+
+
+def test_key_is_fixed_width():
+    workload = CoreWorkload(read_only_workload(), 100)
+    assert len(workload.key(0)) == 16
+    assert len(workload.key(99)) == 16
+    assert workload.key(5).startswith(b"user")
+    assert workload.key(5) != workload.key(6)
+
+
+def test_keys_sort_like_indices():
+    workload = CoreWorkload(read_only_workload(), 1000)
+    keys = [workload.key(i) for i in range(0, 1000, 37)]
+    assert keys == sorted(keys)
+
+
+def test_value_deterministic_and_sized():
+    workload = CoreWorkload(read_only_workload(), 10)
+    assert len(workload.value(3)) == 100
+    assert workload.value(3) == workload.value(3)
+    assert workload.value(3) != workload.value(4)
+    assert workload.value(3, version=1) != workload.value(3, version=2)
+
+
+def test_load_ops_cover_every_record():
+    workload = CoreWorkload(read_only_workload(), 50)
+    ops = list(workload.load_ops())
+    assert [op.key_index for op in ops] == list(range(50))
+    assert all(op.kind == "insert" for op in ops)
+
+
+def test_mix_proportions_roughly_respected():
+    workload = CoreWorkload(WORKLOAD_A, 1000, seed=3)
+    kinds = Counter(workload.next_op().kind for _ in range(4000))
+    assert 0.45 < kinds["read"] / 4000 < 0.55
+    assert 0.45 < kinds["update"] / 4000 < 0.55
+
+
+def test_inserts_extend_keyspace():
+    spec = WorkloadSpec("i", insert_prop=1.0)
+    workload = CoreWorkload(spec, 10)
+    op = workload.next_op()
+    assert op.key_index == 10
+    assert workload.insert_count == 11
+
+
+def test_scan_ops_have_length():
+    workload = CoreWorkload(WORKLOAD_E, 100, seed=4)
+    scans = [workload.next_op() for _ in range(200)]
+    scan_ops = [op for op in scans if op.kind == "scan"]
+    assert scan_ops
+    assert all(1 <= op.scan_length <= WORKLOAD_E.max_scan_len for op in scan_ops)
+
+
+def test_chosen_keys_in_range():
+    workload = CoreWorkload(WORKLOAD_A, 500, seed=5)
+    for _ in range(1000):
+        op = workload.next_op()
+        assert 0 <= op.key_index < workload.insert_count
+
+
+def test_write_only_is_all_updates():
+    workload = CoreWorkload(write_only_workload(), 100, seed=6)
+    assert all(workload.next_op().kind == "update" for _ in range(100))
