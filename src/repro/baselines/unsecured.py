@@ -71,6 +71,7 @@ class UnsecuredLSMStore:
             keep_versions=keep_versions,
         )
         self.db = LSMStore(self.env, lsm_config, name_prefix=name_prefix)
+        self.telemetry = self.env.telemetry
         self._ts = 0
         # The in-enclave mutex guarding concurrent operations (5.5.2).
         self._op_lock = threading.RLock()

@@ -11,6 +11,10 @@ Commands:
   YCSB run on a chosen system.
 * ``audit`` — build a demo store and run the full integrity audit
   (pass ``--tamper`` to watch it fail).
+
+``bench`` and ``ycsb`` accept ``--metrics-out <path>`` to dump the run's
+telemetry: JSON (metrics snapshot + spans) by default, or Prometheus
+text when the path ends in ``.prom``/``.txt`` (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -91,6 +95,8 @@ def cmd_list_experiments(_args) -> int:
 
 def cmd_bench(args) -> int:
     """The `bench` command: run one figure reproduction and print it."""
+    from repro.telemetry import HUB, write_metrics_file
+
     registry = _experiment_registry()
     if args.experiment not in registry:
         print(f"unknown experiment {args.experiment!r}; try list-experiments",
@@ -100,7 +106,20 @@ def cmd_bench(args) -> int:
         import repro.bench.experiments as exp
 
         exp.BENCH_FACTOR = args.factor
-    result = registry[args.experiment](ops=args.ops)
+    # An experiment constructs many stores internally; the hub merges
+    # their per-store registries into one exportable snapshot.
+    if args.metrics_out:
+        HUB.activate()
+    try:
+        result = registry[args.experiment](ops=args.ops)
+        if args.metrics_out:
+            write_metrics_file(
+                args.metrics_out, HUB.merged_snapshot(), HUB.spans()
+            )
+            print(f"metrics written to {args.metrics_out}")
+    finally:
+        if args.metrics_out:
+            HUB.deactivate()
     print(result.format_table())
     if args.chart:
         print()
@@ -143,6 +162,15 @@ def cmd_ycsb(args) -> int:
           f"({result.operations} ops, simulated)")
     for kind, stats in sorted(result.per_op.items()):
         print(f"  {kind:<16} n={stats.count:<6} mean={stats.mean:.1f} us")
+    if args.metrics_out:
+        from repro.telemetry import write_metrics_file
+
+        write_metrics_file(
+            args.metrics_out,
+            store.telemetry.metrics.snapshot(),
+            store.telemetry.tracer.export(),
+        )
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -188,6 +216,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write results/<id>.txt")
     bench.add_argument("--chart", action="store_true",
                        help="render an ASCII bar chart too")
+    bench.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="dump merged telemetry (JSON, or Prometheus "
+                            "text for .prom/.txt paths)")
     bench.set_defaults(fn=cmd_bench)
 
     ycsb = sub.add_parser("ycsb", help="one YCSB run")
@@ -196,6 +227,9 @@ def build_parser() -> argparse.ArgumentParser:
     ycsb.add_argument("--records", type=int, default=5000)
     ycsb.add_argument("--ops", type=int, default=1000)
     ycsb.add_argument("--factor", type=float, default=1 / 2048)
+    ycsb.add_argument("--metrics-out", default=None, metavar="PATH",
+                      help="dump the run's telemetry (JSON, or Prometheus "
+                           "text for .prom/.txt paths)")
     ycsb.set_defaults(fn=cmd_ycsb)
 
     audit = sub.add_parser("audit", help="full-store integrity audit demo")

@@ -57,6 +57,7 @@ class ELSMP1Store:
             self.clock, costs, self.scale.epc_bytes, name="elsm-p1"
         )
         self.env = ExecutionEnv(self.clock, costs, self.disk, enclave=self.enclave)
+        self.telemetry = self.env.telemetry
 
         lsm_config = LSMConfig(
             write_buffer_bytes=write_buffer_bytes
@@ -123,6 +124,46 @@ class ELSMP1Store:
     def flush(self) -> None:
         """Flush the in-enclave MemTable into level 1."""
         self.db.flush()
+
+    def report(self) -> dict:
+        """An operational snapshot sourced from the telemetry registry.
+
+        P1 has no proof machinery, so the proof-path keys of
+        :meth:`repro.core.store_p2.ELSMP2Store.report` are absent; the
+        placement-cost keys (boundary, paging, cache) are shared.
+        """
+        pager = self.enclave.pager
+        metrics = self.telemetry.metrics
+        return {
+            "timestamp": self._ts,
+            "levels": {
+                level: {
+                    "files": len(self.db.level_run(level).tables),
+                    "bytes": self.db.level_run(level).total_bytes,
+                }
+                for level in self.db.level_indices()
+            },
+            "memtable_records": len(self.db.memtable),
+            "enclave_bytes": self.enclave.total_bytes(),
+            "epc_bytes": self.enclave.epc_bytes,
+            "epc_faults": pager.fault_count,
+            "dirty_evictions": pager.evicted_dirty_count,
+            "ecalls": int(metrics.counter("enclave.ecalls", labels=("call",)).total()),
+            "ocalls": int(metrics.counter("enclave.ocalls", labels=("call",)).total()),
+            "flushes": self.db.stats.flushes,
+            "compactions": self.db.stats.compactions,
+            "write_amplification": self.db.stats.write_amplification(),
+            "wal_appends": int(metrics.counter("wal.appends").total()),
+            "cache_hits": int(
+                metrics.counter("cache.hits", labels=("region",)).total()
+            ),
+            "cache_misses": int(
+                metrics.counter("cache.misses", labels=("region",)).total()
+            ),
+            "disk_bytes": self.disk.total_bytes(),
+            "simulated_us": self.clock.now_us,
+            "cost_breakdown_us": self.clock.breakdown(),
+        }
 
     def recover(self) -> int:
         """Replay the WAL after a reopen and restore the timestamp clock.

@@ -39,6 +39,7 @@ from repro.sim.clock import SimClock
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.disk import SimDisk
 from repro.sim.scale import MB, ScaleConfig
+from repro.telemetry.metrics import SIZE_BUCKETS_BYTES
 
 
 @dataclass
@@ -98,6 +99,27 @@ class ELSMP2Store:
         )
         self.enclave = Enclave(self.clock, costs, self.scale.epc_bytes)
         self.env = ExecutionEnv(self.clock, costs, self.disk, enclave=self.enclave)
+        self.telemetry = self.env.telemetry
+        self._m_proof_get_bytes = self.telemetry.histogram(
+            "proof.get.bytes",
+            "verified-GET proof size",
+            buckets=SIZE_BUCKETS_BYTES,
+        )
+        self._m_proof_scan_bytes = self.telemetry.histogram(
+            "proof.scan.bytes",
+            "verified-SCAN proof size",
+            buckets=SIZE_BUCKETS_BYTES,
+        )
+        self._m_proof_stop_level = self.telemetry.counter(
+            "proof.get.stop_level",
+            "deepest level a verified GET descended to "
+            "(memtable = served inside the enclave)",
+            labels=("level",),
+        )
+        self._m_verify_hashes = self.telemetry.counter(
+            "proof.verify.hash_invocations",
+            "trusted hashes spent verifying query proofs",
+        )
 
         if proof_mode not in ("embedded", "on_demand"):
             raise ValueError(f"unknown proof_mode: {proof_mode}")
@@ -230,21 +252,40 @@ class ELSMP2Store:
         with self._op_lock, self.env.op_call("get", in_bytes=len(key)):
             tsq = self._ts if ts_query is None else ts_query
             stored_key = self.codec.encode_key(key)
-            # Level L0 (the MemTable) is inside the enclave: trusted.
-            memtable_hit = self.db.memtable.get(stored_key, tsq)
-            if memtable_hit is not None:
-                return VerifiedGet(
-                    record=memtable_hit,
-                    proof=GetProof(key=stored_key, ts_query=tsq),
-                    proof_bytes=0,
+            with self.telemetry.span("elsm.get") as span:
+                # Level L0 (the MemTable) is inside the enclave: trusted.
+                memtable_hit = self.db.memtable.get(stored_key, tsq)
+                if memtable_hit is not None:
+                    self._m_proof_stop_level.inc(level="memtable")
+                    self._m_proof_get_bytes.observe(0)
+                    span.set(stop_level="memtable", proof_bytes=0)
+                    return VerifiedGet(
+                        record=memtable_hit,
+                        proof=GetProof(key=stored_key, ts_query=tsq),
+                        proof_bytes=0,
+                    )
+                proof = self._build_get_proof(stored_key, tsq)
+                hashes_before = self.env.telemetry.counter(
+                    "enclave.hash.invocations"
+                ).total()
+                record = self.verifier.verify_get(
+                    stored_key, tsq, proof, trusted_absence=self._trusted_absence
                 )
-            proof = self._build_get_proof(stored_key, tsq)
-            record = self.verifier.verify_get(
-                stored_key, tsq, proof, trusted_absence=self._trusted_absence
-            )
-            proof_bytes = proof.size_bytes()
-            self.total_proof_bytes += proof_bytes
-            return VerifiedGet(record=record, proof=proof, proof_bytes=proof_bytes)
+                self._m_verify_hashes.inc(
+                    self.env.telemetry.counter("enclave.hash.invocations").total()
+                    - hashes_before
+                )
+                proof_bytes = proof.size_bytes()
+                self.total_proof_bytes += proof_bytes
+                self._m_proof_get_bytes.observe(proof_bytes)
+                stop_level = max(
+                    (entry.level for entry in proof.levels), default="none"
+                )
+                self._m_proof_stop_level.inc(level=str(stop_level))
+                span.set(stop_level=stop_level, proof_bytes=proof_bytes)
+                return VerifiedGet(
+                    record=record, proof=proof, proof_bytes=proof_bytes
+                )
 
     def _build_get_proof(self, stored_key: bytes, tsq: int) -> GetProof:
         """The enclave-driven proof collection loop (r1): descend levels,
@@ -302,7 +343,9 @@ class ELSMP2Store:
             records = self.verifier.verify_scan(
                 enc_lo, enc_hi, tsq, proof, extra_trusted=memtable_records
             )
-            self.total_proof_bytes += proof.size_bytes()
+            scan_proof_bytes = proof.size_bytes()
+            self._m_proof_scan_bytes.observe(scan_proof_bytes)
+            self.total_proof_bytes += scan_proof_bytes
             return [
                 (self.codec.decode_key(r.key), self.codec.decode_value(r.value))
                 for r in records
@@ -340,11 +383,18 @@ class ELSMP2Store:
         )
 
     def report(self) -> dict:
-        """A structured operational snapshot (levels, costs, security)."""
+        """A structured operational snapshot (levels, costs, security).
+
+        Operational counters are read back from the telemetry registry —
+        the registry *is* the source of truth, so a ``--metrics-out``
+        dump and this report can never disagree for the same run.
+        """
         levels = {}
+        level_bytes_total = 0
         for level in self.db.level_indices():
             run = self.db.level_run(level)
             digest = self.registry.get(level)
+            level_bytes_total += run.total_bytes
             levels[level] = {
                 "files": len(run.tables),
                 "bytes": run.total_bytes,
@@ -353,22 +403,44 @@ class ELSMP2Store:
                 "root": digest.root.hex()[:16],
             }
         pager = self.enclave.pager
+        metrics = self.telemetry.metrics
         return {
             "timestamp": self._ts,
             "levels": levels,
+            "level_bytes_total": level_bytes_total,
             "memtable_records": len(self.db.memtable),
             "enclave_bytes": self.enclave.total_bytes(),
             "epc_bytes": self.enclave.epc_bytes,
             "epc_faults": pager.fault_count,
             "dirty_evictions": pager.evicted_dirty_count,
-            "ecalls": self.env.boundary.ecall_count if self.env.boundary else 0,
-            "ocalls": self.env.boundary.ocall_count if self.env.boundary else 0,
+            "ecalls": int(metrics.counter("enclave.ecalls", labels=("call",)).total()),
+            "ocalls": int(metrics.counter("enclave.ocalls", labels=("call",)).total()),
+            "boundary_copy_bytes": int(
+                metrics.counter("enclave.copy.bytes", labels=("dir",)).total()
+            ),
             "flushes": self.db.stats.flushes,
             "compactions": self.db.stats.compactions,
+            "bytes_flushed": int(metrics.counter("lsm.flush.bytes").total()),
+            "bytes_compacted": int(
+                metrics.counter("lsm.compaction.bytes").total()
+            ),
+            "user_bytes_written": self.db.stats.user_bytes_written,
             "write_amplification": self.db.stats.write_amplification(),
+            "wal_appends": int(metrics.counter("wal.appends").total()),
+            "wal_bytes": int(metrics.counter("wal.bytes").total()),
+            "cache_hits": int(
+                metrics.counter("cache.hits", labels=("region",)).total()
+            ),
+            "cache_misses": int(
+                metrics.counter("cache.misses", labels=("region",)).total()
+            ),
+            "hash_invocations": int(
+                metrics.counter("enclave.hash.invocations").total()
+            ),
             "verified_gets": self.verifier.verified_gets,
             "verified_scans": self.verifier.verified_scans,
             "proof_bytes_total": self.total_proof_bytes,
+            "proof_get_bytes_mean": self._m_proof_get_bytes.mean(),
             "disk_bytes": self.disk.total_bytes(),
             "simulated_us": self.clock.now_us,
             "cost_breakdown_us": self.clock.breakdown(),

@@ -52,6 +52,12 @@ class ReadBuffer:
         self._next_slot = 0
         self.hits = 0
         self.misses = 0
+        self._m_hits = env.telemetry.counter(
+            "cache.hits", "read-buffer block hits", labels=("region",)
+        )
+        self._m_misses = env.telemetry.counter(
+            "cache.misses", "read-buffer block misses", labels=("region",)
+        )
         if location == LOCATION_ENCLAVE:
             env.meta_region(region)
             env.meta_grow(region, capacity_bytes)
@@ -61,8 +67,10 @@ class ReadBuffer:
         found = self._entries.get(key)
         if found is None:
             self.misses += 1
+            self._m_misses.inc(region=self.region)
             return None
         self.hits += 1
+        self._m_hits.inc(region=self.region)
         block, slot = found
         self._entries.move_to_end(key)
         self._charge_access(slot, block)

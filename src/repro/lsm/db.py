@@ -120,6 +120,25 @@ class LSMStore:
         self.name_prefix = name_prefix
         self._lock = threading.RLock()
         self.stats = StoreStats()
+        self.telemetry = env.telemetry
+        self._tracer = self.telemetry.tracer
+        self._m_ops = self.telemetry.counter(
+            "lsm.ops", "engine operations by kind", labels=("op",)
+        )
+        self._m_get_level = self.telemetry.counter(
+            "lsm.get.served_level",
+            "point lookups by the level that served them (0 = MemTable)",
+            labels=("level",),
+        )
+        self._m_flush_bytes = self.telemetry.counter(
+            "lsm.flush.bytes", "SSTable bytes written by MemTable flushes"
+        )
+        self._m_compact_bytes = self.telemetry.counter(
+            "lsm.compaction.bytes", "SSTable bytes written by compactions"
+        )
+        self._m_user_bytes = self.telemetry.counter(
+            "lsm.user.bytes", "user payload bytes accepted by writes"
+        )
 
         env.meta_region(_MEMTABLE_REGION)
         env.meta_region(_TABLE_META_REGION)
@@ -171,6 +190,7 @@ class LSMStore:
     def put(self, key: bytes, value: bytes, ts: int | None = None) -> int:
         """Write <key, value>; returns the timestamp assigned."""
         with self._lock:
+            self._m_ops.inc(op="put")
             ts = self._resolve_ts(ts)
             self._write(Record(key=key, ts=ts, kind=KIND_PUT, value=value))
             return ts
@@ -178,6 +198,7 @@ class LSMStore:
     def delete(self, key: bytes, ts: int | None = None) -> int:
         """Write a tombstone for ``key``."""
         with self._lock:
+            self._m_ops.inc(op="delete")
             ts = self._resolve_ts(ts)
             self._write(Record(key=key, ts=ts, kind=KIND_DELETE))
             return ts
@@ -185,6 +206,7 @@ class LSMStore:
     def write_batch(self, batch: WriteBatch) -> list[int]:
         """Apply a batch atomically; returns the assigned timestamps."""
         with self._lock:
+            self._m_ops.inc(op="write_batch")
             stamps: list[int] = []
             for kind, key, value in batch.ops:
                 ts = self._resolve_ts(None)
@@ -197,6 +219,7 @@ class LSMStore:
                 self.memtable.add(record)
                 nbytes = record.approximate_bytes()
                 self.stats.user_bytes_written += nbytes
+                self._m_user_bytes.inc(nbytes)
                 self.env.meta_grow(_MEMTABLE_REGION, nbytes)
                 self._touch_memtable(record.key, nbytes, write=True)
             self.env.clock.charge("compute", self.env.costs.cpu_op_base_us)
@@ -214,10 +237,12 @@ class LSMStore:
     def get_with_level(self, key: bytes, ts_query: int | None = None) -> GetResult:
         """Point lookup that also reports the level that served it."""
         with self._lock:
+            self._m_ops.inc(op="get")
             self.env.clock.charge("compute", self.env.costs.cpu_op_base_us)
             record = self.memtable.get(key, ts_query)
             if record is not None:
                 self._touch_memtable(key, record.approximate_bytes())
+                self._m_get_level.inc(level="0")
                 return GetResult(record=record, level=0)
             for level in self.level_indices():
                 run = self._levels[level]
@@ -229,7 +254,9 @@ class LSMStore:
                 group = run.get_group(self.fetcher, key)
                 for candidate, _aux in group:
                     if ts_query is None or candidate.ts <= ts_query:
+                        self._m_get_level.inc(level=str(level))
                         return GetResult(record=candidate, level=level)
+            self._m_get_level.inc(level="miss")
             return GetResult(record=None, level=None)
 
     def scan(
@@ -237,6 +264,7 @@ class LSMStore:
     ) -> list[Record]:
         """All live records with lo <= key <= hi at ``ts_query``."""
         with self._lock:
+            self._m_ops.inc(op="scan")
             best: dict[bytes, Record] = {}
 
             def consider(record: Record) -> None:
@@ -325,6 +353,7 @@ class LSMStore:
         self.memtable.add(record)
         nbytes = record.approximate_bytes()
         self.stats.user_bytes_written += nbytes
+        self._m_user_bytes.inc(nbytes)
         self.env.meta_grow(_MEMTABLE_REGION, nbytes)
         self._touch_memtable(record.key, nbytes, write=True)
         self.env.clock.charge("compute", self.env.costs.cpu_op_base_us)
@@ -372,18 +401,23 @@ class LSMStore:
         with self._lock:
             if len(self.memtable) == 0:
                 return
-            if self.config.compaction_enabled:
-                self._flush_merging()
-                self._maybe_compact()
-            else:
-                self._flush_stacking()
-            self.memtable = SkipListMemTable(seed=self.stats.flushes)
-            self.env.meta_reset(_MEMTABLE_REGION)
-            if self.wal is not None:
-                self.wal.reset()
-                for listener in self.listeners:
-                    listener.on_wal_reset()
-            self.stats.flushes += 1
+            with self._tracer.span(
+                "lsm.flush",
+                records=len(self.memtable),
+                memtable_bytes=self.memtable.approximate_bytes,
+            ):
+                if self.config.compaction_enabled:
+                    self._flush_merging()
+                    self._maybe_compact()
+                else:
+                    self._flush_stacking()
+                self.memtable = SkipListMemTable(seed=self.stats.flushes)
+                self.env.meta_reset(_MEMTABLE_REGION)
+                if self.wal is not None:
+                    self.wal.reset()
+                    for listener in self.listeners:
+                        listener.on_wal_reset()
+                self.stats.flushes += 1
 
     def _memtable_source(self) -> list[Entry]:
         return [(record, b"") for record in self.memtable]
@@ -403,7 +437,9 @@ class LSMStore:
             is_bottom_level=self._is_bottom(1),
         )
         metas = self._compactor.run(ctx, sources, self._next_file)
-        self.stats.bytes_flushed += sum(m.size_bytes for m in metas)
+        flushed = sum(m.size_bytes for m in metas)
+        self.stats.bytes_flushed += flushed
+        self._m_flush_bytes.inc(flushed)
         self._install_run(1, metas, replaced=[1] if existing else [])
 
     def _flush_stacking(self) -> None:
@@ -420,7 +456,9 @@ class LSMStore:
         for listener in self.listeners:
             listener.on_level_inserted(1)
         metas = self._compactor.run(ctx, [(0, self._memtable_source())], self._next_file)
-        self.stats.bytes_flushed += sum(m.size_bytes for m in metas)
+        flushed = sum(m.size_bytes for m in metas)
+        self.stats.bytes_flushed += flushed
+        self._m_flush_bytes.inc(flushed)
         self._install_run(1, metas, replaced=[])
 
     def compact_level(self, level: int) -> None:
@@ -443,9 +481,17 @@ class LSMStore:
                 output_level=level + 1,
                 is_bottom_level=self._is_bottom(level + 1),
             )
-            metas = self._compactor.run(ctx, sources, self._next_file)
+            with self._tracer.span(
+                "lsm.compaction",
+                input_levels=list(input_levels),
+                output_level=level + 1,
+            ) as span:
+                metas = self._compactor.run(ctx, sources, self._next_file)
+                compacted = sum(m.size_bytes for m in metas)
+                span.set(output_bytes=compacted, output_files=len(metas))
             self.stats.compactions += 1
-            self.stats.bytes_compacted += sum(m.size_bytes for m in metas)
+            self.stats.bytes_compacted += compacted
+            self._m_compact_bytes.inc(compacted)
             self._drop_run(level)
             self._levels[level] = LevelRun(level, [])
             for listener in self.listeners:
@@ -485,9 +531,17 @@ class LSMStore:
                 output_level=output,
                 is_bottom_level=self._is_bottom(output),
             )
-            metas = self._compactor.run(ctx, sources, self._next_file)
+            with self._tracer.span(
+                "lsm.compaction",
+                input_levels=list(input_levels),
+                output_level=output,
+            ) as span:
+                metas = self._compactor.run(ctx, sources, self._next_file)
+                compacted = sum(m.size_bytes for m in metas)
+                span.set(output_bytes=compacted, output_files=len(metas))
             self.stats.compactions += 1
-            self.stats.bytes_compacted += sum(m.size_bytes for m in metas)
+            self.stats.bytes_compacted += compacted
+            self._m_compact_bytes.inc(compacted)
             for level in levels[:-1]:
                 self._drop_run(level)
                 self._levels[level] = LevelRun(level, [])

@@ -326,6 +326,12 @@ class BlockFetcher:
         # Decode memo for the mmap path: pure implementation cache, the
         # timing cost of each access is still charged via read_mmap.
         self._decoded: dict[tuple[str, int], Block] = {}
+        self._m_hits = env.telemetry.counter(
+            "cache.hits", "read-buffer block hits", labels=("region",)
+        )
+        self._m_misses = env.telemetry.counter(
+            "cache.misses", "read-buffer block misses", labels=("region",)
+        )
 
     def read_block(self, meta: SSTableMeta, handle: BlockHandle) -> Block:
         """Fetch + decode one block via the configured read path."""
@@ -334,12 +340,15 @@ class BlockFetcher:
             self.env.file_read(meta.name, handle.offset, handle.length, mmap=True)
             block = self._decoded.get(key)
             if block is None:
+                self._m_misses.inc(region="mmap_decode")
                 raw = self.env.disk.open(meta.name).data
                 body = self._maybe_decompress(
                     meta, bytes(raw[handle.offset : handle.offset + handle.length])
                 )
                 block = _decode_block(body)
                 self._decoded[key] = block
+            else:
+                self._m_hits.inc(region="mmap_decode")
             return block
         assert self.buffer is not None
         block = self.buffer.get(key)

@@ -30,6 +30,15 @@ class WriteAheadLog:
         self.name = name
         self.sync_every = sync_every
         self._appends_since_sync = 0
+        self._m_appends = env.telemetry.counter(
+            "wal.appends", "records appended to the write-ahead log"
+        )
+        self._m_bytes = env.telemetry.counter(
+            "wal.bytes", "bytes appended to the write-ahead log"
+        )
+        self._m_syncs = env.telemetry.counter(
+            "wal.syncs", "fsyncs issued for the write-ahead log"
+        )
         if not env.file_exists(name):
             env.file_create(name)
 
@@ -37,13 +46,17 @@ class WriteAheadLog:
         """Append one record; fsyncs every ``sync_every`` appends."""
         payload = encode_record(record)
         crc = zlib.crc32(payload) & 0xFFFFFFFF
-        self.env.file_append(self.name, _ENTRY_HEADER.pack(len(payload), crc) + payload)
+        entry = _ENTRY_HEADER.pack(len(payload), crc) + payload
+        self._m_appends.inc()
+        self._m_bytes.inc(len(entry))
+        self.env.file_append(self.name, entry)
         self._appends_since_sync += 1
         if self._appends_since_sync >= self.sync_every:
             self.sync()
 
     def sync(self) -> None:
         """fsync the log now and reset the cadence counter."""
+        self._m_syncs.inc()
         self.env.file_fsync(self.name)
         self._appends_since_sync = 0
 

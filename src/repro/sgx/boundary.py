@@ -11,31 +11,72 @@ experiments can report switch rates.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
 
 
 class WorldBoundary:
     """Charges and counts ECall/OCall transitions."""
 
-    def __init__(self, clock: SimClock, costs: CostModel) -> None:
+    def __init__(
+        self,
+        clock: SimClock,
+        costs: CostModel,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
         self.clock = clock
         self.costs = costs
         self.ecall_count = 0
         self.ocall_count = 0
+        self._m_ecalls = None
+        self._m_ocalls = None
+        self._m_copy = None
+        self.telemetry = telemetry
+
+    @property
+    def telemetry(self) -> "Telemetry | None":
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, telemetry: "Telemetry | None") -> None:
+        self._telemetry = telemetry
+        if telemetry is None:
+            return
+        self._m_ecalls = telemetry.counter(
+            "enclave.ecalls", "enclave entries (world switches)", labels=("call",)
+        )
+        self._m_ocalls = telemetry.counter(
+            "enclave.ocalls", "enclave exits (world switches)", labels=("call",)
+        )
+        self._m_copy = telemetry.counter(
+            "enclave.copy.bytes",
+            "bytes marshalled across the enclave boundary",
+            labels=("dir",),
+        )
+
+    def _count_copy(self, nbytes: int, direction: str) -> None:
+        if self._m_copy is not None and nbytes:
+            self._m_copy.inc(nbytes, dir=direction)
 
     @contextmanager
     def ecall(self, name: str = "", in_bytes: int = 0, out_bytes: int = 0) -> Iterator[None]:
         """Enter the enclave to run a trusted function."""
         self.ecall_count += 1
+        if self._m_ecalls is not None:
+            self._m_ecalls.inc(call=name or "anonymous")
+        self._count_copy(in_bytes, "in")
         self.clock.charge("ecall", self.costs.ecall_us)
         if in_bytes:
             self.clock.charge("ecall_copy", self.costs.enclave_copy_cost(in_bytes))
         try:
             yield
         finally:
+            self._count_copy(out_bytes, "out")
             if out_bytes:
                 self.clock.charge("ecall_copy", self.costs.enclave_copy_cost(out_bytes))
 
@@ -43,11 +84,15 @@ class WorldBoundary:
     def ocall(self, name: str = "", in_bytes: int = 0, out_bytes: int = 0) -> Iterator[None]:
         """Exit the enclave to run an untrusted function (e.g. a syscall)."""
         self.ocall_count += 1
+        if self._m_ocalls is not None:
+            self._m_ocalls.inc(call=name or "anonymous")
+        self._count_copy(in_bytes, "out")
         self.clock.charge("ocall", self.costs.ocall_us)
         if in_bytes:
             self.clock.charge("ocall_copy", self.costs.enclave_copy_cost(in_bytes))
         try:
             yield
         finally:
+            self._count_copy(out_bytes, "in")
             if out_bytes:
                 self.clock.charge("ocall_copy", self.costs.enclave_copy_cost(out_bytes))

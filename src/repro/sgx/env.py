@@ -21,10 +21,11 @@ from repro.sim.costs import CostModel
 from repro.sim.disk import SimDisk
 from repro.sgx.boundary import WorldBoundary
 from repro.sgx.enclave import Enclave
+from repro.telemetry import Telemetry
 
 
 class ExecutionEnv:
-    """Bundles clock, costs, disk, and the (optional) enclave."""
+    """Bundles clock, costs, disk, telemetry, and the (optional) enclave."""
 
     def __init__(
         self,
@@ -33,14 +34,35 @@ class ExecutionEnv:
         disk: SimDisk,
         enclave: Enclave | None = None,
         boundary: WorldBoundary | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.clock = clock
         self.costs = costs
         self.disk = disk
         self.enclave = enclave
+        self.telemetry = telemetry or Telemetry(clock=lambda: clock.now_us)
+        if hasattr(disk, "bind_telemetry"):
+            disk.bind_telemetry(self.telemetry)
         if enclave is not None and boundary is None:
-            boundary = WorldBoundary(clock, costs)
+            boundary = WorldBoundary(clock, costs, telemetry=self.telemetry)
+        elif boundary is not None and boundary.telemetry is None:
+            boundary.telemetry = self.telemetry
         self.boundary = boundary
+        self._m_hash_calls = self.telemetry.counter(
+            "enclave.hash.invocations", "hashes computed by trusted code"
+        )
+        self._m_hash_bytes = self.telemetry.counter(
+            "enclave.hash.bytes", "bytes hashed by trusted code"
+        )
+        self._m_cipher_bytes = self.telemetry.counter(
+            "enclave.cipher.bytes", "bytes encrypted/decrypted by trusted code"
+        )
+        self._m_file_ops = self.telemetry.counter(
+            "disk.ops", "file-system calls issued by the store", labels=("op",)
+        )
+        self._m_file_bytes = self.telemetry.counter(
+            "disk.bytes", "bytes moved through file-system calls", labels=("dir",)
+        )
 
     @property
     def in_enclave(self) -> bool:
@@ -70,21 +92,27 @@ class ExecutionEnv:
     # ------------------------------------------------------------------
     def file_create(self, name: str) -> None:
         """Create a file (an OCall when inside the enclave)."""
+        self._m_file_ops.inc(op="create")
         with self._syscall("create"):
             self.disk.create(name)
 
     def file_delete(self, name: str) -> None:
         """Delete a file (an OCall when inside the enclave)."""
+        self._m_file_ops.inc(op="unlink")
         with self._syscall("unlink"):
             self.disk.delete(name)
 
     def file_write(self, name: str, data: bytes) -> None:
         """Create-or-replace a file (SSTable output)."""
+        self._m_file_ops.inc(op="write")
+        self._m_file_bytes.inc(len(data), dir="write")
         with self._syscall("write", in_bytes=len(data)):
             self.disk.write_file(name, data)
 
     def file_append(self, name: str, data: bytes) -> int:
         """Append to a file (an OCall when inside the enclave)."""
+        self._m_file_ops.inc(op="append")
+        self._m_file_bytes.inc(len(data), dir="write")
         with self._syscall("append", in_bytes=len(data)):
             return self.disk.append(name, data)
 
@@ -95,13 +123,17 @@ class ExecutionEnv:
         enclave reads the untrusted mapping directly with no OCall.  The
         syscall path pays an OCall per read when inside the enclave.
         """
+        self._m_file_bytes.inc(length, dir="read")
         if mmap:
+            self._m_file_ops.inc(op="read_mmap")
             return self.disk.read_mmap(name, offset, length)
+        self._m_file_ops.inc(op="read")
         with self._syscall("read", out_bytes=length):
             return self.disk.read(name, offset, length)
 
     def file_fsync(self, name: str) -> None:
         """fsync a file (an OCall when inside the enclave)."""
+        self._m_file_ops.inc(op="fsync")
         with self._syscall("fsync"):
             self.disk.fsync(name)
 
@@ -136,8 +168,11 @@ class ExecutionEnv:
 
     def trusted_hash(self, nbytes: int) -> None:
         """Charge a hash computed by trusted code (enclave or client)."""
+        self._m_hash_calls.inc()
+        self._m_hash_bytes.inc(nbytes)
         self.clock.charge("hash", self.costs.hash_cost(nbytes))
 
     def trusted_cipher(self, nbytes: int) -> None:
         """Charge an encryption/decryption performed by trusted code."""
+        self._m_cipher_bytes.inc(nbytes)
         self.clock.charge("crypto", self.costs.encrypt_cost(nbytes))

@@ -1,0 +1,121 @@
+"""Unified telemetry for the eLSM stack.
+
+One :class:`Telemetry` bundles the two halves of observability:
+
+* ``metrics`` — a :class:`~repro.telemetry.metrics.MetricsRegistry` of
+  named counters, gauges, and fixed-bucket histograms with labels and a
+  snapshot/diff API;
+* ``tracer`` — a :class:`~repro.telemetry.tracing.Tracer` producing
+  nested spans on the simulated clock with a bounded ring buffer.
+
+Each :class:`~repro.sgx.env.ExecutionEnv` (and therefore each store)
+gets its own instance, so runs are isolated; the CLI aggregates across
+stores through :data:`~repro.telemetry.hub.HUB`.  The metric name
+catalogue and span taxonomy live in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Iterator
+
+from repro.telemetry.hub import HUB, TelemetryHub
+from repro.telemetry.metrics import (
+    DURATION_BUCKETS_US,
+    LATENCY_BUCKETS_US,
+    SIZE_BUCKETS_BYTES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.telemetry.tracing import Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "TelemetryHub",
+    "HUB",
+    "diff_snapshots",
+    "merge_snapshots",
+    "render_prometheus",
+    "write_metrics_file",
+    "DURATION_BUCKETS_US",
+    "SIZE_BUCKETS_BYTES",
+    "LATENCY_BUCKETS_US",
+]
+
+
+class Telemetry:
+    """A metrics registry plus a tracer sharing one simulated clock."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        span_capacity: int = 4096,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(
+            clock=clock, capacity=span_capacity, registry=self.metrics
+        )
+        HUB.register(self)
+
+    # Thin passthroughs so call sites read naturally.
+    def counter(self, name: str, description: str = "", labels=()) -> Counter:
+        """Get or create a counter in the registry."""
+        return self.metrics.counter(name, description, labels)
+
+    def gauge(self, name: str, description: str = "", labels=()) -> Gauge:
+        """Get or create a gauge in the registry."""
+        return self.metrics.gauge(name, description, labels)
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets=DURATION_BUCKETS_US,
+        labels=(),
+        track_samples: bool = False,
+    ) -> Histogram:
+        """Get or create a histogram in the registry."""
+        return self.metrics.histogram(
+            name, description, buckets, labels, track_samples
+        )
+
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a nested span (context manager)."""
+        return self.tracer.span(name, **attributes)
+
+    def snapshot(self) -> dict:
+        """Combined export: metric snapshot plus finished spans."""
+        return {"metrics": self.metrics.snapshot(), "spans": self.tracer.export()}
+
+
+def write_metrics_file(
+    path: str, snapshot: dict, spans: list[dict] | None = None
+) -> None:
+    """Write a metrics dump to ``path``.
+
+    Paths ending in ``.prom`` or ``.txt`` get the Prometheus text format
+    (metrics only); everything else gets JSON with both metrics and spans.
+    """
+    if path.endswith((".prom", ".txt")):
+        body = render_prometheus(snapshot)
+    else:
+        body = json.dumps(
+            {"metrics": snapshot, "spans": spans or []}, indent=2, default=str
+        )
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(body)

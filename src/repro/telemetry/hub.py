@@ -1,0 +1,64 @@
+"""Process-wide collection point for per-store telemetry.
+
+Every store (and every :class:`~repro.sgx.env.ExecutionEnv`) owns its own
+isolated :class:`~repro.telemetry.Telemetry`, so tests and concurrent
+stores never bleed counters into each other.  The CLI's ``bench``
+subcommand, however, runs whole experiments that construct many stores
+internally — to export one combined snapshot it *activates* the hub,
+which then holds a reference to every telemetry created while active and
+can merge their registries afterwards.
+
+The hub is inert by default: when inactive, registration is a no-op and
+nothing is retained.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.telemetry.metrics import merge_snapshots
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry import Telemetry
+
+
+class TelemetryHub:
+    """Collects the telemetry instances created while activated."""
+
+    def __init__(self) -> None:
+        self._active = False
+        self._collected: list["Telemetry"] = []
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def activate(self) -> None:
+        """Start collecting every Telemetry constructed from now on."""
+        self._collected.clear()
+        self._active = True
+
+    def deactivate(self) -> None:
+        """Stop collecting and release all held references."""
+        self._active = False
+        self._collected.clear()
+
+    def register(self, telemetry: "Telemetry") -> None:
+        """Called by Telemetry.__init__; retains only while active."""
+        if self._active:
+            self._collected.append(telemetry)
+
+    def merged_snapshot(self) -> dict:
+        """Sum of every collected registry's snapshot."""
+        return merge_snapshots([t.metrics.snapshot() for t in self._collected])
+
+    def spans(self) -> list[dict]:
+        """All collected tracers' finished spans, in collection order."""
+        out: list[dict] = []
+        for telemetry in self._collected:
+            out.extend(telemetry.tracer.export())
+        return out
+
+
+#: The process-wide hub the CLI uses; inactive unless explicitly enabled.
+HUB = TelemetryHub()

@@ -1,0 +1,152 @@
+"""Span tracing over the simulated clock.
+
+A span is one timed region of work — a flush, a compaction, one verified
+GET — with a name, a parent, simulated-clock start/end stamps, and
+free-form attributes.  The tracer keeps a bounded in-memory ring buffer
+(oldest spans drop first) and exports to JSON, so a benchmark run can
+reconstruct exactly where its simulated microseconds went.
+
+When constructed with a registry, every finished span also lands in a
+``<name>.duration_us`` histogram there — that is how span timings like
+``lsm.compaction.duration_us`` show up in metric snapshots without a
+second instrumentation site.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.telemetry.metrics import DURATION_BUCKETS_US, MetricsRegistry
+
+
+@dataclass
+class Span:
+    """One timed region; ``end_us`` is None while the span is open."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_us: float
+    end_us: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_us(self) -> float:
+        """Simulated duration (0 while still open)."""
+        if self.end_us is None:
+            return 0.0
+        return self.end_us - self.start_us
+
+    def set(self, **attributes: Any) -> None:
+        """Attach attributes to the span."""
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "duration_us": self.duration_us,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Produces nested spans; keeps the most recent ``capacity`` of them.
+
+    ``clock`` is any zero-argument callable returning the current time in
+    simulated microseconds — the stores pass ``lambda: clock.now_us`` so
+    spans measure the same quantity the paper plots.  Nesting is tracked
+    per thread, so background compaction threads get their own lineage.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        capacity: int = 4096,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._registry = registry
+        self._local = threading.local()
+        self._id_lock = threading.Lock()
+        self._next_id = 1
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        """Ring-buffer size (finished spans retained)."""
+        return self._finished.maxlen or 0
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _new_id(self) -> int:
+        with self._id_lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a nested span; yields it so callers can attach attributes."""
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(
+            span_id=self._new_id(),
+            parent_id=parent_id,
+            name=name,
+            start_us=self._clock(),
+            attributes=dict(attributes),
+        )
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            span.end_us = self._clock()
+            if len(self._finished) == self._finished.maxlen:
+                self.dropped += 1
+            self._finished.append(span)
+            if self._registry is not None:
+                self._registry.histogram(
+                    f"{name}.duration_us",
+                    description=f"simulated duration of {name} spans",
+                    buckets=DURATION_BUCKETS_US,
+                ).observe(span.duration_us)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @property
+    def spans(self) -> list[Span]:
+        """Finished spans, oldest first."""
+        return list(self._finished)
+
+    def export(self) -> list[dict]:
+        """Finished spans as JSON-friendly dicts."""
+        return [span.to_dict() for span in self._finished]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Finished spans as a JSON string."""
+        return json.dumps(self.export(), indent=indent)
+
+    def reset(self) -> None:
+        """Drop all finished spans (open spans are unaffected)."""
+        self._finished.clear()
+        self.dropped = 0

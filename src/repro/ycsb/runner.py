@@ -9,6 +9,7 @@ conforms.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.ycsb.stats import LatencyStats
@@ -43,46 +44,90 @@ class RunResult:
         return self.operations / (self.duration_us / 1e6) / 1e3
 
 
+def _telemetry(store):
+    """The store's telemetry, when it exposes one (all repro stores do)."""
+    return getattr(store, "telemetry", None) or getattr(
+        getattr(store, "env", None), "telemetry", None
+    )
+
+
 def load_phase(store, workload: CoreWorkload, prefetch: bool = True) -> None:
     """Populate the dataset, then warm the kernel cache (Section 6.1:
     "we typically scan the loaded dataset so that it is loaded in the
     untrusted memory")."""
-    for op in workload.load_ops():
-        store.put(workload.key(op.key_index), workload.value(op.key_index))
-    if hasattr(store, "flush"):
-        store.flush()
-    if prefetch and hasattr(store, "disk"):
-        store.disk.prefetch_all()
+    telemetry = _telemetry(store)
+    span_cm = (
+        telemetry.span(
+            "ycsb.load",
+            workload=workload.spec.name,
+            records=workload.record_count,
+        )
+        if telemetry is not None
+        else nullcontext()
+    )
+    with span_cm:
+        for op in workload.load_ops():
+            store.put(workload.key(op.key_index), workload.value(op.key_index))
+        if hasattr(store, "flush"):
+            store.flush()
+        if prefetch and hasattr(store, "disk"):
+            store.disk.prefetch_all()
 
 
 def run_phase(store, workload: CoreWorkload, operations: int) -> RunResult:
-    """Drive ``operations`` requests and collect simulated latencies."""
+    """Drive ``operations`` requests and collect simulated latencies.
+
+    Latencies land both in the returned :class:`RunResult` and — when the
+    store carries a telemetry instance — in its ``ycsb.op.latency_us``
+    histogram, labelled by op kind, so a ``--metrics-out`` dump includes
+    the same distribution the result summarises.
+    """
     clock = store.clock
+    telemetry = _telemetry(store)
+    latency_hist = (
+        telemetry.histogram(
+            "ycsb.op.latency_us",
+            "per-operation simulated latency by YCSB op kind",
+            labels=("op",),
+        )
+        if telemetry is not None
+        else None
+    )
     result = RunResult(workload=workload.spec.name, operations=operations, duration_us=0.0)
-    start = clock.now_us
-    version = 1
-    for _ in range(operations):
-        op = workload.next_op()
-        key = workload.key(op.key_index)
-        before = clock.now_us
-        if op.kind == OP_READ:
-            store.get(key)
-        elif op.kind == OP_UPDATE:
-            store.put(key, workload.value(op.key_index, version))
-            version += 1
-        elif op.kind == OP_INSERT:
-            store.put(key, workload.value(op.key_index))
-        elif op.kind == OP_SCAN:
-            hi = workload.key(op.key_index + op.scan_length)
-            store.scan(key, hi)
-        elif op.kind == OP_RMW:
-            store.get(key)
-            store.put(key, workload.value(op.key_index, version))
-            version += 1
-        else:  # pragma: no cover - spec validation prevents this
-            raise ValueError(f"unknown op kind {op.kind}")
-        elapsed = clock.lap(before)
-        result.per_op.setdefault(op.kind, LatencyStats()).add(elapsed)
-        result.overall.add(elapsed)
-    result.duration_us = clock.now_us - start
+    span_cm = (
+        telemetry.span(
+            "ycsb.run", workload=workload.spec.name, operations=operations
+        )
+        if telemetry is not None
+        else nullcontext()
+    )
+    with span_cm:
+        start = clock.now_us
+        version = 1
+        for _ in range(operations):
+            op = workload.next_op()
+            key = workload.key(op.key_index)
+            before = clock.now_us
+            if op.kind == OP_READ:
+                store.get(key)
+            elif op.kind == OP_UPDATE:
+                store.put(key, workload.value(op.key_index, version))
+                version += 1
+            elif op.kind == OP_INSERT:
+                store.put(key, workload.value(op.key_index))
+            elif op.kind == OP_SCAN:
+                hi = workload.key(op.key_index + op.scan_length)
+                store.scan(key, hi)
+            elif op.kind == OP_RMW:
+                store.get(key)
+                store.put(key, workload.value(op.key_index, version))
+                version += 1
+            else:  # pragma: no cover - spec validation prevents this
+                raise ValueError(f"unknown op kind {op.kind}")
+            elapsed = clock.lap(before)
+            result.per_op.setdefault(op.kind, LatencyStats()).add(elapsed)
+            result.overall.add(elapsed)
+            if latency_hist is not None:
+                latency_hist.observe(elapsed, op=op.kind)
+        result.duration_us = clock.now_us - start
     return result

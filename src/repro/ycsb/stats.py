@@ -1,48 +1,71 @@
-"""Latency statistics over simulated microseconds."""
+"""Latency statistics over simulated microseconds.
+
+``LatencyStats`` is now a thin facade over the telemetry
+:class:`~repro.telemetry.metrics.Histogram` — one latency implementation
+for the whole stack.  The backing histogram tracks raw samples, so the
+nearest-rank percentiles here stay exact (bucket counts alone would only
+bound them); the bucketised view is available through :attr:`histogram`
+for snapshot export.
+"""
 
 from __future__ import annotations
 
 import math
+
+from repro.telemetry.metrics import LATENCY_BUCKETS_US, Histogram
 
 
 class LatencyStats:
     """Collects per-operation latencies and summarises them."""
 
     def __init__(self) -> None:
-        self._samples: list[float] = []
-        self._sorted: list[float] | None = None
+        self._hist = Histogram(
+            "latency_us",
+            "per-operation simulated latency",
+            buckets=LATENCY_BUCKETS_US,
+            track_samples=True,
+        )
+
+    @property
+    def histogram(self) -> Histogram:
+        """The backing fixed-bucket telemetry histogram."""
+        return self._hist
+
+    @property
+    def _samples(self) -> list[float]:
+        series = self._hist._series.get(())
+        if series is None or series.samples is None:
+            return []
+        return series.samples
 
     def add(self, micros: float) -> None:
         """Record one latency sample (microseconds)."""
-        self._samples.append(micros)
-        self._sorted = None
+        self._hist.observe(micros)
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._hist.count()
 
     @property
     def mean(self) -> float:
-        if not self._samples:
-            return 0.0
-        return sum(self._samples) / len(self._samples)
+        return self._hist.mean()
 
     @property
     def stdev(self) -> float:
-        n = len(self._samples)
+        samples = self._samples
+        n = len(samples)
         if n < 2:
             return 0.0
         mu = self.mean
-        return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / (n - 1))
+        return math.sqrt(sum((x - mu) ** 2 for x in samples) / (n - 1))
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, p in [0, 100]."""
-        if not self._samples:
-            return 0.0
-        if self._sorted is None:
-            self._sorted = sorted(self._samples)
-        rank = max(0, min(len(self._sorted) - 1, math.ceil(p / 100.0 * len(self._sorted)) - 1))
-        return self._sorted[rank]
+        """Nearest-rank percentile, p in [0, 100].
+
+        ``p <= 0`` returns the minimum sample by definition (not an
+        artefact of rank clamping).
+        """
+        return self._hist.percentile(p)
 
     @property
     def p50(self) -> float:
@@ -58,8 +81,7 @@ class LatencyStats:
 
     def merge(self, other: "LatencyStats") -> None:
         """Fold another stats object's samples into this one."""
-        self._samples.extend(other._samples)
-        self._sorted = None
+        self._hist.merge(other._hist)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

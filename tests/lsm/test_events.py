@@ -83,6 +83,69 @@ def test_full_hook_sequence(free_env):
     assert events[-1] == "wal_reset"
 
 
+def test_flush_then_compaction_sequences(free_env):
+    """One flush and one explicit compaction, each with the full ordered
+    callback sequence and the right CompactionContext kind."""
+    events: list[tuple[str, str]] = []  # (ctx.kind, hook)
+
+    class Recorder(EventListener):
+        def on_compaction_begin(self, ctx):
+            events.append((ctx.kind, "begin"))
+
+        def on_compaction_input_record(self, ctx, level_id, record):
+            events.append((ctx.kind, "input"))
+
+        def on_compaction_output_record(self, ctx, record):
+            events.append((ctx.kind, "output"))
+
+        def on_compaction_finish(self, ctx):
+            events.append((ctx.kind, "finish"))
+
+        def on_table_file_created(self, ctx, entries):
+            events.append((ctx.kind, "file"))
+            return entries
+
+        def on_level_replaced(self, level):
+            events.append(("*", "replaced"))
+
+    store = LSMStore(
+        free_env,
+        LSMConfig(write_buffer_bytes=1 << 20, compaction_enabled=False),
+        listeners=[Recorder()],
+    )
+    for i in range(20):
+        store.put(b"key%03d" % i, b"v" * 10)
+    store.flush()
+    flush_hooks = [hook for kind, hook in events if kind in ("flush", "*")]
+    assert flush_hooks[0] == "begin"
+    assert flush_hooks.count("input") == 20
+    assert flush_hooks.count("output") == 20
+    # Records stream through the merge: inputs and outputs interleave,
+    # but every record is read before it is written out...
+    assert flush_hooks.index("input") < flush_hooks.index("output")
+    # ...and the tail is strictly finish -> file -> replaced.
+    assert flush_hooks[-3:] == ["finish", "file", "replaced"]
+
+    events.clear()
+    store.compact_level(1)
+    kinds = {kind for kind, _ in events if kind != "*"}
+    assert kinds == {"compaction"}
+    hooks = [hook for _, hook in events]
+    assert hooks[0] == "begin"
+    assert hooks.count("input") == 20 and hooks.count("output") == 20
+    # The engine seals output records, then announces completion, then
+    # materialises the table file(s) and swaps the level in — strictly
+    # in that order.
+    assert hooks.index("begin") < hooks.index("input")
+    assert hooks.index("input") < hooks.index("output")
+    assert max(i for i, h in enumerate(hooks) if h == "output") < hooks.index(
+        "finish"
+    )
+    assert hooks.index("finish") < hooks.index("file")
+    assert hooks.index("file") < hooks.index("replaced")
+    assert hooks[-1] == "replaced"
+
+
 def test_stacking_mode_fires_level_inserted(free_env):
     events: list[int] = []
 

@@ -1,0 +1,200 @@
+"""MetricsRegistry: instruments, labels, snapshot/diff, renderers."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    merge_snapshots,
+    render_prometheus,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# Counters & gauges
+# ----------------------------------------------------------------------
+def test_counter_inc_and_total(registry):
+    c = registry.counter("ops", "operations", labels=("op",))
+    c.inc(op="get")
+    c.inc(2, op="put")
+    assert c.value(op="get") == 1
+    assert c.value(op="put") == 2
+    assert c.total() == 3
+
+
+def test_counter_rejects_decrease(registry):
+    with pytest.raises(ValueError):
+        registry.counter("c").inc(-1)
+
+
+def test_counter_label_mismatch_raises(registry):
+    c = registry.counter("ops", labels=("op",))
+    with pytest.raises(ValueError):
+        c.inc(kind="get")
+    with pytest.raises(ValueError):
+        c.inc()  # missing the label entirely
+
+
+def test_get_or_create_returns_same_instrument(registry):
+    assert registry.counter("x") is registry.counter("x")
+
+
+def test_kind_conflict_raises(registry):
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+
+
+def test_label_conflict_raises(registry):
+    registry.counter("x", labels=("a",))
+    with pytest.raises(ValueError):
+        registry.counter("x", labels=("b",))
+    # Label-free lookup of an existing labelled metric is allowed.
+    assert registry.counter("x").label_names == ("a",)
+
+
+def test_gauge_set_inc_dec(registry):
+    g = registry.gauge("resident")
+    g.set(100)
+    g.inc(10)
+    g.dec(30)
+    assert g.value() == 80
+
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+def test_histogram_bucket_boundaries(registry):
+    h = registry.histogram("lat", buckets=(10, 20, 50))
+    # A value exactly on a bound lands in that bucket (le semantics).
+    for v in (5, 10, 11, 20, 49, 50, 51, 1000):
+        h.observe(v)
+    series = h.to_snapshot()["series"][0]
+    assert series["counts"] == [2, 2, 2, 2]  # <=10, <=20, <=50, overflow
+    assert series["count"] == 8
+    assert series["min"] == 5
+    assert series["max"] == 1000
+    assert series["sum"] == sum((5, 10, 11, 20, 49, 50, 51, 1000))
+
+
+def test_histogram_needs_sorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(5, 3, 10))
+
+
+def test_histogram_percentile_from_buckets(registry):
+    h = registry.histogram("lat", buckets=(10, 100, 1000))
+    for _ in range(99):
+        h.observe(7)
+    h.observe(500)
+    assert h.percentile(50) == 10  # bucket upper bound (conservative)
+    assert h.percentile(100) == 1000
+    assert h.percentile(0) == 7  # exact min is tracked
+
+
+def test_histogram_exact_percentile_with_samples():
+    h = Histogram("lat", buckets=(1000,), track_samples=True)
+    for v in range(1, 101):
+        h.observe(v)
+    assert h.percentile(50) == 50
+    assert h.percentile(99) == 99
+    assert h.percentile(0) == 1
+
+
+def test_histogram_merge():
+    a = Histogram("lat", buckets=(10, 100), track_samples=True)
+    b = Histogram("lat", buckets=(10, 100), track_samples=True)
+    a.observe(5)
+    b.observe(50)
+    b.observe(500)
+    a.merge(b)
+    assert a.count() == 3
+    assert a.percentile(0) == 5
+    assert a.to_snapshot()["series"][0]["counts"] == [1, 1, 1]
+
+
+def test_histogram_merge_shape_mismatch():
+    a = Histogram("lat", buckets=(10,))
+    b = Histogram("lat", buckets=(20,))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+# ----------------------------------------------------------------------
+# Snapshot / diff / merge
+# ----------------------------------------------------------------------
+def test_snapshot_is_json_serialisable(registry):
+    registry.counter("ops", labels=("op",)).inc(op="get")
+    registry.gauge("g").set(3)
+    registry.histogram("h", buckets=(1, 2)).observe(1.5)
+    snap = registry.snapshot()
+    rehydrated = json.loads(json.dumps(snap))
+    assert rehydrated == snap
+    assert snap["ops"]["type"] == "counter"
+    assert snap["h"]["buckets"] == [1, 2]
+
+
+def test_diff_counters_and_gauges(registry):
+    c = registry.counter("ops", labels=("op",))
+    g = registry.gauge("g")
+    h = registry.histogram("h", buckets=(10,))
+    c.inc(5, op="get")
+    g.set(1)
+    h.observe(3)
+    before = registry.snapshot()
+    c.inc(2, op="get")
+    c.inc(1, op="put")  # new series, absent from `before`
+    g.set(9)
+    h.observe(4)
+    delta = registry.diff(before)
+    by_op = {s["labels"]["op"]: s["value"] for s in delta["ops"]["series"]}
+    assert by_op == {"get": 2, "put": 1}
+    assert delta["g"]["series"][0]["value"] == 9  # gauges keep new value
+    assert delta["h"]["series"][0]["count"] == 1
+    assert delta["h"]["series"][0]["sum"] == 4
+
+
+def test_diff_standalone_function():
+    assert diff_snapshots({}, {}) == {}
+
+
+def test_merge_snapshots_sums_counters():
+    r1, r2 = MetricsRegistry(), MetricsRegistry()
+    r1.counter("ops", labels=("op",)).inc(3, op="get")
+    r2.counter("ops", labels=("op",)).inc(4, op="get")
+    r2.counter("ops", labels=("op",)).inc(1, op="put")
+    r1.histogram("h", buckets=(10,)).observe(2)
+    r2.histogram("h", buckets=(10,)).observe(20)
+    merged = merge_snapshots([r1.snapshot(), r2.snapshot()])
+    by_op = {s["labels"]["op"]: s["value"] for s in merged["ops"]["series"]}
+    assert by_op == {"get": 7, "put": 1}
+    h = merged["h"]["series"][0]
+    assert h["count"] == 2
+    assert h["counts"] == [1, 1]
+    assert h["min"] == 2 and h["max"] == 20
+
+
+# ----------------------------------------------------------------------
+# Prometheus rendering
+# ----------------------------------------------------------------------
+def test_render_prometheus(registry):
+    registry.counter("enclave.ecalls", "entries", labels=("call",)).inc(
+        3, call="get"
+    )
+    registry.histogram("proof.get.bytes", buckets=(64, 256)).observe(100)
+    text = render_prometheus(registry.snapshot())
+    assert '# TYPE enclave_ecalls counter' in text
+    assert 'enclave_ecalls{call="get"} 3' in text
+    assert 'proof_get_bytes_bucket{le="64"} 0' in text
+    assert 'proof_get_bytes_bucket{le="256"} 1' in text
+    assert 'proof_get_bytes_bucket{le="+Inf"} 1' in text
+    assert 'proof_get_bytes_count 1' in text
+    assert text.endswith("\n")

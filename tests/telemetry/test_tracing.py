@@ -1,0 +1,98 @@
+"""Tracer: nesting, ring buffer, and the span->histogram bridge."""
+
+import json
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Tracer
+
+
+class FakeClock:
+    """A manually advanced simulated-microsecond clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, us):
+        self.now += us
+
+
+def test_span_timing_on_simulated_clock():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("flush") as span:
+        clock.advance(125)
+    assert span.start_us == 0
+    assert span.end_us == 125
+    assert span.duration_us == 125
+
+
+def test_span_nesting_parent_ids():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("outer") as outer:
+        assert tracer.current() is outer
+        with tracer.span("inner") as inner:
+            assert tracer.current() is inner
+            assert inner.parent_id == outer.span_id
+        clock.advance(10)
+    assert outer.parent_id is None
+    assert tracer.current() is None
+    # Inner finishes first, so it lands in the buffer first.
+    assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+
+def test_span_attributes():
+    tracer = Tracer()
+    with tracer.span("compaction", input_levels=[1]) as span:
+        span.set(output_bytes=4096)
+    exported = tracer.export()[0]
+    assert exported["attributes"] == {"input_levels": [1], "output_bytes": 4096}
+    assert exported["name"] == "compaction"
+
+
+def test_ring_buffer_drops_oldest():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        with tracer.span(f"s{i}"):
+            pass
+    assert [s.name for s in tracer.spans] == ["s2", "s3", "s4"]
+    assert tracer.dropped == 2
+
+
+def test_span_records_duration_histogram():
+    clock = FakeClock()
+    registry = MetricsRegistry()
+    tracer = Tracer(clock=clock, registry=registry)
+    with tracer.span("lsm.compaction"):
+        clock.advance(900)
+    hist = registry.histogram("lsm.compaction.duration_us")
+    assert hist.count() == 1
+    assert hist.sum() == 900
+    assert "lsm.compaction.duration_us" in registry.snapshot()
+
+
+def test_exception_still_closes_span():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    try:
+        with tracer.span("risky"):
+            clock.advance(5)
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert tracer.current() is None
+    assert tracer.spans[0].end_us == 5
+
+
+def test_to_json_and_reset():
+    tracer = Tracer()
+    with tracer.span("a"):
+        pass
+    parsed = json.loads(tracer.to_json())
+    assert parsed[0]["name"] == "a"
+    tracer.reset()
+    assert tracer.spans == []
+    assert tracer.dropped == 0

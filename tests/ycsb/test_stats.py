@@ -51,3 +51,24 @@ def test_add_after_percentile_resorts():
     assert stats.p50 == 10
     stats.add(1)
     assert stats.p50 == 1
+
+
+def test_percentile_zero_is_minimum():
+    """p=0 must return the smallest sample, not an off-by-one rank."""
+    stats = filled([42, 7, 300])
+    assert stats.percentile(0) == 7
+    assert stats.percentile(-5) == 7  # clamped below zero too
+    stats.add(3)
+    assert stats.percentile(0) == 3
+
+
+def test_backing_histogram_exposed():
+    """LatencyStats rides on the telemetry histogram type."""
+    from repro.telemetry.metrics import Histogram
+
+    stats = filled([5, 500])
+    assert isinstance(stats.histogram, Histogram)
+    assert stats.histogram.count() == 2
+    assert stats.histogram.sum() == pytest.approx(505)
+    snap = stats.histogram.to_snapshot()
+    assert snap["series"][0]["count"] == 2
