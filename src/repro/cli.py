@@ -11,6 +11,9 @@ Commands:
   YCSB run on a chosen system.
 * ``audit`` — build a demo store and run the full integrity audit
   (pass ``--tamper`` to watch it fail).
+* ``crash-test`` — the crash-consistency harness: crash the store at
+  every registered crash point (plus random points, a rollback attack,
+  and an fsync-dropping device) and verify recovery (docs/robustness.md).
 
 ``bench`` and ``ycsb`` accept ``--metrics-out <path>`` to dump the run's
 telemetry: JSON (metrics snapshot + spans) by default, or Prometheus
@@ -106,6 +109,13 @@ def cmd_bench(args) -> int:
         import repro.bench.experiments as exp
 
         exp.BENCH_FACTOR = args.factor
+    if args.wal_sync_every is not None:
+        # Experiments build their stores internally; retune the session
+        # default so every one of them picks the cadence up (it is then
+        # recorded in each store's report()).
+        import repro.lsm.db as lsm_db
+
+        lsm_db.DEFAULT_WAL_SYNC_EVERY = args.wal_sync_every
     # An experiment constructs many stores internally; the hub merges
     # their per-store registries into one exportable snapshot.
     if args.metrics_out:
@@ -146,9 +156,10 @@ def cmd_ycsb(args) -> int:
         "D": WORKLOAD_D, "E": WORKLOAD_E, "F": WORKLOAD_F,
     }
     scale = ScaleConfig(factor=args.factor)
+    sync_every = args.wal_sync_every
     systems = {
-        "p2": lambda: ELSMP2Store(scale=scale),
-        "p1": lambda: ELSMP1Store(scale=scale),
+        "p2": lambda: ELSMP2Store(scale=scale, wal_sync_every=sync_every),
+        "p1": lambda: ELSMP1Store(scale=scale, wal_sync_every=sync_every),
         "plain": lambda: UnsecuredLSMStore(scale=scale),
     }
     store = systems[args.system]()
@@ -172,6 +183,63 @@ def cmd_ycsb(args) -> int:
         )
         print(f"metrics written to {args.metrics_out}")
     return 0
+
+
+def cmd_crash_test(args) -> int:
+    """The `crash-test` command: the full crash/recover matrix."""
+    from repro.faults import CRASH_SITES, CrashConsistencyHarness
+    from repro.telemetry import HUB, write_metrics_file
+
+    sites = tuple(CRASH_SITES)
+    if args.sites:
+        sites = tuple(args.sites.split(","))
+        unknown = [s for s in sites if s not in CRASH_SITES]
+        if unknown:
+            print(f"unknown crash sites: {', '.join(unknown)}", file=sys.stderr)
+            print(f"registered: {', '.join(CRASH_SITES)}", file=sys.stderr)
+            return 2
+    hits = tuple(int(h) for h in args.hits.split(","))
+    if args.quick:
+        hits = hits[:1]
+
+    harness = CrashConsistencyHarness(
+        seed=args.seed, ops=args.ops, sync_every=args.sync_every
+    )
+    if args.metrics_out:
+        HUB.activate()
+    try:
+        results = harness.run_all(
+            sites=sites,
+            hits=hits,
+            random_rounds=args.random_rounds,
+        )
+        if args.metrics_out:
+            write_metrics_file(
+                args.metrics_out, HUB.merged_snapshot(), HUB.spans()
+            )
+    finally:
+        if args.metrics_out:
+            HUB.deactivate()
+
+    width = max(len(r.scenario) for r in results)
+    print(f"{'scenario':<{width}}  result  crashed-at")
+    failures = 0
+    for r in results:
+        verdict = "PASS" if r.ok else "FAIL"
+        failures += 0 if r.ok else 1
+        where = r.crashed_at or ("-" if r.triggered else "not reached")
+        line = f"{r.scenario:<{width}}  {verdict:<6}  {where}"
+        if not r.ok or args.verbose:
+            line += f"  [{r.detail}]"
+        print(line)
+    print(
+        f"\n{len(results)} crash/recover cycles: "
+        f"{len(results) - failures} passed, {failures} failed "
+        f"(seed={args.seed}, ops={args.ops}, sync_every={args.sync_every})"
+    )
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    return 1 if failures else 0
 
 
 def cmd_audit(args) -> int:
@@ -219,6 +287,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="dump merged telemetry (JSON, or Prometheus "
                             "text for .prom/.txt paths)")
+    bench.add_argument("--wal-sync-every", type=int, default=None,
+                       help="WAL fsync cadence for every store the "
+                            "experiment builds (default 32)")
     bench.set_defaults(fn=cmd_bench)
 
     ycsb = sub.add_parser("ycsb", help="one YCSB run")
@@ -230,7 +301,33 @@ def build_parser() -> argparse.ArgumentParser:
     ycsb.add_argument("--metrics-out", default=None, metavar="PATH",
                       help="dump the run's telemetry (JSON, or Prometheus "
                            "text for .prom/.txt paths)")
+    ycsb.add_argument("--wal-sync-every", type=int, default=None,
+                      help="WAL fsync cadence for the store under test "
+                           "(default 32)")
     ycsb.set_defaults(fn=cmd_ycsb)
+
+    crash = sub.add_parser(
+        "crash-test", help="crash-consistency harness over every crash point"
+    )
+    crash.add_argument("--seed", type=int, default=0)
+    crash.add_argument("--ops", type=int, default=120,
+                       help="workload mutations per crash/recover cycle")
+    crash.add_argument("--sync-every", type=int, default=4,
+                       help="WAL fsync cadence (the bounded-loss window)")
+    crash.add_argument("--hits", default="1,3", metavar="N,M",
+                       help="crash at the Nth, Mth, ... firing of each site")
+    crash.add_argument("--sites", default=None, metavar="A,B",
+                       help="comma-separated crash sites (default: all)")
+    crash.add_argument("--random-rounds", type=int, default=4,
+                       help="extra cycles crashing after random disk-op counts")
+    crash.add_argument("--quick", action="store_true",
+                       help="first hit per site only (the CI smoke config)")
+    crash.add_argument("--verbose", action="store_true",
+                       help="print the invariant detail for passing runs too")
+    crash.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="dump merged telemetry (JSON, or Prometheus "
+                            "text for .prom/.txt paths)")
+    crash.set_defaults(fn=cmd_crash_test)
 
     audit = sub.add_parser("audit", help="full-store integrity audit demo")
     audit.add_argument("--tamper", action="store_true",

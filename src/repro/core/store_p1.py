@@ -43,7 +43,7 @@ class ELSMP1Store:
         compaction: bool = True,
         keep_versions: bool = True,
         compression: bool = False,
-        wal_sync_every: int = 32,
+        wal_sync_every: int | None = None,
         reopen: bool = False,
         name_prefix: str = "p1",
     ) -> None:
@@ -136,6 +136,8 @@ class ELSMP1Store:
         metrics = self.telemetry.metrics
         return {
             "timestamp": self._ts,
+            "health": self.db.health(),
+            "wal_sync_every": self.db.config.wal_sync_every,
             "levels": {
                 level: {
                     "files": len(self.db.level_run(level).tables),

@@ -34,7 +34,14 @@ from repro.lsm.records import Record
 from repro.sgx.counter import BufferedCounterAnchor, TrustedMonotonicCounter
 from repro.sgx.enclave import Enclave
 from repro.sgx.env import ExecutionEnv
-from repro.sgx.sealing import SealedBlob, seal, unseal
+from repro.sgx.sealing import (
+    SealedBlob,
+    SealError,
+    load_blob,
+    seal,
+    store_blob,
+    unseal,
+)
 from repro.sim.clock import SimClock
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.disk import SimDisk
@@ -84,7 +91,9 @@ class ELSMP2Store:
         encryption_key_width: int = 16,
         rollback_protection: bool = False,
         counter_buffer_ops: int = 64,
-        wal_sync_every: int = 32,
+        counter_slack: int = 0,
+        autoseal: bool = False,
+        wal_sync_every: int | None = None,
         early_stop: bool = True,
         proof_mode: str = "embedded",
         counter: TrustedMonotonicCounter | None = None,
@@ -170,11 +179,39 @@ class ELSMP2Store:
         # store must be handed the same counter it used before the crash.
         self.counter = counter or TrustedMonotonicCounter(self.clock)
         self.anchor = BufferedCounterAnchor(self.counter, counter_buffer_ops)
+        #: Counter increments a recovered seal may legitimately trail the
+        #: hardware by (a crash can land between the increment and the
+        #: seal write).  0 keeps the strict equality check.
+        self.counter_slack = counter_slack
 
         self._ts = 0
         # The in-enclave mutex guarding concurrent operations (5.5.2).
         self._op_lock = threading.RLock()
         self.total_proof_bytes = 0
+
+        self._m_recovery_dropped_bytes = self.telemetry.counter(
+            "wal.recovery.dropped_bytes",
+            "WAL bytes discarded by authenticated recovery "
+            "(beyond the sealed digest, torn, or corrupt)",
+        )
+        self._m_recovery_dropped_entries = self.telemetry.counter(
+            "wal.recovery.dropped_entries",
+            "WAL records discarded by authenticated recovery",
+        )
+        self._m_seals = self.telemetry.counter(
+            "seal.persisted", "sealed trusted states written to disk"
+        )
+        #: Seal-on-sync: persist the sealed trusted state at every commit
+        #: point (flush/compaction commit and WAL fsync), making "fsync
+        #: acknowledged" imply "covered by an on-disk seal" — the
+        #: durability contract the crash harness checks.
+        self.autoseal = autoseal
+        self._seal_seq = 0
+        self._durable_ts = 0
+        if autoseal:
+            self.db.commit_hook = self._autoseal_commit
+            if self.db.wal is not None:
+                self.db.wal.on_sync = lambda: self._autoseal_commit("wal_sync")
 
     # ------------------------------------------------------------------
     # Timestamp manager (runs in the enclave)
@@ -406,6 +443,9 @@ class ELSMP2Store:
         metrics = self.telemetry.metrics
         return {
             "timestamp": self._ts,
+            "health": self.db.health(),
+            "wal_sync_every": self.db.config.wal_sync_every,
+            "durable_ts": self.durability_ts(),
             "levels": levels,
             "level_bytes_total": level_bytes_total,
             "memtable_records": len(self.db.memtable),
@@ -464,14 +504,59 @@ class ELSMP2Store:
             "ts": self._ts,
             "counter": self.anchor.anchored_value,
             "dataset": dataset.hex(),
+            "manifest_seq": self.db.manifest_seq,
+            "wal_epoch": self.db.wal.epoch if self.db.wal is not None else 0,
         }
         return seal(self.enclave, payload)
+
+    def _seal_name(self, seq: int) -> str:
+        return f"{self.db.name_prefix}/SEAL-{seq:06d}"
+
+    def _seal_seqs_on_disk(self) -> list[int]:
+        """Seal sequence numbers present on disk, newest first."""
+        prefix = f"{self.db.name_prefix}/SEAL-"
+        seqs = []
+        for fname in self.env.file_list(prefix):
+            suffix = fname[len(prefix):]
+            if suffix.isdigit():
+                seqs.append(int(suffix))
+        return sorted(seqs, reverse=True)
+
+    def persist_seal(self) -> str:
+        """Seal the trusted state and write it to disk as the newest
+        ``SEAL-<n>`` file; older seals are reaped only once the new one
+        is durable.  Returns the file name written."""
+        ts_at_seal = self._ts
+        blob = self.seal_state()
+        self._seal_seq += 1
+        name = self._seal_name(self._seal_seq)
+        store_blob(self.env, name, blob)
+        self._m_seals.inc()
+        self._durable_ts = max(self._durable_ts, ts_at_seal)
+        for seq in self._seal_seqs_on_disk():
+            if seq != self._seal_seq:
+                self.env.file_delete(self._seal_name(seq))
+        return name
+
+    def _autoseal_commit(self, reason: str) -> None:
+        self.persist_seal()
+
+    def durability_ts(self) -> int:
+        """Largest timestamp guaranteed to survive a power cut.
+
+        With autoseal this is the newest *on-disk seal's* timestamp —
+        an fsynced WAL record the enclave has not yet sealed cannot be
+        authenticated after a restart, so it does not count as durable.
+        """
+        if self.autoseal:
+            return self._durable_ts
+        return self.db.durable_ts()
 
     def check_recovery(self, blob: SealedBlob) -> dict:
         """Unseal a persisted state and verify it is not a rollback."""
         payload = unseal(self.enclave, blob)
         if self.rollback_protection and not self.anchor.check_freshness(
-            payload["counter"]
+            payload["counter"], slack=self.counter_slack
         ):
             raise RollbackDetected(
                 "sealed state counter is behind the trusted monotonic counter"
@@ -486,14 +571,21 @@ class ELSMP2Store:
         self.anchor.restore(payload["counter"], bytes.fromhex(payload["dataset"]))
 
     def recover_from_seal(self, blob: SealedBlob) -> int:
-        """Full restart flow: unseal, rollback-check, authenticate the
-        WAL, and replay it into the MemTable.
+        """Full restart flow: unseal, rollback-check, adopt the sealed
+        manifest + WAL epoch, authenticate the WAL, and replay it.
 
         Call on a store constructed with ``reopen=True`` over the same
         disk (and the same hardware ``counter``).  Returns the number of
         WAL records replayed.  Raises :class:`RollbackDetected` for a
         stale sealed state and :class:`IntegrityViolation` when the WAL
         on the untrusted disk does not match the enclave's digest.
+
+        The WAL check accepts the *longest prefix* whose running digest
+        equals the sealed digest: entries appended after the seal (the
+        crash window) are unauthenticated, so they are discarded — with
+        telemetry and a physical truncation — rather than trusted.  If
+        no prefix matches (tampering, or a device that dropped an
+        acknowledged fsync), recovery refuses loudly.
         """
         from repro.core.auth_compaction import WAL_DIGEST_INIT, advance_wal_digest
         from repro.core.errors import IntegrityViolation
@@ -501,12 +593,91 @@ class ELSMP2Store:
         payload = self.check_recovery(blob)
         self.load_trusted_state(payload)
         assert self.db.wal is not None
+        # Adopt the on-disk seal numbering *before* replay: a recovery-
+        # triggered flush may autoseal, and its seal must outnumber every
+        # seal already on disk or a stale one would win the next restart.
+        disk_seals = self._seal_seqs_on_disk()
+        if disk_seals:
+            self._seal_seq = max(self._seal_seq, disk_seals[0])
+        manifest_seq = payload.get("manifest_seq", 0)
+        if manifest_seq > 0:
+            if not self.db.load_manifest(manifest_seq):
+                raise IntegrityViolation(
+                    "manifest named by the sealed state is missing from disk"
+                )
+        else:
+            # The seal predates the first commit: no level may survive,
+            # even if an uncommitted manifest was eagerly loaded on open.
+            self.db.reset_levels()
+        if "wal_epoch" in payload and payload["wal_epoch"] > 0:
+            self.db.wal.set_epoch(payload["wal_epoch"])
+
+        target = self.listener.wal_digest
         digest = WAL_DIGEST_INIT
-        for record in self.db.wal.replay():
+        seen: list[Record] = []
+        accepted: list[Record] = []
+        accepted_end = 0
+        matched = digest == target  # an empty log matches the reset digest
+        for record, end in self.db.wal.replay_entries():
             digest = advance_wal_digest(digest, record)
             self.env.trusted_hash(record.approximate_bytes() + 32)
-        if digest != self.listener.wal_digest:
+            seen.append(record)
+            if digest == target:
+                accepted = list(seen)
+                accepted_end = end
+                matched = True
+        if not matched:
             raise IntegrityViolation(
                 "write-ahead log failed authentication during recovery"
             )
-        return self.db.recover()
+        wal_size = self.disk.size(self.db.wal.path)
+        if wal_size > accepted_end:
+            self._m_recovery_dropped_bytes.inc(wal_size - accepted_end)
+            self._m_recovery_dropped_entries.inc(len(seen) - len(accepted))
+            self.db.wal.truncate_to(accepted_end)
+
+        self.db.cleanup_orphans()
+        if accepted:
+            self._ts = max(self._ts, max(r.ts for r in accepted))
+        replayed = self.db.recover(records=accepted)
+        self._ts = max(self._ts, self.db.last_ts)
+        if self.autoseal:
+            # Everything just recovered is on disk and sealed.
+            self._durable_ts = max(self._durable_ts, self._ts)
+        return replayed
+
+    def recover_from_disk(self) -> int:
+        """Restart when only the disk (and hardware counter) survive:
+        adopt the newest on-disk seal that decodes and unseals cleanly.
+
+        Torn or corrupt seal files (a crash during the seal write) fall
+        back to the previous seal; a seal that unseals but fails the
+        freshness check raises :class:`RollbackDetected` — an older seal
+        is *never* tried in that case, since silently accepting one is
+        exactly the rollback being defended against.
+        """
+        from repro.core.errors import IntegrityViolation
+
+        seqs = self._seal_seqs_on_disk()
+        last_error: Exception | None = None
+        for seq in seqs:
+            try:
+                blob = load_blob(self.env, self._seal_name(seq))
+                payload_check = unseal(self.enclave, blob)
+            except SealError as exc:
+                last_error = exc
+                continue
+            del payload_check  # full check (incl. freshness) happens below
+            replayed = self.recover_from_seal(blob)
+            # Reap only seals older than the one adopted: a recovery
+            # flush may already have written (and reaped around) a newer
+            # one, which must survive.
+            for other in self._seal_seqs_on_disk():
+                if other < seq:
+                    self.env.file_delete(self._seal_name(other))
+            return replayed
+        if last_error is not None:
+            raise IntegrityViolation(
+                f"no intact sealed state found on disk: {last_error}"
+            )
+        raise IntegrityViolation("no sealed state found on disk")

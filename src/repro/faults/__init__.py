@@ -1,0 +1,21 @@
+"""Fault injection and crash-consistency testing for eLSM recovery paths.
+
+``repro.faults.plan`` provides the injection machinery (IO errors, torn
+appends, bit rot, fsync loss, named crash points); ``repro.faults.harness``
+drives crash/recover cycles and checks the recovery invariants.  The
+simulation layer stays ignorant of this package: a :class:`FaultPlan`
+attaches to a :class:`~repro.sim.disk.SimDisk` via the duck-typed
+``disk.fault_plan`` slot.
+"""
+
+from repro.faults.harness import CrashConsistencyHarness, CrashRunResult
+from repro.faults.plan import CRASH_SITES, FaultPlan, FaultRule, SimulatedCrash
+
+__all__ = [
+    "CRASH_SITES",
+    "CrashConsistencyHarness",
+    "CrashRunResult",
+    "FaultPlan",
+    "FaultRule",
+    "SimulatedCrash",
+]

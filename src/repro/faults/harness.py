@@ -1,0 +1,461 @@
+"""Crash-consistency harness: crash everywhere, recover, check invariants.
+
+Each run builds a small eLSM-P2 store with *autoseal* on (the sealed
+trusted state is persisted at every commit point, so "fsync acked"
+implies "covered by an on-disk seal"), drives a seeded workload into it,
+kills it — at a named crash point or after a random number of disk
+operations — simulates power loss on the disk, reopens over the same
+disk and hardware counter, and checks:
+
+1. recovery succeeds (``recover_from_disk`` adopts the newest seal);
+2. **no durably-acknowledged write is lost**: the recovered timestamp is
+   at least the durability floor the workload observed;
+3. **tail loss is bounded**: at most ``sync_every`` acknowledged-but-
+   unsealed mutations may vanish;
+4. the recovered store equals a *prefix* of the mutation history — never
+   a gap, never a reordering (checked key-by-key with verified GETs);
+5. ``audit()`` reauthenticates every Merkle level root;
+6. the store stays live: post-recovery writes and reads work.
+
+Separate scenarios check that a rolled-back disk+seal image raises
+``RollbackDetected`` and that a device which drops an acknowledged fsync
+is *detected* (recovery refuses) rather than silently serving a hole.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.core.errors import IntegrityViolation, RollbackDetected
+from repro.core.store_p2 import ELSMP2Store
+from repro.faults.plan import CRASH_SITES, FaultPlan, SimulatedCrash
+from repro.sim.clock import SimClock
+from repro.sim.disk import SimDisk
+from repro.sim.scale import ScaleConfig
+
+
+@dataclass
+class CrashRunResult:
+    """Outcome of one crash/recover cycle."""
+
+    scenario: str
+    ok: bool
+    triggered: bool  # did the intended crash actually fire?
+    crashed_at: str | None = None
+    detail: str = ""
+    acked: int = 0
+    durable_floor: int = 0
+    recovered_ts: int = 0
+    dropped_entries: int = 0
+    checks: list[str] = field(default_factory=list)
+
+
+class CrashConsistencyHarness:
+    """Deterministic crash/recover cycles over a tiny eLSM-P2 store."""
+
+    #: Fraction of workload ops that are puts / deletes (rest are gets).
+    PUT_FRACTION = 0.75
+    DELETE_FRACTION = 0.15
+
+    def __init__(
+        self,
+        seed: int = 0,
+        ops: int = 120,
+        sync_every: int = 4,
+        keyspace: int = 32,
+        value_bytes: int = 24,
+    ) -> None:
+        self.seed = seed
+        self.ops = ops
+        self.sync_every = sync_every
+        self.keyspace = keyspace
+        self.value_bytes = value_bytes
+        self.name_prefix = "ct"
+
+    # ------------------------------------------------------------------
+    # Store / workload construction
+    # ------------------------------------------------------------------
+    def _build_store(
+        self,
+        disk: SimDisk | None = None,
+        clock: SimClock | None = None,
+        counter=None,
+        reopen: bool = False,
+    ) -> ELSMP2Store:
+        # Tiny capacities so a ~100-op workload exercises several
+        # flushes and at least one cascading compaction.
+        return ELSMP2Store(
+            scale=ScaleConfig(factor=1 / 4096),
+            clock=clock,
+            disk=disk,
+            counter=counter,
+            reopen=reopen,
+            write_buffer_bytes=1024,
+            level1_max_bytes=2048,
+            file_max_bytes=1024,
+            block_bytes=512,
+            rollback_protection=True,
+            counter_buffer_ops=1_000_000,  # anchors come from autoseal only
+            counter_slack=1,  # a crash can split increment from seal write
+            autoseal=True,
+            wal_sync_every=self.sync_every,
+            name_prefix=self.name_prefix,
+        )
+
+    def _derive_seed(self, tag: str) -> int:
+        return zlib.crc32(f"{self.seed}:{tag}".encode())
+
+    def _key(self, index: int) -> bytes:
+        return b"key-%03d" % index
+
+    def _value(self, op_index: int) -> bytes:
+        return (b"val-%06d-" % op_index) * (
+            1 + self.value_bytes // 11
+        )
+
+    def _run_workload(
+        self, store: ELSMP2Store, rng: random.Random
+    ) -> tuple[list[tuple[str, bytes, bytes | None]], int, int, str | None]:
+        """Drive mutations until done or crashed.
+
+        Returns ``(attempted, acked, durable_floor, crashed_at)`` where
+        ``attempted[k]`` is the mutation that was (or would have been)
+        assigned timestamp ``k + 1`` — the store is the sole writer, so
+        timestamps are exactly mutation indices.
+        """
+        attempted: list[tuple[str, bytes, bytes | None]] = []
+        acked = 0
+        floor = 0
+        crashed: str | None = None
+        try:
+            for i in range(self.ops):
+                roll = rng.random()
+                key = self._key(rng.randrange(self.keyspace))
+                if roll < self.PUT_FRACTION:
+                    value = self._value(i)
+                    attempted.append(("put", key, value))
+                    store.put(key, value)
+                    acked += 1
+                elif roll < self.PUT_FRACTION + self.DELETE_FRACTION:
+                    attempted.append(("del", key, None))
+                    store.delete(key)
+                    acked += 1
+                else:
+                    store.get(key)
+                floor = max(floor, store.durability_ts())
+        except SimulatedCrash as crash:
+            crashed = crash.site
+        return attempted, acked, floor, crashed
+
+    @staticmethod
+    def _model_at(
+        attempted: list[tuple[str, bytes, bytes | None]], ts: int
+    ) -> dict[bytes, bytes | None]:
+        """The expected key -> value map after the first ``ts`` mutations."""
+        state: dict[bytes, bytes | None] = {}
+        for kind, key, value in attempted[:ts]:
+            state[key] = value if kind == "put" else None
+        return state
+
+    # ------------------------------------------------------------------
+    # Recovery + invariant checking
+    # ------------------------------------------------------------------
+    def _recover_and_check(
+        self,
+        result: CrashRunResult,
+        old_store: ELSMP2Store,
+        attempted: list[tuple[str, bytes, bytes | None]],
+        relax_floor: bool = False,
+    ) -> CrashRunResult:
+        """Reopen over the surviving disk and run every invariant."""
+        try:
+            store = self._build_store(
+                disk=old_store.disk,
+                clock=old_store.clock,
+                counter=old_store.counter,
+                reopen=True,
+            )
+            store.recover_from_disk()
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            result.ok = False
+            result.detail = f"recovery failed: {type(exc).__name__}: {exc}"
+            return result
+
+        j = result.recovered_ts = store.current_ts
+        result.dropped_entries = int(
+            store.telemetry.counter("wal.recovery.dropped_entries").total()
+            + store.telemetry.counter("wal.replay_dropped_entries").total()
+        )
+        failures: list[str] = []
+        if j < result.durable_floor and not relax_floor:
+            failures.append(
+                f"durable write lost: recovered ts {j} < floor "
+                f"{result.durable_floor}"
+            )
+        if j > len(attempted):
+            failures.append(
+                f"recovered ts {j} exceeds {len(attempted)} attempted mutations"
+            )
+        if result.acked - j > self.sync_every:
+            failures.append(
+                f"tail loss {result.acked - j} exceeds sync_every "
+                f"{self.sync_every}"
+            )
+        result.checks.append(f"prefix ts={j}")
+
+        model = self._model_at(attempted, min(j, len(attempted)))
+        for index in range(self.keyspace):
+            key = self._key(index)
+            expect = model.get(key)
+            try:
+                got = store.get(key)
+            except Exception as exc:  # noqa: BLE001
+                failures.append(f"get({key!r}) raised {type(exc).__name__}: {exc}")
+                continue
+            if got != expect:
+                failures.append(
+                    f"state mismatch at {key!r}: got "
+                    f"{got!r:.40}, expected {expect!r:.40}"
+                )
+        result.checks.append("state == model prefix")
+
+        report = store.audit()
+        if not report.clean:
+            failures.append(f"audit failed: {report.summary()}")
+        result.checks.append("audit clean")
+
+        # Liveness: the recovered store must accept and serve new writes.
+        try:
+            for i in range(3):
+                key = b"post-crash-%d" % i
+                store.put(key, b"alive-%d" % i)
+                if store.get(key) != b"alive-%d" % i:
+                    failures.append(f"post-recovery readback failed for {key!r}")
+            store.flush()
+            if not store.audit().clean:
+                failures.append("audit failed after post-recovery writes")
+        except Exception as exc:  # noqa: BLE001
+            failures.append(
+                f"post-recovery write raised {type(exc).__name__}: {exc}"
+            )
+        result.checks.append("post-recovery liveness")
+
+        result.ok = not failures
+        result.detail = "; ".join(failures) if failures else "all invariants hold"
+        return result
+
+    # ------------------------------------------------------------------
+    # Scenarios
+    # ------------------------------------------------------------------
+    def run_site(self, site: str, hit: int = 1) -> CrashRunResult:
+        """Crash the ``hit``-th time ``site`` fires, then recover."""
+        scenario = f"site:{site}#{hit}"
+        rng = random.Random(self._derive_seed(scenario))
+        store = self._build_store()
+        store.persist_seal()  # recovery always has a seal to fall back to
+        plan = FaultPlan(self._derive_seed(scenario + ":plan"))
+        plan.attach(store.disk)
+        plan.crash_at(site, hit=hit)
+        attempted, acked, floor, crashed = self._run_workload(store, rng)
+        plan.disarm()
+        result = CrashRunResult(
+            scenario=scenario,
+            ok=True,
+            triggered=crashed is not None,
+            crashed_at=crashed,
+            acked=acked,
+            durable_floor=floor,
+        )
+        if crashed is None:
+            # The workload never reached this site at this hit count;
+            # verify the intact store instead of failing the matrix.
+            result.detail = "site not reached; verified final state"
+            full = self._model_at(attempted, len(attempted))
+            for index in range(self.keyspace):
+                key = self._key(index)
+                if store.get(key) != full.get(key):
+                    result.ok = False
+                    result.detail = f"final state mismatch at {key!r}"
+            if not store.audit().clean:
+                result.ok = False
+                result.detail = "final audit failed"
+            return result
+        store.disk.power_loss(rng)
+        return self._recover_and_check(result, store, attempted)
+
+    def run_matrix(
+        self, sites: tuple[str, ...] | None = None, hits: tuple[int, ...] = (1, 3)
+    ) -> list[CrashRunResult]:
+        """Crash at every registered site, at several hit counts."""
+        results = []
+        for site in sites or CRASH_SITES:
+            for hit in hits:
+                results.append(self.run_site(site, hit))
+        return results
+
+    def run_random_crash(self, round_index: int) -> CrashRunResult:
+        """Crash after a seeded-random number of disk operations."""
+        scenario = f"random#{round_index}"
+        rng = random.Random(self._derive_seed(scenario))
+        crash_after = rng.randrange(20, 600)
+        store = self._build_store()
+        store.persist_seal()
+        plan = FaultPlan(self._derive_seed(scenario + ":plan"))
+        plan.attach(store.disk)
+        plan.crash_after_ops(crash_after)
+        attempted, acked, floor, crashed = self._run_workload(store, rng)
+        plan.disarm()
+        result = CrashRunResult(
+            scenario=f"{scenario}(disk-ops={crash_after})",
+            ok=True,
+            triggered=crashed is not None,
+            crashed_at=crashed,
+            acked=acked,
+            durable_floor=floor,
+        )
+        if crashed is None:
+            result.detail = "workload finished before the op budget"
+            return result
+        store.disk.power_loss(rng)
+        return self._recover_and_check(result, store, attempted)
+
+    def run_random_crashes(self, rounds: int = 4) -> list[CrashRunResult]:
+        return [self.run_random_crash(i) for i in range(rounds)]
+
+    def run_rollback_check(self) -> CrashRunResult:
+        """A malicious host restores an older disk image: must be caught.
+
+        The image is taken at least two seals back — with
+        ``counter_slack=1`` an image exactly one seal old is
+        indistinguishable from an honest crash, by design.
+        """
+        scenario = "rollback"
+        rng = random.Random(self._derive_seed(scenario))
+        store = self._build_store()
+        store.persist_seal()
+        attempted, acked, floor, crashed = self._run_workload(store, rng)
+        assert crashed is None
+        image = {
+            name: bytes(store.disk.open(name).data)
+            for name in store.disk.list_files()
+        }
+        seals_before = store._seal_seq
+        # Keep writing so the hardware counter moves >= 2 past the image.
+        extra_rng = random.Random(self._derive_seed(scenario + ":extra"))
+        for i in range(4 * self.sync_every):
+            store.put(
+                self._key(extra_rng.randrange(self.keyspace)),
+                self._value(self.ops + i),
+            )
+        store.flush()
+        result = CrashRunResult(
+            scenario=scenario, ok=True, triggered=True, acked=acked,
+            durable_floor=floor,
+        )
+        if store._seal_seq - seals_before < 2:
+            result.ok = False
+            result.detail = (
+                "scenario bug: fewer than 2 seals after the snapshot"
+            )
+            return result
+        # "Power cycle" + the host swaps in the stale image.
+        for name in list(store.disk.list_files()):
+            store.disk.delete(name)
+        for name, data in image.items():
+            store.disk.create(name)
+            store.disk.open(name).data = bytearray(data)
+            store.disk.open(name).synced_bytes = len(data)
+        revived = self._build_store(
+            disk=store.disk, clock=store.clock, counter=store.counter,
+            reopen=True,
+        )
+        try:
+            revived.recover_from_disk()
+        except RollbackDetected:
+            result.detail = "rollback detected as required"
+            return result
+        except Exception as exc:  # noqa: BLE001
+            result.ok = False
+            result.detail = (
+                f"expected RollbackDetected, got {type(exc).__name__}: {exc}"
+            )
+            return result
+        result.ok = False
+        result.detail = "rolled-back state was accepted silently"
+        return result
+
+    def run_fsync_loss(self) -> CrashRunResult:
+        """A lying device drops an acknowledged WAL fsync, then power
+        fails.  The sealed digest then covers records the disk lost, so
+        recovery must either refuse (IntegrityViolation) or — if the
+        dropped interval was superseded by a flush — recover a state
+        that is still a consistent prefix.
+        """
+        scenario = "fsync-loss"
+        rng = random.Random(self._derive_seed(scenario))
+        store = self._build_store()
+        store.persist_seal()
+        plan = FaultPlan(self._derive_seed(scenario + ":plan"))
+        plan.attach(store.disk)
+        plan.drop_fsync(f"{self.name_prefix}/wal.log*", times=1, after=2)
+        plan.crash_after_ops(rng.randrange(150, 400))
+        attempted, acked, floor, crashed = self._run_workload(store, rng)
+        plan.disarm()
+        result = CrashRunResult(
+            scenario=scenario,
+            ok=True,
+            triggered=crashed is not None and plan.injected_errors > 0,
+            crashed_at=crashed,
+            acked=acked,
+            durable_floor=floor,
+        )
+        if not result.triggered:
+            result.detail = "fsync drop or crash not reached"
+            return result
+        store.disk.power_loss(None)  # deterministic: unsynced tail gone
+        try:
+            revived = self._build_store(
+                disk=store.disk, clock=store.clock, counter=store.counter,
+                reopen=True,
+            )
+            revived.recover_from_disk()
+        except IntegrityViolation:
+            result.detail = "acked-data loss detected (recovery refused)"
+            return result
+        except Exception as exc:  # noqa: BLE001
+            result.ok = False
+            result.detail = f"unexpected {type(exc).__name__}: {exc}"
+            return result
+        # The dropped interval was flushed into SSTables before the
+        # crash; the recovered state must still be a clean prefix (the
+        # floor may legitimately be violated — the device lied).
+        result.detail = "recovered past the dropped fsync (flush superseded it)"
+        j = revived.current_ts
+        model = self._model_at(attempted, min(j, len(attempted)))
+        for index in range(self.keyspace):
+            key = self._key(index)
+            if revived.get(key) != model.get(key):
+                result.ok = False
+                result.detail = f"state mismatch at {key!r} after fsync loss"
+                return result
+        if not revived.audit().clean:
+            result.ok = False
+            result.detail = "audit failed after fsync loss"
+        return result
+
+    # ------------------------------------------------------------------
+    # Full suite
+    # ------------------------------------------------------------------
+    def run_all(
+        self,
+        sites: tuple[str, ...] | None = None,
+        hits: tuple[int, ...] = (1, 3),
+        random_rounds: int = 4,
+    ) -> list[CrashRunResult]:
+        results = self.run_matrix(sites=sites, hits=hits)
+        results.extend(self.run_random_crashes(random_rounds))
+        results.append(self.run_rollback_check())
+        results.append(self.run_fsync_loss())
+        return results

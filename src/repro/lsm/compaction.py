@@ -131,6 +131,10 @@ class Compactor:
         records: list[Record],
         file_namer,
     ) -> SSTableMeta:
+        # A crash here leaves previously built output files as orphans on
+        # disk — recovery's cleanup_orphans reaps anything the manifest
+        # does not reference.
+        self.env.crash_point("compactor.before_file")
         entries: list[Entry] = [(record, b"") for record in records]
         for listener in self.listeners:
             entries = listener.on_table_file_created(ctx, entries)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import threading
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.lsm.cache import LOCATION_UNTRUSTED, ReadBuffer
 from repro.lsm.compaction import Compactor
@@ -24,9 +24,24 @@ from repro.lsm.sstable import BlockFetcher, Entry, SSTableMeta, rebuild_meta
 from repro.lsm.version import LevelRun
 from repro.lsm.wal import WriteAheadLog
 from repro.sgx.env import ExecutionEnv
+from repro.sim.disk import StorageFailure
 
 _MEMTABLE_REGION = "memtable"
 _TABLE_META_REGION = "table_meta"
+
+#: Session-wide default WAL fsync cadence.  ``LSMConfig.wal_sync_every``
+#: of None resolves to this, so the CLI's ``--wal-sync-every`` flag can
+#: retune every store an experiment constructs.
+DEFAULT_WAL_SYNC_EVERY = 32
+
+
+class StoreDegradedError(RuntimeError):
+    """The store is read-only after a persistent storage failure.
+
+    Raised by write operations once :meth:`LSMStore.health` has flipped
+    to degraded; reads continue to be served from the intact in-memory
+    and on-disk state.
+    """
 
 
 @dataclass
@@ -48,7 +63,7 @@ class LSMConfig:
     compaction_enabled: bool = True
     keep_versions: bool = True
     wal_enabled: bool = True
-    wal_sync_every: int = 32
+    wal_sync_every: int | None = None  # None -> DEFAULT_WAL_SYNC_EVERY
 
 
 class WriteBatch:
@@ -139,10 +154,16 @@ class LSMStore:
         self._m_user_bytes = self.telemetry.counter(
             "lsm.user.bytes", "user payload bytes accepted by writes"
         )
+        self._m_degraded = self.telemetry.counter(
+            "lsm.degraded.events",
+            "times the store flipped to read-only on storage failure",
+        )
 
         env.meta_region(_MEMTABLE_REGION)
         env.meta_region(_TABLE_META_REGION)
 
+        if self.config.wal_sync_every is None:
+            self.config.wal_sync_every = DEFAULT_WAL_SYNC_EVERY
         self.memtable = SkipListMemTable()
         self.wal: WriteAheadLog | None = None
         if self.config.wal_enabled:
@@ -181,6 +202,15 @@ class LSMStore:
         self._meta_bytes = 0
         self._auto_ts = 0
         self._recovering = False
+        self._manifest_seq = 0
+        self._pending_deletes: list[str] = []
+        self._flushed_ts = 0
+        self._health = "ok"
+        self._degraded_reason: str | None = None
+        #: Called with a reason ("flush", "compaction", "wal_sync") at
+        #: every commit point; eLSM-P2 persists its sealed state here so
+        #: the on-disk seal always names the newest manifest/WAL epoch.
+        self.commit_hook: Callable[[str], None] | None = None
         if reopen:
             self.load_manifest()
 
@@ -190,42 +220,81 @@ class LSMStore:
     def put(self, key: bytes, value: bytes, ts: int | None = None) -> int:
         """Write <key, value>; returns the timestamp assigned."""
         with self._lock:
+            self._guard_write()
             self._m_ops.inc(op="put")
             ts = self._resolve_ts(ts)
-            self._write(Record(key=key, ts=ts, kind=KIND_PUT, value=value))
+            try:
+                self._write(Record(key=key, ts=ts, kind=KIND_PUT, value=value))
+            except StorageFailure as exc:
+                self._degrade("put", exc)
             return ts
 
     def delete(self, key: bytes, ts: int | None = None) -> int:
         """Write a tombstone for ``key``."""
         with self._lock:
+            self._guard_write()
             self._m_ops.inc(op="delete")
             ts = self._resolve_ts(ts)
-            self._write(Record(key=key, ts=ts, kind=KIND_DELETE))
+            try:
+                self._write(Record(key=key, ts=ts, kind=KIND_DELETE))
+            except StorageFailure as exc:
+                self._degrade("delete", exc)
             return ts
 
     def write_batch(self, batch: WriteBatch) -> list[int]:
         """Apply a batch atomically; returns the assigned timestamps."""
         with self._lock:
+            self._guard_write()
             self._m_ops.inc(op="write_batch")
             stamps: list[int] = []
-            for kind, key, value in batch.ops:
-                ts = self._resolve_ts(None)
-                stamps.append(ts)
-                record = Record(key=key, ts=ts, kind=kind, value=value)
-                if self.wal is not None:
-                    for listener in self.listeners:
-                        listener.on_wal_append(record)
-                    self.wal.append(record)
-                self.memtable.add(record)
-                nbytes = record.approximate_bytes()
-                self.stats.user_bytes_written += nbytes
-                self._m_user_bytes.inc(nbytes)
-                self.env.meta_grow(_MEMTABLE_REGION, nbytes)
-                self._touch_memtable(record.key, nbytes, write=True)
-            self.env.clock.charge("compute", self.env.costs.cpu_op_base_us)
-            if self.memtable.approximate_bytes >= self.config.write_buffer_bytes:
-                self.flush()
+            try:
+                for kind, key, value in batch.ops:
+                    ts = self._resolve_ts(None)
+                    stamps.append(ts)
+                    record = Record(key=key, ts=ts, kind=kind, value=value)
+                    if self.wal is not None:
+                        for listener in self.listeners:
+                            listener.on_wal_append(record)
+                        self.wal.append(record)
+                    self.memtable.add(record)
+                    nbytes = record.approximate_bytes()
+                    self.stats.user_bytes_written += nbytes
+                    self._m_user_bytes.inc(nbytes)
+                    self.env.meta_grow(_MEMTABLE_REGION, nbytes)
+                    self._touch_memtable(record.key, nbytes, write=True)
+                self.env.clock.charge("compute", self.env.costs.cpu_op_base_us)
+                if self.memtable.approximate_bytes >= self.config.write_buffer_bytes:
+                    self.flush()
+            except StorageFailure as exc:
+                self._degrade("write_batch", exc)
             return stamps
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Operational status: ``ok`` or ``degraded`` (read-only)."""
+        return {
+            "status": self._health,
+            "read_only": self._health != "ok",
+            "reason": self._degraded_reason,
+        }
+
+    def _guard_write(self) -> None:
+        if self._health != "ok":
+            raise StoreDegradedError(
+                f"store is read-only (degraded: {self._degraded_reason})"
+            )
+
+    def _degrade(self, op: str, exc: StorageFailure) -> None:
+        """Flip to read-only after a storage failure survived the retry
+        budget; reads keep working off the intact state."""
+        self._health = "degraded"
+        self._degraded_reason = f"{op}: {exc}"
+        self._m_degraded.inc()
+        raise StoreDegradedError(
+            f"store degraded to read-only after {op} failed: {exc}"
+        ) from exc
 
     def get(self, key: bytes, ts_query: int | None = None) -> bytes | None:
         """Latest value of ``key`` at ``ts_query`` (None = now)."""
@@ -294,6 +363,23 @@ class LSMStore:
     def last_ts(self) -> int:
         """Largest timestamp the store has seen (recovery restores it)."""
         return self._auto_ts
+
+    @property
+    def manifest_seq(self) -> int:
+        """Sequence number of the current (newest committed) manifest."""
+        return self._manifest_seq
+
+    @property
+    def manifest_path(self) -> str:
+        """File name of the current manifest."""
+        return self._manifest_name(self._manifest_seq)
+
+    def durable_ts(self) -> int:
+        """Largest timestamp guaranteed to survive a power cut: covered
+        either by a committed flush (in SSTables + manifest) or by a
+        completed WAL fsync."""
+        wal_ts = self.wal.durable_ts if self.wal is not None else 0
+        return max(self._flushed_ts, wal_ts)
 
     def level_indices(self) -> list[int]:
         """Non-empty level ids, shallowest (newest) first."""
@@ -371,17 +457,20 @@ class LSMStore:
         offset = hash(key) % region_bytes
         self.env.meta_touch(_MEMTABLE_REGION, offset, nbytes, write=write)
 
-    def recover(self) -> int:
+    def recover(self, records: list[Record] | None = None) -> int:
         """Replay the WAL into the MemTable; returns records recovered.
 
-        The replay is materialised up front and flushing is deferred to
-        the end — a flush mid-replay would truncate the very log being
-        iterated.
+        ``records`` lets an authenticated caller pass the prefix it has
+        already verified against the sealed digest instead of trusting
+        whatever is on disk.  The replay is materialised up front and
+        flushing is deferred to the end — a flush mid-replay would
+        truncate the very log being iterated.
         """
         if self.wal is None:
             return 0
         with self._lock:
-            records = list(self.wal.replay())
+            if records is None:
+                records = list(self.wal.replay())
             self._recovering = True
             try:
                 for record in records:
@@ -397,27 +486,64 @@ class LSMStore:
     # Flush & compaction
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        """Persist the MemTable into level 1."""
+        """Persist the MemTable into level 1.
+
+        Commit protocol (every step leaves a recoverable disk state):
+
+        1. write SSTables + new manifest (old files/manifest untouched);
+        2. advance the WAL to a fresh epoch (old epoch untouched);
+        3. run the commit hook — eLSM persists its seal here, naming the
+           new manifest and epoch, which is the actual commit point;
+        4. only then delete the superseded files.
+
+        A crash before step 3 recovers from the previous seal with the
+        previous manifest + WAL epoch still intact; a crash after it
+        recovers the new state.
+        """
         with self._lock:
             if len(self.memtable) == 0:
                 return
-            with self._tracer.span(
-                "lsm.flush",
-                records=len(self.memtable),
-                memtable_bytes=self.memtable.approximate_bytes,
-            ):
-                if self.config.compaction_enabled:
-                    self._flush_merging()
-                    self._maybe_compact()
-                else:
-                    self._flush_stacking()
-                self.memtable = SkipListMemTable(seed=self.stats.flushes)
-                self.env.meta_reset(_MEMTABLE_REGION)
-                if self.wal is not None:
-                    self.wal.reset()
-                    for listener in self.listeners:
-                        listener.on_wal_reset()
-                self.stats.flushes += 1
+            self._guard_write()
+            try:
+                self._flush_locked()
+            except StorageFailure as exc:
+                self._degrade("flush", exc)
+
+    def _flush_locked(self) -> None:
+        with self._tracer.span(
+            "lsm.flush",
+            records=len(self.memtable),
+            memtable_bytes=self.memtable.approximate_bytes,
+        ):
+            flushed_ts = self._auto_ts
+            if self.config.compaction_enabled:
+                self._flush_merging()
+            else:
+                self._flush_stacking()
+            self.env.crash_point("flush.after_install")
+            self.memtable = SkipListMemTable(seed=self.stats.flushes)
+            self.env.meta_reset(_MEMTABLE_REGION)
+            if self.wal is not None:
+                self._pending_deletes.append(self.wal.advance_epoch())
+                self.env.crash_point("flush.after_wal_epoch")
+                for listener in self.listeners:
+                    listener.on_wal_reset()
+            self.stats.flushes += 1
+            self._commit("flush")
+            self._flushed_ts = max(self._flushed_ts, flushed_ts)
+        if self.config.compaction_enabled:
+            self._maybe_compact()
+
+    def _commit(self, reason: str) -> None:
+        """Make the preceding installs durable and reap superseded files."""
+        self.env.crash_point("commit.before_hook")
+        if self.commit_hook is not None:
+            self.commit_hook(reason)
+        self.env.crash_point("commit.after_hook")
+        pending, self._pending_deletes = self._pending_deletes, []
+        for name in pending:
+            if self.env.file_exists(name):
+                self.env.file_delete(name)
 
     def _memtable_source(self) -> list[Entry]:
         return [(record, b"") for record in self.memtable]
@@ -499,6 +625,8 @@ class LSMStore:
             # Install (and persist the manifest) only after the emptied
             # source level is reflected in the in-memory state.
             self._install_run(level + 1, metas, replaced=[level + 1] if target else [])
+            self.env.crash_point("compaction.after_install")
+            self._commit("compaction")
 
     def compact_levels(self, levels: list[int]) -> None:
         """Merge several adjacent levels into the deepest of them.
@@ -548,6 +676,8 @@ class LSMStore:
                 for listener in self.listeners:
                     listener.on_level_replaced(level)
             self._install_run(output, metas, replaced=[output])
+            self.env.crash_point("compaction.after_install")
+            self._commit("compaction")
 
     def _maybe_compact(self) -> None:
         """Cascade compactions while any level exceeds its capacity."""
@@ -588,29 +718,34 @@ class LSMStore:
             return
         for meta in run.tables:
             self.fetcher.invalidate_file(meta.name)
-            self.env.file_delete(meta.name)
+            self._pending_deletes.append(meta.name)
         self._account_meta()
 
     def _install_run(
         self, level: int, metas: list[SSTableMeta], replaced: list[int]
     ) -> None:
+        # Superseded files are only *queued* for deletion here; they stay
+        # on disk until _commit so a crash mid-install can still recover
+        # the previous manifest's state.
         for old_level in replaced:
             old = self._levels.get(old_level)
             if old is not None:
                 for meta in old.tables:
                     self.fetcher.invalidate_file(meta.name)
-                    self.env.file_delete(meta.name)
+                    self._pending_deletes.append(meta.name)
         self._levels[level] = LevelRun(level, metas)
         for listener in self.listeners:
             listener.on_level_replaced(level)
         self._account_meta()
         self._write_manifest()
 
-    def _manifest_name(self) -> str:
-        return f"{self.name_prefix}/MANIFEST"
+    def _manifest_name(self, seq: int) -> str:
+        return f"{self.name_prefix}/MANIFEST-{seq:06d}"
 
     def _write_manifest(self) -> None:
-        """Persist the level -> files mapping (LevelDB's MANIFEST)."""
+        """Persist the level -> files mapping as the *next* numbered
+        manifest (LevelDB's MANIFEST, versioned so the previous one
+        survives until commit)."""
         payload = {
             "file_no": self._file_no,
             "levels": {
@@ -621,40 +756,114 @@ class LSMStore:
                 for level, run in self._levels.items()
             },
         }
-        self.env.file_write(self._manifest_name(), json.dumps(payload).encode())
+        previous = self._manifest_seq
+        self._manifest_seq += 1
+        name = self._manifest_name(self._manifest_seq)
+        self.env.crash_point("manifest.before_write")
+        self.env.file_write(name, json.dumps(payload).encode())
+        self.env.file_fsync(name)
+        self.env.crash_point("manifest.after_write")
+        if previous > 0:
+            self._pending_deletes.append(self._manifest_name(previous))
 
-    def load_manifest(self) -> bool:
+    def _manifest_seqs_on_disk(self) -> list[int]:
+        """Manifest sequence numbers present on disk, descending."""
+        prefix = f"{self.name_prefix}/MANIFEST-"
+        seqs = []
+        for fname in self.env.file_list(prefix):
+            suffix = fname[len(prefix):]
+            if suffix.isdigit():
+                seqs.append(int(suffix))
+        return sorted(seqs, reverse=True)
+
+    def load_manifest(self, seq: int | None = None) -> bool:
         """Rebuild the level structure from disk (store reopen).
 
-        Returns True when a manifest was found.  SSTable metadata —
-        block index, Bloom filters, MACs — is re-derived from the file
-        bytes; the WAL is NOT replayed here (eLSM authenticates it first
-        via its digest; see ELSMP2Store.recover_from_seal).
+        With ``seq``, loads exactly that manifest (sealed recovery names
+        the manifest its registry covers); without, falls back over the
+        manifests on disk newest-first, skipping torn or unparsable
+        ones.  Returns True when a manifest was loaded.  SSTable
+        metadata — block index, Bloom filters, MACs — is re-derived from
+        the file bytes; the WAL is NOT replayed here (eLSM authenticates
+        it first via its digest; see ELSMP2Store.recover_from_seal).
         """
-        if not self.env.file_exists(self._manifest_name()):
-            return False
-        size = self.env.disk.size(self._manifest_name())
-        payload = json.loads(self.env.file_read(self._manifest_name(), 0, size))
-        self._file_no = payload["file_no"]
+        candidates = [seq] if seq is not None else self._manifest_seqs_on_disk()
+        for candidate in candidates:
+            name = self._manifest_name(candidate)
+            if not self.env.file_exists(name):
+                continue
+            try:
+                size = self.env.disk.size(name)
+                payload = json.loads(self.env.file_read(name, 0, size))
+                levels = {}
+                for level_str, files in payload["levels"].items():
+                    level = int(level_str)
+                    metas = [
+                        rebuild_meta(
+                            self.env,
+                            entry["name"],
+                            level,
+                            entry["file_no"],
+                            block_bytes=self.config.block_bytes,
+                            bloom_bits_per_key=self.config.bloom_bits_per_key,
+                            protect=self.config.protect_files,
+                            compress=self.config.compression,
+                        )
+                        for entry in files
+                    ]
+                    levels[level] = LevelRun(level, metas)
+            except (OSError, ValueError, KeyError):
+                if seq is not None:
+                    raise
+                continue
+            self._file_no = payload["file_no"]
+            self._levels = levels
+            self._manifest_seq = candidate
+            self._account_meta()
+            return True
+        return False
+
+    def reset_levels(self) -> None:
+        """Forget every on-disk level (recovery adopting a sealed state
+        that predates the first manifest).  The constructor's eager
+        ``load_manifest()`` may have picked up an *uncommitted* manifest;
+        the orphaned files it referenced are reaped by
+        :meth:`cleanup_orphans`."""
+        for run in self._levels.values():
+            for meta in run.tables:
+                self.fetcher.invalidate_file(meta.name)
         self._levels = {}
-        for level_str, files in payload["levels"].items():
-            level = int(level_str)
-            metas = [
-                rebuild_meta(
-                    self.env,
-                    entry["name"],
-                    level,
-                    entry["file_no"],
-                    block_bytes=self.config.block_bytes,
-                    bloom_bits_per_key=self.config.bloom_bits_per_key,
-                    protect=self.config.protect_files,
-                    compress=self.config.compression,
-                )
-                for entry in files
-            ]
-            self._levels[level] = LevelRun(level, metas)
+        self._manifest_seq = 0
         self._account_meta()
-        return True
+
+    def cleanup_orphans(self) -> list[str]:
+        """Delete files under this store's prefix that the current
+        manifest does not reference: half-written compaction outputs,
+        superseded manifests, and stale WAL epochs.
+
+        Only safe once recovery has decided which manifest and WAL epoch
+        are authoritative — never called from the constructor, because a
+        sealed state may name an *older* manifest than the newest on
+        disk.  Returns the deleted names.
+        """
+        live = {
+            meta.name for run in self._levels.values() for meta in run.tables
+        }
+        current_manifest = self._manifest_name(self._manifest_seq)
+        manifest_prefix = f"{self.name_prefix}/MANIFEST-"
+        removed = []
+        for name in self.env.file_list(f"{self.name_prefix}/"):
+            if name.endswith(".sst") and name not in live:
+                self.fetcher.invalidate_file(name)
+                self.env.file_delete(name)
+                removed.append(name)
+            elif name.startswith(manifest_prefix) and name != current_manifest:
+                self.env.file_delete(name)
+                removed.append(name)
+        if self.wal is not None:
+            removed.extend(self.wal.drop_other_epochs())
+        self._pending_deletes = []
+        return removed
 
     def _account_meta(self) -> None:
         """Re-account the enclave footprint of indexes and Bloom filters."""

@@ -92,6 +92,16 @@ class BufferedCounterAnchor:
         self._anchored_hash = dataset_hash
         self._pending = 0
 
-    def check_freshness(self, claimed_value: int) -> bool:
-        """True iff a recovered state's counter value matches the hardware."""
-        return claimed_value == self.counter.read()
+    def check_freshness(self, claimed_value: int, slack: int = 0) -> bool:
+        """True iff a recovered state's counter value is fresh.
+
+        With the default ``slack=0`` the claimed value must equal the
+        hardware counter exactly.  A positive slack accepts a state up to
+        ``slack`` increments behind it — needed when a crash can land
+        between the hardware increment and the seal write, so the newest
+        surviving seal legitimately trails the counter by one (the same
+        window Ariadne-style schemes tolerate).  A value *ahead* of the
+        hardware counter is never fresh.
+        """
+        hardware = self.counter.read()
+        return hardware - slack <= claimed_value <= hardware

@@ -14,14 +14,20 @@ LSM engine (:mod:`repro.lsm`) stays placement-agnostic:
 from __future__ import annotations
 
 from contextlib import contextmanager, nullcontext
-from typing import ContextManager, Iterator
+from typing import Callable, ContextManager, Iterator, TypeVar
 
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
-from repro.sim.disk import SimDisk
+from repro.sim.disk import SimDisk, StorageFailure, TransientIOError
 from repro.sgx.boundary import WorldBoundary
 from repro.sgx.enclave import Enclave
 from repro.telemetry import Telemetry
+
+_T = TypeVar("_T")
+
+#: Bounded retry for transient device errors (simulated-clock backoff).
+MAX_IO_RETRIES = 3
+IO_RETRY_BASE_US = 50.0
 
 
 class ExecutionEnv:
@@ -63,11 +69,54 @@ class ExecutionEnv:
         self._m_file_bytes = self.telemetry.counter(
             "disk.bytes", "bytes moved through file-system calls", labels=("dir",)
         )
+        self._m_io_retries = self.telemetry.counter(
+            "disk.retries", "file-system calls retried after transient errors",
+            labels=("op",),
+        )
+        self._m_io_errors = self.telemetry.counter(
+            "disk.io_errors", "file-system calls that raised device errors",
+            labels=("op",),
+        )
 
     @property
     def in_enclave(self) -> bool:
         """True when the store's code runs inside an enclave."""
         return self.enclave is not None
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def crash_point(self, site: str) -> None:
+        """A named crash site (see ``repro.faults.plan.CRASH_SITES``).
+
+        No-op unless a fault plan is attached to the disk, so production
+        paths pay one attribute check.
+        """
+        plan = self.disk.fault_plan
+        if plan is not None:
+            plan.crash_point(site)
+
+    def _retrying(self, op: str, fn: Callable[[], _T]) -> _T:
+        """Run a disk call, retrying transient errors with bounded
+        simulated-clock backoff.  Persistent errors (and transient ones
+        that outlast the retry budget) propagate to the store, which
+        degrades to read-only rather than crashing."""
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except TransientIOError:
+                self._m_io_errors.inc(op=op)
+                attempt += 1
+                if attempt > MAX_IO_RETRIES:
+                    raise
+                self._m_io_retries.inc(op=op)
+                self.clock.charge(
+                    "io_retry_backoff", IO_RETRY_BASE_US * (2 ** (attempt - 1))
+                )
+            except StorageFailure:
+                self._m_io_errors.inc(op=op)
+                raise
 
     # ------------------------------------------------------------------
     # Boundary crossings
@@ -93,28 +142,44 @@ class ExecutionEnv:
     def file_create(self, name: str) -> None:
         """Create a file (an OCall when inside the enclave)."""
         self._m_file_ops.inc(op="create")
-        with self._syscall("create"):
-            self.disk.create(name)
+
+        def call() -> None:
+            with self._syscall("create"):
+                self.disk.create(name)
+
+        self._retrying("create", call)
 
     def file_delete(self, name: str) -> None:
         """Delete a file (an OCall when inside the enclave)."""
         self._m_file_ops.inc(op="unlink")
-        with self._syscall("unlink"):
-            self.disk.delete(name)
+
+        def call() -> None:
+            with self._syscall("unlink"):
+                self.disk.delete(name)
+
+        self._retrying("unlink", call)
 
     def file_write(self, name: str, data: bytes) -> None:
         """Create-or-replace a file (SSTable output)."""
         self._m_file_ops.inc(op="write")
         self._m_file_bytes.inc(len(data), dir="write")
-        with self._syscall("write", in_bytes=len(data)):
-            self.disk.write_file(name, data)
+
+        def call() -> None:
+            with self._syscall("write", in_bytes=len(data)):
+                self.disk.write_file(name, data)
+
+        self._retrying("write", call)
 
     def file_append(self, name: str, data: bytes) -> int:
         """Append to a file (an OCall when inside the enclave)."""
         self._m_file_ops.inc(op="append")
         self._m_file_bytes.inc(len(data), dir="write")
-        with self._syscall("append", in_bytes=len(data)):
-            return self.disk.append(name, data)
+
+        def call() -> int:
+            with self._syscall("append", in_bytes=len(data)):
+                return self.disk.append(name, data)
+
+        return self._retrying("append", call)
 
     def file_read(self, name: str, offset: int, length: int, mmap: bool = False) -> bytes:
         """Read file bytes.
@@ -126,20 +191,44 @@ class ExecutionEnv:
         self._m_file_bytes.inc(length, dir="read")
         if mmap:
             self._m_file_ops.inc(op="read_mmap")
-            return self.disk.read_mmap(name, offset, length)
+            return self._retrying(
+                "read_mmap", lambda: self.disk.read_mmap(name, offset, length)
+            )
         self._m_file_ops.inc(op="read")
-        with self._syscall("read", out_bytes=length):
-            return self.disk.read(name, offset, length)
+
+        def call() -> bytes:
+            with self._syscall("read", out_bytes=length):
+                return self.disk.read(name, offset, length)
+
+        return self._retrying("read", call)
 
     def file_fsync(self, name: str) -> None:
         """fsync a file (an OCall when inside the enclave)."""
         self._m_file_ops.inc(op="fsync")
-        with self._syscall("fsync"):
-            self.disk.fsync(name)
+
+        def call() -> None:
+            with self._syscall("fsync"):
+                self.disk.fsync(name)
+
+        self._retrying("fsync", call)
+
+    def file_truncate(self, name: str, size: int) -> None:
+        """Truncate a file (recovery cuts torn/unauthenticated WAL tails)."""
+        self._m_file_ops.inc(op="truncate")
+
+        def call() -> None:
+            with self._syscall("truncate"):
+                self.disk.truncate(name, size)
+
+        self._retrying("truncate", call)
 
     def file_exists(self, name: str) -> bool:
         """Existence check against the simulated disk."""
         return self.disk.exists(name)
+
+    def file_list(self, prefix: str = "") -> list[str]:
+        """Names of files starting with ``prefix`` (directory listing)."""
+        return [n for n in self.disk.list_files() if n.startswith(prefix)]
 
     # ------------------------------------------------------------------
     # Trusted metadata accounting (no-ops without an enclave)

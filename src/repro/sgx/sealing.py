@@ -51,6 +51,49 @@ def seal(enclave: "Enclave", payload: dict[str, Any]) -> SealedBlob:  # noqa: F8
     return SealedBlob(ciphertext=body, mac=mac, measurement=enclave.measurement)
 
 
+def encode_blob(blob: SealedBlob) -> bytes:
+    """Serialise a sealed blob for untrusted storage."""
+    return json.dumps(
+        {
+            "ciphertext": blob.ciphertext.hex(),
+            "mac": blob.mac.hex(),
+            "measurement": blob.measurement.hex(),
+        }
+    ).encode()
+
+
+def decode_blob(data: bytes) -> SealedBlob:
+    """Parse a stored sealed blob; raises :class:`SealError` if torn."""
+    try:
+        fields = json.loads(data.decode())
+        return SealedBlob(
+            ciphertext=bytes.fromhex(fields["ciphertext"]),
+            mac=bytes.fromhex(fields["mac"]),
+            measurement=bytes.fromhex(fields["measurement"]),
+        )
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise SealError(f"stored seal is torn or corrupt: {exc}") from exc
+
+
+def store_blob(env: "ExecutionEnv", name: str, blob: SealedBlob) -> None:  # noqa: F821
+    """Write a sealed blob to untrusted storage and fsync it.
+
+    Completion is eLSM's commit point: recovery adopts the newest seal
+    that unseals cleanly, so a crash between the two crash points simply
+    falls back to the previous seal.
+    """
+    env.crash_point("seal.before_write")
+    env.file_write(name, encode_blob(blob))
+    env.file_fsync(name)
+    env.crash_point("seal.after_write")
+
+
+def load_blob(env: "ExecutionEnv", name: str) -> SealedBlob:  # noqa: F821
+    """Read a sealed blob back from untrusted storage."""
+    size = env.disk.size(name)
+    return decode_blob(env.file_read(name, 0, size))
+
+
 def unseal(enclave: "Enclave", blob: SealedBlob) -> dict[str, Any]:  # noqa: F821
     """Unseal a blob; fails if it was tampered with or sealed elsewhere."""
     if blob.measurement != enclave.measurement:

@@ -22,6 +22,29 @@ from repro.sim.clock import SimClock
 from repro.sim.costs import KB, PAGE_SIZE, CostModel
 
 
+class StorageFailure(OSError):
+    """Base class for simulated device/IO failures.
+
+    Distinct from :class:`repro.core.errors.AuthenticationError`: these
+    model a *broken* host (bad sectors, flaky controllers), not a
+    malicious one.
+    """
+
+
+class TransientIOError(StorageFailure):
+    """An IO error that may succeed if the call is retried."""
+
+
+class PersistentIOError(StorageFailure):
+    """An IO error that will keep failing no matter how often retried."""
+
+
+#: Sentinel a fault plan returns from its fsync hook to signal the device
+#: acknowledged the sync without actually persisting (fsync loss).
+FSYNC_DROPPED = object()
+_FSYNC_DROPPED = FSYNC_DROPPED
+
+
 class SimFile:
     """A named file on the simulated disk."""
 
@@ -29,6 +52,8 @@ class SimFile:
         self.name = name
         self.data = bytearray()
         self.dirty_bytes = 0
+        #: Bytes guaranteed to survive a power loss (advanced by fsync).
+        self.synced_bytes = 0
 
     def __len__(self) -> int:
         return len(self.data)
@@ -56,6 +81,9 @@ class SimDisk:
         self.cache_miss_blocks = 0
         self._m_hits = None
         self._m_misses = None
+        #: Optional fault-injection plan (see :mod:`repro.faults.plan`).
+        #: Duck-typed so the sim layer never imports the faults layer.
+        self.fault_plan = None
 
     def bind_telemetry(self, telemetry) -> None:
         """Attach page-cache hit/miss counters (idempotent; the first
@@ -70,14 +98,37 @@ class SimDisk:
         )
 
     # ------------------------------------------------------------------
+    # Fault injection hooks
+    # ------------------------------------------------------------------
+    def _fault(self, op: str, name: str, data: bytes | None = None):
+        """Consult the attached fault plan before a data-path operation.
+
+        The plan may raise :class:`TransientIOError` /
+        :class:`PersistentIOError` (injected device failures) or a
+        ``SimulatedCrash`` (power loss at an operation count), mutate file
+        contents (bit rot), or return replacement data (torn appends).
+        Returns ``data`` (possibly shortened) for write-like ops.
+        """
+        if self.fault_plan is None:
+            return data
+        return self.fault_plan.on_disk_op(self, op, name, data)
+
+    def _post_fault(self) -> None:
+        """Fire any crash the plan deferred until after the operation."""
+        if self.fault_plan is not None:
+            self.fault_plan.post_disk_op()
+
+    # ------------------------------------------------------------------
     # Namespace operations
     # ------------------------------------------------------------------
     def create(self, name: str) -> SimFile:
         """Create an empty file; error if it already exists."""
+        self._fault("create", name)
         if name in self._files:
             raise FileExistsError(name)
         f = SimFile(name)
         self._files[name] = f
+        self._post_fault()
         return f
 
     def open(self, name: str) -> SimFile:
@@ -93,11 +144,13 @@ class SimDisk:
 
     def delete(self, name: str) -> None:
         """Remove a file and drop its cached blocks."""
+        self._fault("delete", name)
         self._files.pop(name)
         self._last_block.pop(name, None)
         stale = [key for key in self._cache if key[0] == name]
         for key in stale:
             del self._cache[key]
+        self._post_fault()
 
     def list_files(self) -> list[str]:
         """All file names, sorted."""
@@ -120,6 +173,7 @@ class SimDisk:
         The write lands in the page cache (syscall + copy); device
         write-back is charged at fsync time.
         """
+        data = self._fault("append", name, data)
         f = self.open(name)
         offset = len(f.data)
         f.data += data
@@ -127,6 +181,7 @@ class SimDisk:
         self.clock.charge("kernel_write", self.costs.kernel_write_us)
         self.clock.charge("dram_copy", self.costs.dram_copy_cost(len(data)))
         self._cache_blocks(name, offset, len(data))
+        self._post_fault()
         return offset
 
     def write_file(self, name: str, data: bytes) -> None:
@@ -142,11 +197,13 @@ class SimDisk:
         Charges a seek when non-sequential plus the device transfer — the
         write amplification the paper blames on update-in-place ADSs.
         """
+        self._fault("write_at", name, data)
         f = self.open(name)
         end = offset + len(data)
         if end > len(f.data):
             f.data.extend(b"\x00" * (end - len(f.data)))
         f.data[offset:end] = data
+        f.synced_bytes = min(f.synced_bytes, offset)
         first_block = offset // PAGE_SIZE
         if first_block != self._last_block.get(name, -2) + 1:
             self.clock.charge("disk_seek", self.costs.disk_seek_us)
@@ -156,27 +213,85 @@ class SimDisk:
             "disk_write", self.costs.disk_transfer_us_per_kb * (len(data) / KB)
         )
         self._cache_blocks(name, offset, len(data))
+        self._post_fault()
 
     def fsync(self, name: str) -> None:
         """Flush dirty bytes to the device."""
+        dropped = self._fault("fsync", name)
         f = self.open(name)
         if f.dirty_bytes:
             transfer = self.costs.disk_transfer_us_per_kb * (f.dirty_bytes / KB)
             self.clock.charge("disk_write", transfer)
             f.dirty_bytes = 0
         self.clock.charge("fsync", self.costs.fsync_us)
+        # A lying device (fault plan returns the DROP sentinel) acknowledges
+        # the fsync without actually making the bytes power-loss durable.
+        if dropped is not _FSYNC_DROPPED:
+            f.synced_bytes = len(f.data)
+        self._post_fault()
+
+    def truncate(self, name: str, size: int) -> None:
+        """Shrink a file to ``size`` bytes (used to cut torn WAL tails)."""
+        self._fault("truncate", name)
+        f = self.open(name)
+        if size < len(f.data):
+            del f.data[size:]
+            f.synced_bytes = min(f.synced_bytes, size)
+            f.dirty_bytes = min(f.dirty_bytes, len(f.data))
+            stale = [
+                key
+                for key in self._cache
+                if key[0] == name and key[1] > size // PAGE_SIZE
+            ]
+            for key in stale:
+                del self._cache[key]
+        self.clock.charge("kernel_write", self.costs.kernel_write_us)
+        self._post_fault()
 
     def read(self, name: str, offset: int, length: int) -> bytes:
         """Read through the kernel (syscall path: pread/fread)."""
+        self._fault("read", name)
         f = self.open(name)
         self._charge_read(name, offset, length, syscall=True)
+        self._post_fault()
         return bytes(f.data[offset : offset + length])
 
     def read_mmap(self, name: str, offset: int, length: int) -> bytes:
         """Read through a memory mapping (no syscall on resident pages)."""
+        self._fault("read", name)
         f = self.open(name)
         self._charge_read(name, offset, length, syscall=False)
+        self._post_fault()
         return bytes(f.data[offset : offset + length])
+
+    # ------------------------------------------------------------------
+    # Power loss
+    # ------------------------------------------------------------------
+    def power_loss(self, rng=None) -> dict[str, int]:
+        """Simulate losing power: un-fsynced bytes vanish.
+
+        Every file is truncated back to its last fsynced length.  When a
+        seeded ``rng`` is supplied, a random slice of the unsynced tail
+        may survive instead — a *torn write*, the case WAL CRCs exist
+        for.  File creations are treated as durable (the file survives,
+        possibly empty) and deletions as durable; see docs/robustness.md
+        for the model's assumptions.  Returns bytes lost per file.
+        """
+        lost: dict[str, int] = {}
+        for f in self._files.values():
+            if f.synced_bytes >= len(f.data):
+                continue
+            keep = f.synced_bytes
+            unsynced = len(f.data) - keep
+            if rng is not None and unsynced > 1 and rng.random() < 0.5:
+                keep += rng.randrange(1, unsynced)  # torn tail survives
+            lost[f.name] = len(f.data) - keep
+            del f.data[keep:]
+            f.dirty_bytes = 0
+        # The kernel page cache is RAM: gone.
+        self._cache.clear()
+        self._last_block.clear()
+        return lost
 
     def prefetch(self, name: str) -> None:
         """Scan a file into the kernel cache (the paper's warm-up step)."""

@@ -87,7 +87,7 @@ def test_reopen_continues_writing(persisted):
 
 def test_wal_tampering_detected_at_recovery(persisted):
     store, blob = persisted
-    wal = store.disk.open("rec/wal.log")
+    wal = store.disk.open(store.db.wal.path)
     wal.data[20] ^= 0xFF
     revived = crash_and_reopen(store)
     with pytest.raises(IntegrityViolation):
@@ -97,7 +97,7 @@ def test_wal_tampering_detected_at_recovery(persisted):
 def test_wal_truncation_detected_at_recovery(persisted):
     """Dropping the WAL tail (losing acknowledged writes) is caught."""
     store, blob = persisted
-    wal = store.disk.open("rec/wal.log")
+    wal = store.disk.open(store.db.wal.path)
     wal.data = wal.data[: len(wal.data) // 2]
     revived = crash_and_reopen(store)
     with pytest.raises(IntegrityViolation):
@@ -141,7 +141,7 @@ def test_sstable_tampering_detected_after_reopen(persisted):
 
 def test_manifest_reflects_compactions(persisted):
     store, _ = persisted
-    manifest = store.disk.open("rec/MANIFEST")
+    manifest = store.disk.open(store.db.manifest_path)
     import json
 
     payload = json.loads(bytes(manifest.data))

@@ -211,7 +211,7 @@ def test_wal_digest_detects_tampered_log():
         store.put(*kv(i))
     trusted = store.listener.wal_digest
     # Untrusted host flips a byte in the WAL file.
-    wal_file = store.disk.open("p2/wal.log")
+    wal_file = store.disk.open(store.db.wal.path)
     wal_file.data[30] ^= 0x01
     digest = WAL_DIGEST_INIT
     for record in store.db.wal.replay():

@@ -1,0 +1,115 @@
+"""Unit behaviour of FaultPlan: each fault type does what it says."""
+
+import pytest
+
+from repro.faults import FaultPlan, SimulatedCrash
+from repro.sim.disk import PersistentIOError, TransientIOError
+
+
+@pytest.fixture
+def faulty_disk(disk):
+    plan = FaultPlan(seed=7).attach(disk)
+    return disk, plan
+
+
+def test_io_error_rule_fires_then_expires(faulty_disk):
+    disk, plan = faulty_disk
+    disk.create("f")
+    plan.fail("append", "f", times=1, transient=True)
+    with pytest.raises(TransientIOError):
+        disk.append("f", b"x")
+    disk.append("f", b"x")  # rule exhausted
+    assert plan.injected_errors == 1
+
+
+def test_io_error_rule_after_skips_calls(faulty_disk):
+    disk, plan = faulty_disk
+    disk.create("f")
+    plan.fail("append", "f", times=1, after=1)
+    disk.append("f", b"first")  # skipped by after=1
+    with pytest.raises(TransientIOError):
+        disk.append("f", b"second")
+
+
+def test_persistent_error_is_storage_failure(faulty_disk):
+    disk, plan = faulty_disk
+    disk.create("f")
+    plan.fail("fsync", "f", times=None, transient=False)
+    with pytest.raises(PersistentIOError):
+        disk.fsync("f")
+    with pytest.raises(PersistentIOError):
+        disk.fsync("f")  # times=None: fails forever
+
+
+def test_pattern_scopes_rule_to_matching_files(faulty_disk):
+    disk, plan = faulty_disk
+    disk.create("db/wal.log.000001")
+    disk.create("db/L1-000001.sst")
+    plan.fail("append", "db/wal.log*", times=None)
+    with pytest.raises(TransientIOError):
+        disk.append("db/wal.log.000001", b"x")
+    disk.append("db/L1-000001.sst", b"x")  # unaffected
+
+
+def test_torn_append_keeps_prefix_then_crashes(faulty_disk):
+    disk, plan = faulty_disk
+    disk.create("f")
+    plan.torn_append("f", at_append=1, keep_fraction=0.5)
+    with pytest.raises(SimulatedCrash):
+        disk.append("f", b"A" * 100)
+    assert bytes(disk.open("f").data) == b"A" * 50
+
+
+def test_bit_rot_flips_on_nth_read(faulty_disk):
+    disk, plan = faulty_disk
+    disk.create("f")
+    disk.append("f", b"\x00" * 64)
+    plan.bit_rot("f", at_read=2)
+    assert disk.read("f", 0, 64) == b"\x00" * 64  # first read intact
+    assert disk.read("f", 0, 64) != b"\x00" * 64  # second read rotted
+
+
+def test_dropped_fsync_leaves_tail_volatile(faulty_disk):
+    disk, plan = faulty_disk
+    disk.create("f")
+    disk.append("f", b"data")
+    plan.drop_fsync("f")
+    disk.fsync("f")  # acknowledged but dropped
+    assert disk.open("f").synced_bytes == 0
+    plan.disarm()
+    disk.power_loss(None)
+    assert bytes(disk.open("f").data) == b""  # the lie cost the tail
+
+
+def test_crash_after_ops_counts_disk_operations(faulty_disk):
+    disk, plan = faulty_disk
+    plan.crash_after_ops(3)
+    disk.create("f")  # op 1
+    disk.append("f", b"x")  # op 2
+    with pytest.raises(SimulatedCrash):
+        disk.append("f", b"y")  # op 3
+    assert plan.crash_log == ["disk-op-3"]
+
+
+def test_disarm_stops_all_injection(faulty_disk):
+    disk, plan = faulty_disk
+    disk.create("f")
+    plan.fail("append", "*", times=None)
+    plan.crash_after_ops(1)
+    plan.disarm()
+    disk.append("f", b"x")  # nothing fires
+    assert plan.injected_errors == 0
+
+
+def test_unknown_crash_site_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan().crash_at("no.such.site")
+
+
+def test_simulated_crash_not_caught_by_except_exception():
+    """The crash must escape ``except Exception`` cleanup handlers."""
+    with pytest.raises(SimulatedCrash):
+        try:
+            raise SimulatedCrash("flush.after_install")
+        except Exception:  # noqa: BLE001 - the point of the test
+            pytest.fail("SimulatedCrash was swallowed by except Exception")

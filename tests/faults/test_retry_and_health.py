@@ -1,0 +1,95 @@
+"""Transient IO errors are retried; persistent ones degrade to read-only."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.lsm.db import StoreDegradedError
+from repro.sim.disk import TransientIOError
+from tests.conftest import kv, make_p2_store
+
+
+def retries(store, op):
+    return store.telemetry.counter("disk.retries", labels=("op",)).value(op=op)
+
+
+def test_transient_wal_error_retried_and_write_succeeds():
+    store = make_p2_store()
+    plan = FaultPlan().attach(store.disk)
+    plan.fail("append", "p2/wal.log*", times=2, transient=True)
+    store.put(b"k", b"v")  # survives two device hiccups
+    assert store.get(b"k") == b"v"
+    assert retries(store, "append") == 2
+    assert plan.injected_errors == 2
+    assert store.db.health()["status"] == "ok"
+    # Backoff was charged to the simulated clock, not wall time.
+    assert store.clock.breakdown().get("io_retry_backoff", 0) > 0
+
+
+def test_transient_errors_beyond_budget_degrade():
+    store = make_p2_store()
+    for i in range(10):
+        store.put(*kv(i))
+    plan = FaultPlan().attach(store.disk)
+    plan.fail("append", "p2/wal.log*", times=None, transient=True)
+    with pytest.raises(StoreDegradedError):
+        store.put(b"doomed", b"x")
+    assert store.db.health() == {
+        "status": "degraded",
+        "read_only": True,
+        "reason": store.db.health()["reason"],
+    }
+    assert "injected" in store.db.health()["reason"]
+
+
+def test_persistent_error_degrades_store_to_read_only():
+    store = make_p2_store()
+    for i in range(20):
+        store.put(*kv(i))
+    store.flush()
+    plan = FaultPlan().attach(store.disk)
+    plan.fail("append", "p2/wal.log*", times=None, transient=False)
+    with pytest.raises(StoreDegradedError):
+        store.put(b"doomed", b"x")
+    health = store.db.health()
+    assert health["status"] == "degraded" and health["read_only"]
+    assert (
+        store.telemetry.counter("lsm.degraded.events").total() == 1
+    )
+    # Reads keep working off the intact flushed + buffered state.
+    plan.disarm()
+    assert store.get(kv(3)[0]) == kv(3)[1]
+    assert store.get(kv(15)[0]) == kv(15)[1]
+    assert store.audit().clean
+    # Subsequent writes are refused without touching the disk.
+    with pytest.raises(StoreDegradedError):
+        store.put(b"still-doomed", b"x")
+    with pytest.raises(StoreDegradedError):
+        store.delete(kv(3)[0])
+    assert store.report()["health"]["read_only"]
+
+
+def test_degradation_during_flush():
+    store = make_p2_store()
+    for i in range(20):
+        store.put(*kv(i))
+    plan = FaultPlan().attach(store.disk)
+    plan.fail("append", "p2/*.sst", times=None, transient=False)
+    with pytest.raises(StoreDegradedError):
+        store.flush()
+    plan.disarm()
+    assert store.db.health()["read_only"]
+    # The unflushed records are still served from the MemTable.
+    assert store.get(kv(7)[0]) == kv(7)[1]
+
+
+def test_retry_is_bounded():
+    """A transient fault lasting longer than the budget still escapes."""
+    from repro.sgx.env import MAX_IO_RETRIES
+
+    store = make_p2_store()
+    plan = FaultPlan().attach(store.disk)
+    plan.fail("append", "p2/wal.log*", times=MAX_IO_RETRIES + 1)
+    with pytest.raises(StoreDegradedError) as excinfo:
+        store.put(b"k", b"v")
+    assert isinstance(excinfo.value.__cause__, TransientIOError)
+    assert retries(store, "append") == MAX_IO_RETRIES

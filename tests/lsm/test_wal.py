@@ -34,7 +34,7 @@ def test_torn_tail_discarded(free_env):
     wal = WriteAheadLog(free_env, "wal")
     for i in range(5):
         wal.append(rec(i))
-    f = free_env.disk.open("wal")
+    f = free_env.disk.open(wal.path)
     f.data = f.data[:-3]  # torn final entry
     assert len(list(wal.replay())) == 4
 
@@ -43,7 +43,7 @@ def test_corrupt_entry_stops_replay(free_env):
     wal = WriteAheadLog(free_env, "wal")
     for i in range(5):
         wal.append(rec(i))
-    f = free_env.disk.open("wal")
+    f = free_env.disk.open(wal.path)
     f.data[len(f.data) // 2] ^= 0xFF  # corrupt mid-log
     recovered = list(wal.replay())
     assert 0 < len(recovered) < 5  # prefix only
