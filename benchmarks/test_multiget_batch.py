@@ -1,0 +1,55 @@
+"""MULTIGET batch pipeline vs sequential verified GETs.
+
+The tentpole acceptance bars: a 1000-key Zipfian batch over a
+multi-level store must cost >= 30% fewer simulated-clock microseconds
+and >= 25% fewer proof bytes than the same 1000 keys issued as
+sequential ``get_verified`` calls, with byte-identical results.  The
+savings decompose into one ECall instead of N, shared block fetches,
+pooled proof nodes, and the enclave's verified-node cache.
+"""
+
+from repro.bench.harness import ExperimentResult, record_result
+from repro.bench.perf_baseline import (
+    MIN_PROOF_BYTES_SAVED_PCT,
+    MIN_US_SAVED_PCT,
+    acceptance_problems,
+    run_perf_baseline,
+)
+
+
+def multiget_experiment() -> tuple[ExperimentResult, dict]:
+    profile = run_perf_baseline(quick=False)
+    result = ExperimentResult(
+        exp_id="multiget_batch",
+        title="batched verified reads vs sequential (1000-key Zipfian batch)",
+        columns=["mode", "simulated us", "proof bytes", "saved %"],
+        notes=[
+            "one ECall + pooled proof + verified-node cache vs N GETs",
+            f"bars: >= {MIN_US_SAVED_PCT}% us, "
+            f">= {MIN_PROOF_BYTES_SAVED_PCT}% proof bytes, equal results",
+        ],
+    )
+    result.add_row(
+        "sequential",
+        profile["sequential_us"],
+        profile["sequential_proof_bytes"],
+        0.0,
+    )
+    result.add_row(
+        "multiget",
+        profile["batch_us"],
+        profile["batch_proof_bytes"],
+        profile["us_saved_pct"],
+    )
+    return result, profile
+
+
+def test_multiget_batch_beats_sequential():
+    result, profile = multiget_experiment()
+    record_result(result)
+    assert not acceptance_problems(profile), acceptance_problems(profile)
+    assert profile["identical_results"]
+    assert profile["us_saved_pct"] >= MIN_US_SAVED_PCT
+    assert profile["proof_bytes_saved_pct"] >= MIN_PROOF_BYTES_SAVED_PCT
+    assert len(profile["levels"]) >= 2, "store must be multi-level"
+    assert profile["batch_size"] == 1000

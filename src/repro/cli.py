@@ -28,6 +28,14 @@ import sys
 from repro.sim.scale import ScaleConfig
 
 
+def _write_json(path: str, payload: dict) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+
+
 def _experiment_registry():
     from repro.bench import experiments as exp
 
@@ -130,6 +138,18 @@ def cmd_bench(args) -> int:
     finally:
         if args.metrics_out:
             HUB.deactivate()
+    if args.json_out:
+        _write_json(
+            args.json_out,
+            {
+                "experiment": result.exp_id,
+                "title": result.title,
+                "columns": result.columns,
+                "rows": result.rows,
+                "notes": result.notes,
+            },
+        )
+        print(f"results written to {args.json_out}")
     print(result.format_table())
     if args.chart:
         print()
@@ -164,15 +184,57 @@ def cmd_ycsb(args) -> int:
     }
     store = systems[args.system]()
     spec = workloads[args.workload]
+    if args.multiget > 1 and not hasattr(store, "multi_get"):
+        print(f"system {args.system} has no multi_get; running sequentially",
+              file=sys.stderr)
     print(f"loading {args.records} records into {args.system}...")
     load_phase(store, CoreWorkload(spec, args.records, seed=1))
-    result = run_phase(store, CoreWorkload(spec, args.records, seed=7), args.ops)
+    result = run_phase(
+        store, CoreWorkload(spec, args.records, seed=7), args.ops,
+        multiget=args.multiget,
+    )
     print(f"workload {args.workload} on {args.system}: "
           f"{result.mean_latency_us:.1f} us/op mean, "
           f"p95 {result.overall.p95:.1f}, p99 {result.overall.p99:.1f} "
           f"({result.operations} ops, simulated)")
     for kind, stats in sorted(result.per_op.items()):
         print(f"  {kind:<16} n={stats.count:<6} mean={stats.mean:.1f} us")
+    if args.json_out:
+        payload = {
+            "workload": args.workload,
+            "system": args.system,
+            "records": args.records,
+            "operations": result.operations,
+            "multiget": args.multiget,
+            "duration_us": round(result.duration_us, 1),
+            "mean_latency_us": round(result.mean_latency_us, 2),
+            "p95_us": round(result.overall.p95, 2),
+            "p99_us": round(result.overall.p99, 2),
+            "per_op": {
+                kind: {
+                    "count": stats.count,
+                    "mean_us": round(stats.mean, 2),
+                    "p99_us": round(stats.p99, 2),
+                }
+                for kind, stats in sorted(result.per_op.items())
+            },
+        }
+        if hasattr(store, "report"):
+            report = store.report()
+            for field in (
+                "proof_bytes_total",
+                "ecalls",
+                "ocalls",
+                "boundary_copy_bytes",
+                "verified_gets",
+                "verified_multi_gets",
+                "verifier_cache_hits",
+                "verifier_cache_misses",
+            ):
+                if field in report:
+                    payload[field] = report[field]
+        _write_json(args.json_out, payload)
+        print(f"results written to {args.json_out}")
     if args.metrics_out:
         from repro.telemetry import write_metrics_file
 
@@ -183,6 +245,31 @@ def cmd_ycsb(args) -> int:
         )
         print(f"metrics written to {args.metrics_out}")
     return 0
+
+
+def cmd_perf_baseline(args) -> int:
+    """The `perf-baseline` command: sequential vs batched verified reads."""
+    from repro.bench.perf_baseline import (
+        acceptance_problems,
+        format_result,
+        regression_problems,
+        run_perf_baseline,
+        write_baseline,
+    )
+
+    result = run_perf_baseline(quick=args.quick)
+    print(format_result(result))
+    problems = acceptance_problems(result)
+    if args.check:
+        problems = regression_problems(
+            args.check, result, tolerance=args.tolerance
+        )
+    if args.out:
+        write_baseline(args.out, result)
+        print(f"baseline written to {args.out}")
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def cmd_crash_test(args) -> int:
@@ -290,6 +377,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--wal-sync-every", type=int, default=None,
                        help="WAL fsync cadence for every store the "
                             "experiment builds (default 32)")
+    bench.add_argument("--json-out", default=None, metavar="PATH",
+                       help="write the result table as structured JSON")
     bench.set_defaults(fn=cmd_bench)
 
     ycsb = sub.add_parser("ycsb", help="one YCSB run")
@@ -304,7 +393,28 @@ def build_parser() -> argparse.ArgumentParser:
     ycsb.add_argument("--wal-sync-every", type=int, default=None,
                       help="WAL fsync cadence for the store under test "
                            "(default 32)")
+    ycsb.add_argument("--multiget", type=int, default=1, metavar="N",
+                      help="batch runs of consecutive READs into verified "
+                           "MULTIGETs of up to N keys (default 1 = off)")
+    ycsb.add_argument("--json-out", default=None, metavar="PATH",
+                      help="write a structured run summary (latencies, "
+                           "proof bytes, boundary crossings) as JSON")
     ycsb.set_defaults(fn=cmd_ycsb)
+
+    perf = sub.add_parser(
+        "perf-baseline",
+        help="sequential vs batched verified-read baseline (BENCH_perf.json)",
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="the small CI profile (250-key batch)")
+    perf.add_argument("--out", default=None, metavar="PATH",
+                      help="write/merge this profile into a baseline file")
+    perf.add_argument("--check", default=None, metavar="PATH",
+                      help="fail on regression against a committed baseline")
+    perf.add_argument("--tolerance", type=float, default=0.15,
+                      help="allowed simulated-clock slowdown vs the "
+                           "committed baseline (default 0.15)")
+    perf.set_defaults(fn=cmd_perf_baseline)
 
     crash = sub.add_parser(
         "crash-test", help="crash-consistency harness over every crash point"

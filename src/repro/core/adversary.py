@@ -16,6 +16,10 @@ the paper's security analysis enumerates:
   (completeness under SCAN);
 * :class:`CrossLevelReplayProver` — replay a proof from a different
   level (caught by the per-level roots);
+* :class:`BatchSplicingProver` — swap two deduplicated nodes inside a
+  MULTIGET batch proof's shared node pool (integrity on the batch path);
+* :class:`BatchRefReuseProver` — point one key's auth-path references at
+  another key's pooled nodes (cross-key splicing; integrity);
 * :func:`tamper_sstable_byte` — flip bytes on the untrusted disk, which
   the next read or compaction must detect;
 * :class:`RollbackHost` — restore an older sealed state + disk image
@@ -28,6 +32,8 @@ from dataclasses import replace
 
 from repro.core.prover import Prover
 from repro.core.proofs import (
+    BatchGetProof,
+    BatchLevelMembership,
     LeafReveal,
     LevelMembership,
     LevelNonMembership,
@@ -183,6 +189,58 @@ class CrossLevelReplayProver(Prover):
         """Answer with another level's proof, relabelled."""
         source = super().level_get_proof(self.impersonated_level, key, ts_query)
         return replace(source, level=level)
+
+
+class BatchSplicingProver(Prover):
+    """Swaps two deduplicated nodes inside the batch proof's node pool.
+
+    Every reference that resolved to either node now resolves to the
+    other, so the spliced auth paths no longer reach the level roots —
+    the verifier must reject the whole batch (integrity, batch path).
+    """
+
+    def assemble_batch(self, keys, ts_query, per_key_entries) -> BatchGetProof:
+        """Honest assembly, then one pool swap."""
+        proof = super().assemble_batch(keys, ts_query, per_key_entries)
+        if len(proof.node_pool) >= 2:
+            pool = list(proof.node_pool)
+            pool[0], pool[-1] = pool[-1], pool[0]
+            proof.node_pool = tuple(pool)
+        return proof
+
+
+class BatchRefReuseProver(Prover):
+    """Points one key's path references at another key's pooled nodes.
+
+    Cross-key reference reuse is the attack dedup uniquely enables: the
+    pooled nodes are each individually authentic, but stitching key A's
+    leaf to key B's auth path must still fail the root comparison.
+    """
+
+    def assemble_batch(self, keys, ts_query, per_key_entries) -> BatchGetProof:
+        """Honest assembly, then splice one membership's path refs."""
+        proof = super().assemble_batch(keys, ts_query, per_key_entries)
+        members: list[tuple[int, int, BatchLevelMembership]] = []
+        for ki, entries in enumerate(proof.per_key):
+            for ei, entry in enumerate(entries):
+                if isinstance(entry, BatchLevelMembership):
+                    members.append((ki, ei, entry))
+        for ai in range(len(members)):
+            for bi in range(ai + 1, len(members)):
+                ka, ea, ma = members[ai]
+                kb, _eb, mb = members[bi]
+                if (
+                    ka != kb
+                    and ma.level == mb.level
+                    and ma.path_refs != mb.path_refs
+                ):
+                    per_key = [list(entries) for entries in proof.per_key]
+                    per_key[ka][ea] = replace(ma, path_refs=mb.path_refs)
+                    proof.per_key = tuple(
+                        tuple(entries) for entries in per_key
+                    )
+                    return proof
+        return proof
 
 
 def tamper_sstable_byte(disk: SimDisk, level_prefix: str = "L", flip: int = 0x01):

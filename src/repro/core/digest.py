@@ -14,6 +14,7 @@ defence anchors to a monotonic counter (Section 5.6.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.cryptoprim.hashing import HASH_LEN, tagged_hash
 from repro.mht.merkle import EMPTY_ROOT
@@ -63,8 +64,25 @@ class DigestRegistry:
     def __init__(self, env: ExecutionEnv | None = None) -> None:
         self.env = env
         self._levels: dict[int, LevelDigest] = {}
+        self._root_listeners: list[Callable[[int, bytes, bytes], None]] = []
         if env is not None:
             env.meta_region(_REGION)
+
+    def on_root_change(self, fn: Callable[[int, bytes, bytes], None]) -> None:
+        """Subscribe to root replacements: ``fn(level, old_root, new_root)``.
+
+        Fires whenever a level's root stops being current — flush and
+        compaction installs, level clears, and recovery reloads.  A mere
+        level renumbering (``shift_deeper``) keeps every root alive and
+        does not fire.  Verifiers use this to drop cached nodes whose
+        anchoring root is no longer trusted state.
+        """
+        self._root_listeners.append(fn)
+
+    def _notify_root_change(self, level: int, old: bytes, new: bytes) -> None:
+        if old != new:
+            for fn in self._root_listeners:
+                fn(level, old, new)
 
     def get(self, level: int) -> LevelDigest:
         """The trusted digest of a level (empty default)."""
@@ -74,13 +92,20 @@ class DigestRegistry:
         """Install a level's digest (trusted compaction only)."""
         previous = self._levels.get(level)
         self._levels[level] = digest
+        self._notify_root_change(
+            level, previous.root if previous else EMPTY_ROOT, digest.root
+        )
         if self.env is not None and previous is None:
             # Roots + counters: a fixed-size trusted footprint per level.
             self.env.meta_grow(_REGION, HASH_LEN + 64)
 
     def clear(self, level: int) -> None:
         """Mark a consumed level as empty."""
+        previous = self._levels.get(level)
         self._levels[level] = LevelDigest.empty()
+        self._notify_root_change(
+            level, previous.root if previous else EMPTY_ROOT, EMPTY_ROOT
+        )
 
     def shift_deeper(self, from_level: int) -> None:
         """Make room at ``from_level`` (no-compaction stacking mode)."""
@@ -119,6 +144,7 @@ class DigestRegistry:
 
     def load_payload(self, payload: dict) -> None:
         """Restore the registry from an unsealed payload."""
+        previous = dict(self._levels)
         self._levels.clear()
         for level_str, entry in payload.items():
             self._levels[int(level_str)] = LevelDigest(
@@ -127,4 +153,9 @@ class DigestRegistry:
                 record_count=entry["record_count"],
                 min_key=bytes.fromhex(entry["min_key"]) if entry["min_key"] else None,
                 max_key=bytes.fromhex(entry["max_key"]) if entry["max_key"] else None,
+            )
+        for level, old in previous.items():
+            new = self._levels.get(level)
+            self._notify_root_change(
+                level, old.root, new.root if new else EMPTY_ROOT
             )

@@ -170,6 +170,79 @@ class GetProof:
         return sum(entry.size_bytes() for entry in self.levels)
 
 
+#: Wire footprint of one pool reference (u32 index).
+REF_BYTES = 4
+
+
+@dataclass(frozen=True)
+class BatchLevelMembership:
+    """Pooled form of :class:`LevelMembership`: reveal and auth-path
+    siblings are referenced by index into the batch proof's pools."""
+
+    level: int
+    leaf_index: int
+    reveal_ref: int
+    path_refs: tuple[int, ...]
+
+    def size_bytes(self) -> int:
+        """Wire size contribution (pool bytes are counted once, centrally)."""
+        return 8 + REF_BYTES * (1 + len(self.path_refs))
+
+
+@dataclass(frozen=True)
+class BatchLevelNonMembership:
+    """Pooled form of :class:`LevelNonMembership`."""
+
+    level: int
+    left_index: int | None
+    left_ref: int | None
+    left_path_refs: tuple[int, ...]
+    right_index: int | None
+    right_ref: int | None
+    right_path_refs: tuple[int, ...]
+
+    def size_bytes(self) -> int:
+        """Wire size contribution (pool bytes are counted once, centrally)."""
+        total = 8
+        if self.left_ref is not None:
+            total += REF_BYTES * (2 + len(self.left_path_refs))
+        if self.right_ref is not None:
+            total += REF_BYTES * (2 + len(self.right_path_refs))
+        return total
+
+
+BatchLevelEntry = Union[BatchLevelMembership, BatchLevelNonMembership, LevelSkipped]
+
+
+@dataclass
+class BatchGetProof:
+    """Proof for one MULTIGET: per-key level entries over shared pools.
+
+    Auth-path siblings live once in ``node_pool`` and leaf reveals
+    (including boundary reveals shared by adjacent missing keys) once in
+    ``reveal_pool``; per-key entries reference them by index.  The
+    verifier resolves every reference range-checked, re-deriving one
+    :class:`GetProof` per key, so dedup can never splice material across
+    keys or levels without failing the per-key root checks.
+    """
+
+    ts_query: int
+    keys: tuple[bytes, ...]
+    node_pool: tuple[bytes, ...]
+    reveal_pool: tuple[LeafReveal, ...]
+    per_key: tuple[tuple[BatchLevelEntry, ...], ...]
+
+    def size_bytes(self) -> int:
+        """Total wire bytes: pools counted once + per-key references."""
+        pool = HASH_LEN * len(self.node_pool) + sum(
+            reveal.size_bytes() for reveal in self.reveal_pool
+        )
+        refs = sum(
+            entry.size_bytes() for entries in self.per_key for entry in entries
+        )
+        return pool + refs
+
+
 @dataclass(frozen=True)
 class RangeLevelProof:
     """One level's contribution to a SCAN: a contiguous leaf window.

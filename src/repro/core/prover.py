@@ -14,18 +14,25 @@ query touched anyway.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from itertools import groupby
+from typing import Iterator
 
 from repro.core.proofs import (
+    BatchGetProof,
+    BatchLevelEntry,
+    BatchLevelMembership,
+    BatchLevelNonMembership,
     EmbeddedProof,
     LeafReveal,
     LevelMembership,
     LevelNonMembership,
+    LevelProof,
+    LevelSkipped,
     RangeLevelProof,
 )
 from repro.lsm.db import LSMStore
-from repro.lsm.records import Record
-from repro.lsm.sstable import Entry
+from repro.lsm.sstable import Entry, ScopedBlockCache
 
 
 class Prover:
@@ -33,6 +40,31 @@ class Prover:
 
     def __init__(self, store: LSMStore) -> None:
         self.store = store
+        self._scoped_fetcher: ScopedBlockCache | None = None
+
+    @property
+    def fetcher(self):
+        """The block source: the store's fetcher, or the batch scope."""
+        return self._scoped_fetcher or self.store.fetcher
+
+    @contextmanager
+    def shared_block_scope(self) -> Iterator[ScopedBlockCache]:
+        """Share block fetches across every proof built inside the scope.
+
+        A MULTIGET's keys are served under one scope, so a data block
+        consulted by many keys is fetched (and its access cost charged)
+        exactly once.  Scopes do not nest; re-entering reuses the outer
+        scope's memo.
+        """
+        if self._scoped_fetcher is not None:
+            yield self._scoped_fetcher
+            return
+        scope = ScopedBlockCache(self.store.fetcher)
+        self._scoped_fetcher = scope
+        try:
+            yield scope
+        finally:
+            self._scoped_fetcher = None
 
     # ------------------------------------------------------------------
     # Point queries
@@ -44,10 +76,25 @@ class Prover:
         run = self.store.level_run(level)
         if run is None or run.is_empty:
             raise LookupError(f"level {level} is empty; enclave should skip it")
-        result = run.lookup(self.store.fetcher, key)
+        result = run.lookup(self.fetcher, key)
         if result.group:
             return self._membership(level, result.group, ts_query)
         return self._non_membership(level, result.left, result.right)
+
+    def level_multi_get_proof(
+        self, level: int, keys: list[bytes], ts_query: int
+    ) -> dict[bytes, LevelMembership | LevelNonMembership]:
+        """QUERYGET for many keys on one level, sharing block fetches.
+
+        The default implementation routes each key through
+        :meth:`level_get_proof` under one shared block scope — so every
+        adversarial prover that overrides the single-key path attacks the
+        batch path automatically.
+        """
+        with self.shared_block_scope():
+            return {
+                key: self.level_get_proof(level, key, ts_query) for key in keys
+            }
 
     def _membership(
         self, level: int, group: list[Entry], ts_query: int
@@ -104,7 +151,7 @@ class Prover:
         run = self.store.level_run(level)
         if run is None or run.is_empty:
             raise LookupError(f"level {level} is empty; enclave should skip it")
-        left, entries, right = run.range_entries(self.store.fetcher, lo, hi)
+        left, entries, right = run.range_entries(self.fetcher, lo, hi)
 
         leaves: list[LeafReveal] = []
         edge_paths: list[tuple[int, tuple[bytes, ...]]] = []
@@ -154,8 +201,102 @@ class Prover:
         assert run is not None and not run.is_empty
         cursor_key = run.max_key
         assert cursor_key is not None
-        tail_group = run.get_group(self.store.fetcher, cursor_key)
+        tail_group = run.get_group(self.fetcher, cursor_key)
         return _embedded(tail_group[0]).leaf_index + 1
+
+    # ------------------------------------------------------------------
+    # Batch proof assembly (MULTIGET)
+    # ------------------------------------------------------------------
+    def assemble_batch(
+        self,
+        keys: tuple[bytes, ...],
+        ts_query: int,
+        per_key_entries: list[list[LevelProof]],
+    ) -> BatchGetProof:
+        """Pool per-key level proofs into one deduplicated batch proof.
+
+        Shared auth-path siblings and leaf reveals (e.g. the boundary
+        leaf bracketing two adjacent missing keys) are emitted once and
+        referenced by index.
+        """
+        pool = _BatchPool()
+        per_key: list[tuple[BatchLevelEntry, ...]] = []
+        for entries in per_key_entries:
+            pooled: list[BatchLevelEntry] = []
+            for entry in entries:
+                if isinstance(entry, LevelMembership):
+                    pooled.append(
+                        BatchLevelMembership(
+                            level=entry.level,
+                            leaf_index=entry.leaf_index,
+                            reveal_ref=pool.reveal_ref(entry.reveal),
+                            path_refs=pool.node_refs(entry.path),
+                        )
+                    )
+                elif isinstance(entry, LevelNonMembership):
+                    pooled.append(
+                        BatchLevelNonMembership(
+                            level=entry.level,
+                            left_index=entry.left_index,
+                            left_ref=(
+                                pool.reveal_ref(entry.left)
+                                if entry.left is not None
+                                else None
+                            ),
+                            left_path_refs=pool.node_refs(entry.left_path),
+                            right_index=entry.right_index,
+                            right_ref=(
+                                pool.reveal_ref(entry.right)
+                                if entry.right is not None
+                                else None
+                            ),
+                            right_path_refs=pool.node_refs(entry.right_path),
+                        )
+                    )
+                elif isinstance(entry, LevelSkipped):
+                    pooled.append(entry)
+                else:  # pragma: no cover - exhaustive over level proofs
+                    raise TypeError(f"cannot pool {type(entry).__name__}")
+            per_key.append(tuple(pooled))
+        return BatchGetProof(
+            ts_query=ts_query,
+            keys=keys,
+            node_pool=tuple(pool.nodes),
+            reveal_pool=tuple(pool.reveals),
+            per_key=tuple(per_key),
+        )
+
+
+class _BatchPool:
+    """Content-addressed pools backing one batch proof."""
+
+    def __init__(self) -> None:
+        self.nodes: list[bytes] = []
+        self._node_index: dict[bytes, int] = {}
+        self.reveals: list[LeafReveal] = []
+        self._reveal_index: dict[tuple, int] = {}
+
+    def node_refs(self, path: tuple[bytes, ...]) -> tuple[int, ...]:
+        return tuple(self._node_ref(node) for node in path)
+
+    def _node_ref(self, node: bytes) -> int:
+        index = self._node_index.get(node)
+        if index is None:
+            index = len(self.nodes)
+            self.nodes.append(node)
+            self._node_index[node] = index
+        return index
+
+    def reveal_ref(self, reveal: LeafReveal) -> int:
+        # Content-keyed: two independently-constructed but identical
+        # reveals (shared non-membership boundaries) dedup to one entry.
+        fingerprint = (reveal.records, reveal.older_digest)
+        index = self._reveal_index.get(fingerprint)
+        if index is None:
+            index = len(self.reveals)
+            self.reveals.append(reveal)
+            self._reveal_index[fingerprint] = index
+        return index
 
 
 class OnDemandProver(Prover):
@@ -188,6 +329,21 @@ class OnDemandProver(Prover):
     ) -> LevelMembership | LevelNonMembership:
         """Rebuild the level tree, then answer (no embedded proofs)."""
         tree = self._rebuild_tree(level)
+        return self._answer_from_tree(tree, level, key, ts_query)
+
+    def level_multi_get_proof(
+        self, level: int, keys: list[bytes], ts_query: int
+    ) -> dict[bytes, LevelMembership | LevelNonMembership]:
+        """Rebuild the level tree once, then answer the whole batch."""
+        tree = self._rebuild_tree(level)
+        return {
+            key: self._answer_from_tree(tree, level, key, ts_query)
+            for key in keys
+        }
+
+    def _answer_from_tree(
+        self, tree, level: int, key: bytes, ts_query: int
+    ) -> LevelMembership | LevelNonMembership:
         index, group = tree.find(key)
         if group is not None:
             return self._membership_from_tree(tree, level, group, ts_query)

@@ -27,7 +27,13 @@ from repro.core.digest import DigestRegistry
 from repro.core.encryption import MODE_PLAIN, KeyValueCodec
 from repro.core.errors import RollbackDetected
 from repro.core.prover import OnDemandProver, Prover
-from repro.core.proofs import GetProof, LevelMembership, LevelSkipped, ScanProof
+from repro.core.proofs import (
+    BatchGetProof,
+    GetProof,
+    LevelMembership,
+    LevelSkipped,
+    ScanProof,
+)
 from repro.core.verifier import Verifier
 from repro.lsm.db import LSMConfig, LSMStore
 from repro.lsm.records import Record
@@ -62,6 +68,22 @@ class VerifiedGet:
         if self.record is None or self.record.is_tombstone:
             return None
         return self.record.value
+
+
+@dataclass
+class VerifiedMultiGet:
+    """A batched GET result with its deduplicated verified proof."""
+
+    records: list[Record | None]
+    proof: BatchGetProof
+    proof_bytes: int
+
+    @property
+    def values(self) -> list[bytes | None]:
+        """Stored-form values aligned with the request order."""
+        return [
+            None if r is None or r.is_tombstone else r.value for r in self.records
+        ]
 
 
 class ELSMP2Store:
@@ -117,6 +139,11 @@ class ELSMP2Store:
         self._m_proof_scan_bytes = self.telemetry.histogram(
             "proof.scan.bytes",
             "verified-SCAN proof size",
+            buckets=SIZE_BUCKETS_BYTES,
+        )
+        self._m_proof_multiget_bytes = self.telemetry.histogram(
+            "proof.multiget.bytes",
+            "verified-MULTIGET batch proof size",
             buckets=SIZE_BUCKETS_BYTES,
         )
         self._m_proof_stop_level = self.telemetry.counter(
@@ -302,6 +329,10 @@ class ELSMP2Store:
                         proof_bytes=0,
                     )
                 proof = self._build_get_proof(stored_key, tsq)
+                proof_bytes = proof.size_bytes()
+                # The proof is assembled in untrusted memory and copied
+                # into the enclave before verification.
+                self.env.copy_in(proof_bytes)
                 hashes_before = self.env.telemetry.counter(
                     "enclave.hash.invocations"
                 ).total()
@@ -312,7 +343,6 @@ class ELSMP2Store:
                     self.env.telemetry.counter("enclave.hash.invocations").total()
                     - hashes_before
                 )
-                proof_bytes = proof.size_bytes()
                 self.total_proof_bytes += proof_bytes
                 self._m_proof_get_bytes.observe(proof_bytes)
                 stop_level = max(
@@ -322,6 +352,114 @@ class ELSMP2Store:
                 span.set(stop_level=stop_level, proof_bytes=proof_bytes)
                 return VerifiedGet(
                     record=record, proof=proof, proof_bytes=proof_bytes
+                )
+
+    def multi_get(
+        self, keys: list[bytes], ts_query: int | None = None
+    ) -> list[bytes | None]:
+        """Batched GET: verified values aligned with the request order."""
+        result = self.multi_get_verified(keys, ts_query)
+        return [
+            None if value is None else self.codec.decode_value(value)
+            for value in result.values
+        ]
+
+    def multi_get_verified(
+        self, keys: list[bytes], ts_query: int | None = None
+    ) -> VerifiedMultiGet:
+        """Batched verified GET: one ECall, one deduplicated batch proof.
+
+        The batch shares everything the sequential path pays per key: one
+        boundary crossing for the whole batch, each SSTable block fetched
+        and boundary-copied once (keys are grouped per level), shared
+        auth-path nodes and boundary reveals emitted once in the proof's
+        node pool, and upper Merkle rungs verified once thanks to the
+        enclave's verified-node cache.  Results are exactly what N
+        sequential :meth:`get_verified` calls would return.
+        """
+        keys = list(keys)
+        with self._op_lock, self.env.op_call(
+            "multi_get", in_bytes=sum(len(k) for k in keys)
+        ):
+            tsq = self._ts if ts_query is None else ts_query
+            stored = [self.codec.encode_key(key) for key in keys]
+            with self.telemetry.span("elsm.multi_get") as span:
+                # MemTable hits are served inside the enclave (trusted)
+                # and excluded from the proof, exactly as in get_verified.
+                memtable_hits: dict[bytes, Record | None] = {}
+                need: list[bytes] = []
+                seen: set[bytes] = set()
+                for stored_key in stored:
+                    if stored_key in seen:
+                        continue
+                    seen.add(stored_key)
+                    hit = self.db.memtable.get(stored_key, tsq)
+                    if hit is not None:
+                        memtable_hits[stored_key] = hit
+                    else:
+                        need.append(stored_key)
+                # Sorted batch order: per level the prover walks blocks in
+                # key order, so each block is fetched exactly once.
+                need.sort()
+                per_key_entries: dict[bytes, list] = {sk: [] for sk in need}
+                pending = set(need)
+                with self.prover.shared_block_scope():
+                    for level in self.registry.nonempty_levels():
+                        if not pending:
+                            break
+                        digest = self.registry.get(level)
+                        ask: list[bytes] = []
+                        for stored_key in need:
+                            if stored_key not in pending:
+                                continue
+                            if digest.excludes_key(
+                                stored_key
+                            ) or self._trusted_absence(level, stored_key):
+                                per_key_entries[stored_key].append(
+                                    LevelSkipped(level, "trusted-metadata")
+                                )
+                            else:
+                                ask.append(stored_key)
+                        if not ask:
+                            continue
+                        answers = self.prover.level_multi_get_proof(
+                            level, ask, tsq
+                        )
+                        for stored_key in ask:
+                            entry = answers[stored_key]
+                            per_key_entries[stored_key].append(entry)
+                            if (
+                                self.early_stop
+                                and isinstance(entry, LevelMembership)
+                                and entry.reveal.records[-1].ts <= tsq
+                            ):
+                                pending.discard(stored_key)
+                    proof = self.prover.assemble_batch(
+                        tuple(need),
+                        tsq,
+                        [per_key_entries[sk] for sk in need],
+                    )
+                proof_bytes = proof.size_bytes()
+                # One bulk copy of the batch proof into the enclave.
+                self.env.copy_in(proof_bytes)
+                hashes_before = self.env.telemetry.counter(
+                    "enclave.hash.invocations"
+                ).total()
+                verified = self.verifier.verify_multi_get(
+                    need, tsq, proof, trusted_absence=self._trusted_absence
+                )
+                self._m_verify_hashes.inc(
+                    self.env.telemetry.counter("enclave.hash.invocations").total()
+                    - hashes_before
+                )
+                by_key: dict[bytes, Record | None] = dict(zip(need, verified))
+                by_key.update(memtable_hits)
+                records = [by_key.get(sk) for sk in stored]
+                self.total_proof_bytes += proof_bytes
+                self._m_proof_multiget_bytes.observe(proof_bytes)
+                span.set(batch_size=len(keys), proof_bytes=proof_bytes)
+                return VerifiedMultiGet(
+                    records=records, proof=proof, proof_bytes=proof_bytes
                 )
 
     def _build_get_proof(self, stored_key: bytes, tsq: int) -> GetProof:
@@ -478,7 +616,18 @@ class ELSMP2Store:
                 metrics.counter("enclave.hash.invocations").total()
             ),
             "verified_gets": self.verifier.verified_gets,
+            "verified_multi_gets": self.verifier.verified_multi_gets,
             "verified_scans": self.verifier.verified_scans,
+            "verifier_cache_hits": (
+                self.verifier.node_cache.hits
+                if self.verifier.node_cache is not None
+                else 0
+            ),
+            "verifier_cache_misses": (
+                self.verifier.node_cache.misses
+                if self.verifier.node_cache is not None
+                else 0
+            ),
             "proof_bytes_total": self.total_proof_bytes,
             "proof_get_bytes_mean": self._m_proof_get_bytes.mean(),
             "disk_bytes": self.disk.total_bytes(),

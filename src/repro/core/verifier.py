@@ -15,6 +15,7 @@ in-enclave root.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable
 
 from repro.core.digest import DigestRegistry, LevelDigest
@@ -25,24 +26,140 @@ from repro.core.errors import (
     ProofFormatError,
 )
 from repro.core.proofs import (
+    BatchGetProof,
+    BatchLevelMembership,
+    BatchLevelNonMembership,
     GetProof,
     LeafReveal,
     LevelMembership,
     LevelNonMembership,
+    LevelProof,
     LevelSkipped,
     RangeLevelProof,
     ScanProof,
 )
-from repro.cryptoprim.hashing import HASH_LEN, hash_leaf
+from repro.cryptoprim.hashing import HASH_LEN, hash_internal, hash_leaf
 from repro.lsm.records import Record, encode_record
 from repro.mht.chain import fold_chain
-from repro.mht.merkle import ProofError, compute_root
+from repro.mht.merkle import ProofError
 from repro.mht.range_proof import compute_root_from_range
 from repro.sgx.env import ExecutionEnv
 
 #: Callback the store provides so the verifier can validate skipped
 #: levels against trusted metadata (Bloom filters) it does not own.
 TrustedAbsence = Callable[[int, bytes], bool]
+
+#: (level-epoch root, tree level, node index) — a node position under a
+#: specific root.  Keying by the root itself makes stale entries
+#: unreachable the instant a flush/compaction/recovery installs a new
+#: root, independent of (and in addition to) explicit invalidation.
+_NodeKey = tuple[bytes, int, int]
+
+
+class VerifiedNodeCache:
+    """Enclave-side LRU of Merkle nodes proven to chain to a trusted root.
+
+    An entry ``(root, level, index) -> node_hash`` means: this node value
+    at this tree position was once part of a successfully verified
+    authentication path to ``root`` while ``root`` was in the digest
+    registry.  When a later path reaches the same position with the same
+    value, the remainder of the climb is proven by transitivity and its
+    hashing is skipped.  Collision resistance makes the shortcut sound: a
+    different value at the same position cannot reach the same root.
+
+    Invalidation: the owning :class:`Verifier` subscribes to registry
+    root changes and drops every entry of a replaced root (flush,
+    compaction, and recovery all change roots).
+    """
+
+    def __init__(self, capacity: int = 4096, telemetry=None) -> None:
+        self.capacity = max(1, capacity)
+        self._entries: OrderedDict[_NodeKey, bytes] = OrderedDict()
+        self._by_root: dict[bytes, set[_NodeKey]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._m_hit = self._m_miss = self._m_evict = None
+        if telemetry is not None:
+            self._m_hit = telemetry.counter(
+                "verifier.cache.hit", "verified-node cache probe hits"
+            )
+            self._m_miss = telemetry.counter(
+                "verifier.cache.miss", "verified-node cache probe misses"
+            )
+            self._m_evict = telemetry.counter(
+                "verifier.cache.evict",
+                "verified-node cache entries dropped",
+                labels=("reason",),
+            )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries_for_root(self, root: bytes) -> int:
+        """Resident entries anchored to ``root`` (0 after invalidation)."""
+        return len(self._by_root.get(root, ()))
+
+    def lookup(self, root: bytes, tree_level: int, index: int) -> bytes | None:
+        """The cached node hash at a position, or None."""
+        key = (root, tree_level, index)
+        node = self._entries.get(key)
+        if node is None:
+            self.misses += 1
+            if self._m_miss is not None:
+                self._m_miss.inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if self._m_hit is not None:
+            self._m_hit.inc()
+        return node
+
+    def insert(self, root: bytes, tree_level: int, index: int, node: bytes) -> None:
+        """Record a node as verified under ``root`` (LRU-evicting)."""
+        key = (root, tree_level, index)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = node
+        self._by_root.setdefault(root, set()).add(key)
+        while len(self._entries) > self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self._unindex(evicted)
+            self.evictions += 1
+            if self._m_evict is not None:
+                self._m_evict.inc(reason="capacity")
+
+    def invalidate_root(self, root: bytes) -> None:
+        """Drop every entry anchored to a root that left the registry."""
+        for key in self._by_root.pop(root, ()):
+            del self._entries[key]
+            self.evictions += 1
+            if self._m_evict is not None:
+                self._m_evict.inc(reason="root-change")
+
+    def _unindex(self, key: _NodeKey) -> None:
+        resident = self._by_root.get(key[0])
+        if resident is not None:
+            resident.discard(key)
+            if not resident:
+                del self._by_root[key[0]]
+
+
+def _expected_path_len(index: int, n: int) -> int:
+    """Auth-path length for leaf ``index`` in an ``n``-leaf tree.
+
+    Mirrors the promotion convention: a node with no right sibling is
+    promoted and contributes no path entry.
+    """
+    length = 0
+    idx, width = index, n
+    while width > 1:
+        if idx % 2 == 1 or idx + 1 < width:
+            length += 1
+        idx //= 2
+        width = (width + 1) // 2
+    return length
 
 
 class Verifier:
@@ -53,6 +170,7 @@ class Verifier:
         registry: DigestRegistry,
         env: ExecutionEnv | None = None,
         early_stop: bool = True,
+        node_cache_entries: int = 4096,
     ) -> None:
         self.registry = registry
         self.env = env
@@ -60,7 +178,20 @@ class Verifier:
         #: verifier checks them all instead of stopping at the hit.
         self.early_stop = early_stop
         self.verified_gets = 0
+        self.verified_multi_gets = 0
         self.verified_scans = 0
+        self.node_cache: VerifiedNodeCache | None = None
+        if node_cache_entries > 0:
+            self.node_cache = VerifiedNodeCache(
+                node_cache_entries,
+                telemetry=env.telemetry if env is not None else None,
+            )
+            if hasattr(registry, "on_root_change"):
+                registry.on_root_change(self._on_root_change)
+
+    def _on_root_change(self, _level: int, old_root: bytes, _new_root: bytes) -> None:
+        if self.node_cache is not None:
+            self.node_cache.invalidate_root(old_root)
 
     def _charge(self, nbytes: int) -> None:
         if self.env is not None:
@@ -209,6 +340,89 @@ class Verifier:
                 )
 
     # ------------------------------------------------------------------
+    # Batched GET verification
+    # ------------------------------------------------------------------
+    def verify_multi_get(
+        self,
+        keys: list[bytes],
+        ts_query: int,
+        proof: BatchGetProof,
+        trusted_absence: TrustedAbsence | None = None,
+    ) -> list[Record | None]:
+        """Verify a deduplicated batch proof; results align with ``keys``.
+
+        Pool references are bounds-checked, then each key's entries are
+        materialised into a per-key :class:`GetProof` and pushed through
+        the exact sequential :meth:`verify_get` logic — the batch path
+        inherits every integrity/freshness/completeness check, so a
+        spliced pool or a reference pointed at another key's nodes
+        surfaces as a root mismatch or shape violation, never as a
+        silently wrong answer.
+        """
+        if tuple(keys) != tuple(proof.keys):
+            raise ProofFormatError("batch proof does not match the queried keys")
+        if proof.ts_query != ts_query:
+            raise ProofFormatError("batch proof does not match the query horizon")
+        if len(proof.per_key) != len(proof.keys):
+            raise ProofFormatError("batch proof key/entry count mismatch")
+        results: list[Record | None] = []
+        for key, entries in zip(proof.keys, proof.per_key):
+            levels: list[LevelProof] = [
+                self._resolve_batch_entry(proof, entry) for entry in entries
+            ]
+            per_key = GetProof(key=key, ts_query=ts_query, levels=tuple(levels))
+            results.append(self.verify_get(key, ts_query, per_key, trusted_absence))
+        self.verified_multi_gets += 1
+        return results
+
+    def _resolve_batch_entry(self, proof: BatchGetProof, entry) -> LevelProof:
+        if isinstance(entry, LevelSkipped):
+            return entry
+        if isinstance(entry, BatchLevelMembership):
+            return LevelMembership(
+                level=entry.level,
+                leaf_index=entry.leaf_index,
+                reveal=self._pool_reveal(proof, entry.reveal_ref),
+                path=self._pool_nodes(proof, entry.path_refs),
+            )
+        if isinstance(entry, BatchLevelNonMembership):
+            left = (
+                self._pool_reveal(proof, entry.left_ref)
+                if entry.left_ref is not None
+                else None
+            )
+            right = (
+                self._pool_reveal(proof, entry.right_ref)
+                if entry.right_ref is not None
+                else None
+            )
+            return LevelNonMembership(
+                level=entry.level,
+                left_index=entry.left_index,
+                left=left,
+                left_path=self._pool_nodes(proof, entry.left_path_refs),
+                right_index=entry.right_index,
+                right=right,
+                right_path=self._pool_nodes(proof, entry.right_path_refs),
+            )
+        raise ProofFormatError(f"unknown batch entry {type(entry).__name__}")
+
+    @staticmethod
+    def _pool_reveal(proof: BatchGetProof, ref: int) -> LeafReveal:
+        if not 0 <= ref < len(proof.reveal_pool):
+            raise ProofFormatError(f"batch proof reference out of range: {ref}")
+        return proof.reveal_pool[ref]
+
+    @staticmethod
+    def _pool_nodes(proof: BatchGetProof, refs: tuple[int, ...]) -> tuple[bytes, ...]:
+        nodes = []
+        for ref in refs:
+            if not 0 <= ref < len(proof.node_pool):
+                raise ProofFormatError(f"batch proof reference out of range: {ref}")
+            nodes.append(proof.node_pool[ref])
+        return tuple(nodes)
+
+    # ------------------------------------------------------------------
     # SCAN verification
     # ------------------------------------------------------------------
     def verify_scan(
@@ -343,13 +557,72 @@ class Verifier:
         index: int,
         path: tuple[bytes, ...],
     ) -> None:
-        self._charge(HASH_LEN * 2 * (len(path) + 1))
-        try:
-            root = compute_root(leaf, index, digest.leaf_count, list(path))
-        except ProofError as exc:
-            raise IntegrityViolation(f"authentication path malformed: {exc}") from exc
-        if root != digest.root:
+        """Climb the auth path to the registered root, caching as it goes.
+
+        Strictness is checked *before* any cache shortcut: the path must
+        have exactly the length the (index, leaf_count) geometry demands,
+        so a cache hit can never launder a malformed proof.  A hit at any
+        rung proves the rest of the climb by transitivity and skips its
+        hashing (and its hash charges) — the batch pipeline's per-level
+        upper nodes are shared across keys, which is where the saving
+        comes from.
+        """
+        n = digest.leaf_count
+        if n <= 0:
+            raise IntegrityViolation(
+                "authentication path malformed: cannot verify against an empty tree"
+            )
+        if not 0 <= index < n:
+            raise IntegrityViolation(
+                f"authentication path malformed: leaf index {index} out of "
+                f"range for {n} leaves"
+            )
+        expected = _expected_path_len(index, n)
+        if len(path) < expected:
+            raise IntegrityViolation(
+                "authentication path malformed: authentication path too short"
+            )
+        if len(path) > expected:
+            raise IntegrityViolation(
+                "authentication path malformed: authentication path too long"
+            )
+        cache = self.node_cache
+        root = digest.root
+        node = leaf
+        idx, width = index, n
+        tree_level = 0
+        pos = 0
+        hashed = 0
+        computed: list[tuple[int, int, bytes]] = [(0, index, leaf)]
+        while width > 1:
+            if cache is not None:
+                known = cache.lookup(root, tree_level, idx)
+                if known is not None and known == node:
+                    # Already verified up to this root from this rung.
+                    self._charge(HASH_LEN * 2 * (hashed + 1))
+                    for lvl, i, h in computed:
+                        cache.insert(root, lvl, i, h)
+                    return
+            if idx % 2 == 0:
+                if idx + 1 < width:
+                    node = hash_internal(node, path[pos])
+                    pos += 1
+                    hashed += 1
+                # else: odd node promoted unchanged, consumes no entry
+            else:
+                node = hash_internal(path[pos], node)
+                pos += 1
+                hashed += 1
+            idx //= 2
+            width = (width + 1) // 2
+            tree_level += 1
+            computed.append((tree_level, idx, node))
+        self._charge(HASH_LEN * 2 * (hashed + 1))
+        if node != root:
             raise IntegrityViolation("authentication path does not match root")
+        if cache is not None:
+            for lvl, i, h in computed:
+                cache.insert(root, lvl, i, h)
 
 
 def _resolve_versions(candidates: list[Record]) -> list[Record]:

@@ -23,6 +23,9 @@ import struct
 
 from repro.core.errors import ProofFormatError
 from repro.core.proofs import (
+    BatchGetProof,
+    BatchLevelMembership,
+    BatchLevelNonMembership,
     GetProof,
     LeafReveal,
     LevelMembership,
@@ -36,11 +39,14 @@ from repro.lsm.records import Record, decode_record, encode_record
 
 _GET_MAGIC = b"eLSMg1"
 _SCAN_MAGIC = b"eLSMs1"
+_BATCH_MAGIC = b"eLSMb1"
 
 _TAG_MEMBERSHIP = 1
 _TAG_NON_MEMBERSHIP = 2
 _TAG_SKIPPED = 3
 _TAG_RANGE = 4
+_TAG_POOLED_MEMBERSHIP = 5
+_TAG_POOLED_NON_MEMBERSHIP = 6
 
 
 class _Writer:
@@ -278,3 +284,138 @@ def deserialize_scan_proof(blob: bytes) -> ScanProof:
     levels = [_read_entry(r) for _ in range(r.u16())]
     r.done()
     return ScanProof(lo=lo, hi=hi, ts_query=ts_query, levels=levels)
+
+
+# ----------------------------------------------------------------------
+# Batched (MULTIGET) proofs: shared pools + per-key reference entries
+# ----------------------------------------------------------------------
+def _write_refs(w: _Writer, refs: tuple[int, ...]) -> None:
+    w.u16(len(refs))
+    for ref in refs:
+        w.u32(ref)
+
+
+def _read_refs(r: _Reader) -> tuple[int, ...]:
+    return tuple(r.u32() for _ in range(r.u16()))
+
+
+def _write_batch_entry(w: _Writer, entry) -> None:
+    if isinstance(entry, BatchLevelMembership):
+        w.u8(_TAG_POOLED_MEMBERSHIP)
+        w.u32(entry.level)
+        w.u32(entry.leaf_index)
+        w.u32(entry.reveal_ref)
+        _write_refs(w, entry.path_refs)
+    elif isinstance(entry, BatchLevelNonMembership):
+        w.u8(_TAG_POOLED_NON_MEMBERSHIP)
+        w.u32(entry.level)
+        w.u8(
+            (1 if entry.left_ref is not None else 0)
+            | (2 if entry.right_ref is not None else 0)
+        )
+        if entry.left_ref is not None:
+            w.u32(entry.left_index)
+            w.u32(entry.left_ref)
+            _write_refs(w, entry.left_path_refs)
+        if entry.right_ref is not None:
+            w.u32(entry.right_index)
+            w.u32(entry.right_ref)
+            _write_refs(w, entry.right_path_refs)
+    elif isinstance(entry, LevelSkipped):
+        w.u8(_TAG_SKIPPED)
+        w.u32(entry.level)
+        w.blob(entry.reason.encode())
+    else:  # pragma: no cover - exhaustive over the batch entry types
+        raise ProofFormatError(f"cannot serialize {type(entry).__name__}")
+
+
+def _read_batch_entry(r: _Reader):
+    tag = r.u8()
+    if tag == _TAG_POOLED_MEMBERSHIP:
+        level = r.u32()
+        leaf_index = r.u32()
+        reveal_ref = r.u32()
+        path_refs = _read_refs(r)
+        return BatchLevelMembership(
+            level=level,
+            leaf_index=leaf_index,
+            reveal_ref=reveal_ref,
+            path_refs=path_refs,
+        )
+    if tag == _TAG_POOLED_NON_MEMBERSHIP:
+        level = r.u32()
+        flags = r.u8()
+        left_index = left_ref = None
+        left_path_refs: tuple[int, ...] = ()
+        right_index = right_ref = None
+        right_path_refs: tuple[int, ...] = ()
+        if flags & 1:
+            left_index = r.u32()
+            left_ref = r.u32()
+            left_path_refs = _read_refs(r)
+        if flags & 2:
+            right_index = r.u32()
+            right_ref = r.u32()
+            right_path_refs = _read_refs(r)
+        return BatchLevelNonMembership(
+            level=level,
+            left_index=left_index,
+            left_ref=left_ref,
+            left_path_refs=left_path_refs,
+            right_index=right_index,
+            right_ref=right_ref,
+            right_path_refs=right_path_refs,
+        )
+    if tag == _TAG_SKIPPED:
+        level = r.u32()
+        reason = r.blob().decode()
+        return LevelSkipped(level=level, reason=reason)
+    raise ProofFormatError(f"unknown batch proof entry tag {tag}")
+
+
+def serialize_batch_get_proof(proof: BatchGetProof) -> bytes:
+    """BatchGetProof -> bytes."""
+    w = _Writer()
+    w.raw(_BATCH_MAGIC)
+    w.u64(proof.ts_query)
+    w.u16(len(proof.keys))
+    for key in proof.keys:
+        w.blob(key)
+    w.u32(len(proof.node_pool))
+    for node in proof.node_pool:
+        w.raw(node)
+    w.u32(len(proof.reveal_pool))
+    for reveal in proof.reveal_pool:
+        _write_reveal(w, reveal)
+    for entries in proof.per_key:
+        w.u16(len(entries))
+        for entry in entries:
+            _write_batch_entry(w, entry)
+    return w.getvalue()
+
+
+def deserialize_batch_get_proof(blob: bytes) -> BatchGetProof:
+    """bytes -> BatchGetProof (strict; raises ProofFormatError).
+
+    Reference indices are NOT range-checked here — the verifier resolves
+    them against the pools and fails closed on any out-of-range index,
+    so a truncated pool can never silently alias another key's material.
+    """
+    r = _Reader(blob)
+    if r.raw(len(_BATCH_MAGIC)) != _BATCH_MAGIC:
+        raise ProofFormatError("not a batch GET proof")
+    ts_query = r.u64()
+    keys = tuple(r.blob() for _ in range(r.u16()))
+    node_pool = tuple(r.raw(HASH_LEN) for _ in range(r.u32()))
+    reveal_pool = tuple(_read_reveal(r) for _ in range(r.u32()))
+    per_key = tuple(
+        tuple(_read_batch_entry(r) for _ in range(r.u16())) for _ in keys
+    )
+    r.done()
+    return BatchGetProof(
+        ts_query=ts_query,
+        keys=keys,
+        node_pool=node_pool,
+        reveal_pool=reveal_pool,
+        per_key=per_key,
+    )

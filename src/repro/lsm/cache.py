@@ -48,6 +48,9 @@ class ReadBuffer:
         self.block_stride = max(block_stride, 1)
         self.capacity_slots = max(1, capacity_bytes // self.block_stride)
         self._entries: OrderedDict[tuple[str, int], tuple[Block, int]] = OrderedDict()
+        # Per-file index of resident block keys: invalidation is O(blocks
+        # of that file), not a scan of the whole cache.
+        self._by_file: dict[str, set[tuple[str, int]]] = {}
         self._free_slots: list[int] = []
         self._next_slot = 0
         self.hits = 0
@@ -82,18 +85,26 @@ class ReadBuffer:
             self._entries.move_to_end(key)
             return
         while len(self._entries) >= self.capacity_slots:
-            _, (_, freed_slot) = self._entries.popitem(last=False)
+            evicted, (_, freed_slot) = self._entries.popitem(last=False)
+            self._unindex(evicted)
             self._free_slots.append(freed_slot)
         slot = self._free_slots.pop() if self._free_slots else self._next_slot
         if slot == self._next_slot:
             self._next_slot += 1
         self._entries[key] = (block, slot)
+        self._by_file.setdefault(key[0], set()).add(key)
         self._charge_fill(slot, block)
 
+    def _unindex(self, key: tuple[str, int]) -> None:
+        resident = self._by_file.get(key[0])
+        if resident is not None:
+            resident.discard(key)
+            if not resident:
+                del self._by_file[key[0]]
+
     def invalidate_file(self, name: str) -> None:
-        """Drop all blocks of a deleted SSTable."""
-        stale = [key for key in self._entries if key[0] == name]
-        for key in stale:
+        """Drop all blocks of a deleted SSTable (O(blocks of that file))."""
+        for key in self._by_file.pop(name, ()):
             _, slot = self._entries.pop(key)
             self._free_slots.append(slot)
 

@@ -326,6 +326,7 @@ class BlockFetcher:
         # Decode memo for the mmap path: pure implementation cache, the
         # timing cost of each access is still charged via read_mmap.
         self._decoded: dict[tuple[str, int], Block] = {}
+        self._decoded_by_file: dict[str, set[tuple[str, int]]] = {}
         self._m_hits = env.telemetry.counter(
             "cache.hits", "read-buffer block hits", labels=("region",)
         )
@@ -347,6 +348,7 @@ class BlockFetcher:
                 )
                 block = _decode_block(body)
                 self._decoded[key] = block
+                self._decoded_by_file.setdefault(meta.name, set()).add(key)
             else:
                 self._m_hits.inc(region="mmap_decode")
             return block
@@ -384,12 +386,40 @@ class BlockFetcher:
         return body
 
     def invalidate_file(self, name: str) -> None:
-        """Drop a deleted file's blocks from all caches."""
+        """Drop a deleted file's blocks from all caches (O(its blocks))."""
         if self.buffer is not None:
             self.buffer.invalidate_file(name)
-        stale = [key for key in self._decoded if key[0] == name]
-        for key in stale:
+        for key in self._decoded_by_file.pop(name, ()):
             del self._decoded[key]
+
+
+class ScopedBlockCache:
+    """Memoises ``read_block`` for the duration of one batched operation.
+
+    A MULTIGET visits many keys that land in the same data blocks; the
+    scope guarantees each block is fetched — and its access cost charged —
+    at most once per batch, however many keys resolve through it.  The
+    scope holds only references to already-decoded blocks, so it needs no
+    invalidation: it must not outlive the operation that created it.
+    """
+
+    def __init__(self, fetcher: BlockFetcher) -> None:
+        self.fetcher = fetcher
+        self._memo: dict[tuple[str, int], Block] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def read_block(self, meta: SSTableMeta, handle: BlockHandle) -> Block:
+        """The block behind ``handle``, fetched at most once per scope."""
+        key = (meta.name, handle.offset)
+        block = self._memo.get(key)
+        if block is None:
+            self.misses += 1
+            block = self.fetcher.read_block(meta, handle)
+            self._memo[key] = block
+        else:
+            self.hits += 1
+        return block
 
 
 def read_block_sequential(env: ExecutionEnv, meta: SSTableMeta, handle: BlockHandle) -> list[Entry]:

@@ -255,6 +255,18 @@ class ExecutionEnv:
         if self.enclave is not None:
             self.enclave.touch(region, offset, nbytes, write=write)
 
+    def copy_in(self, nbytes: int) -> None:
+        """Charge a bulk copy of untrusted bytes into the enclave.
+
+        Used for proof payloads that ride an already-open transition (no
+        extra ECall), so only the per-byte copy cost and the boundary
+        byte counters apply.  No-op without an enclave.
+        """
+        if self.boundary is None or nbytes <= 0:
+            return
+        self.boundary._count_copy(nbytes, "in")
+        self.clock.charge("ecall_copy", self.costs.enclave_copy_cost(nbytes))
+
     def trusted_hash(self, nbytes: int) -> None:
         """Charge a hash computed by trusted code (enclave or client)."""
         self._m_hash_calls.inc()

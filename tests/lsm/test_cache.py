@@ -91,3 +91,33 @@ def test_enclave_buffer_larger_than_epc_faults_on_hits(enclave_env):
     for i in range(64):
         buffer.get(("f", i))
     assert enclave_env.enclave.pager.fault_count > faults_before
+
+
+def test_per_file_index_tracks_evictions(free_env):
+    """Eviction must unindex the block: a later invalidate of its file
+    cannot touch the slot its space was recycled into."""
+    buffer = ReadBuffer(free_env, 1024, block_stride=512)  # two slots
+    buffer.put(("a", 0), block())
+    buffer.put(("a", 1), block())
+    buffer.put(("b", 0), block())  # evicts ("a", 0)
+    buffer.invalidate_file("a")  # only ("a", 1) is still resident
+    assert buffer.get(("b", 0)) is not None
+    assert buffer.get(("a", 1)) is None
+    assert not buffer._by_file.get("a")
+
+
+def test_invalidate_unknown_file_is_noop(free_env):
+    buffer = ReadBuffer(free_env, 4096, block_stride=512)
+    buffer.put(("a", 0), block())
+    buffer.invalidate_file("never-seen")
+    assert buffer.get(("a", 0)) is not None
+
+
+def test_invalidate_then_reinsert_same_file(free_env):
+    buffer = ReadBuffer(free_env, 4096, block_stride=512)
+    buffer.put(("a", 0), block())
+    buffer.invalidate_file("a")
+    buffer.put(("a", 0), block())
+    assert buffer.get(("a", 0)) is not None
+    buffer.invalidate_file("a")
+    assert buffer.get(("a", 0)) is None

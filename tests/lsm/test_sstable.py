@@ -170,3 +170,32 @@ def test_aux_survives_storage(free_env):
 def test_meta_bytes_positive(free_env):
     meta = build_table(free_env, n=60)
     assert meta.meta_bytes() > 0
+
+
+def test_scoped_block_cache_memoises(free_env):
+    """Within one scope, a (file, offset) pair is fetched exactly once."""
+    from repro.lsm.sstable import ScopedBlockCache
+
+    class CountingFetcher:
+        def __init__(self):
+            self.calls = 0
+
+        def read_block(self, meta, handle):
+            self.calls += 1
+            return object()
+
+    class FakeMeta:
+        name = "f"
+
+    class FakeHandle:
+        def __init__(self, offset):
+            self.offset = offset
+
+    fetcher = CountingFetcher()
+    scope = ScopedBlockCache(fetcher)
+    a1 = scope.read_block(FakeMeta(), FakeHandle(0))
+    a2 = scope.read_block(FakeMeta(), FakeHandle(0))
+    b = scope.read_block(FakeMeta(), FakeHandle(512))
+    assert a1 is a2 and b is not a1
+    assert fetcher.calls == 2
+    assert (scope.hits, scope.misses) == (1, 2)

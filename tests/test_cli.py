@@ -59,3 +59,50 @@ def test_audit_tampered_detects(capsys):
 def test_missing_command_errors():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_ycsb_multiget_json_out(capsys, tmp_path):
+    out_path = tmp_path / "run.json"
+    assert main(
+        ["ycsb", "--workload", "C", "--system", "p2",
+         "--records", "300", "--ops", "120", "--factor", "0.000244",
+         "--multiget", "16", "--json-out", str(out_path)]
+    ) == 0
+    import json
+
+    payload = json.loads(out_path.read_text())
+    assert payload["multiget"] == 16
+    assert payload["verified_multi_gets"] > 0
+    assert payload["per_op"]["read"]["count"] == 120
+    assert payload["proof_bytes_total"] > 0
+
+
+def test_bench_json_out(capsys, tmp_path):
+    out_path = tmp_path / "bench.json"
+    assert main(
+        ["bench", "ablation_counter_buffer", "--ops", "10",
+         "--factor", "0.00006", "--json-out", str(out_path)]
+    ) == 0
+    import json
+
+    payload = json.loads(out_path.read_text())
+    assert payload["experiment"] == "ablation_counter_buffer"
+    assert payload["rows"]
+
+
+def test_perf_baseline_quick_check(capsys, tmp_path, monkeypatch):
+    """A fresh quick run must beat the acceptance bars, round-trip its
+    baseline file, and pass its own regression check."""
+    import repro.bench.perf_baseline as pb
+
+    monkeypatch.setitem(
+        pb.PROFILES, "quick",
+        {"records": 600, "distinct_keys": 200, "batch_size": 120},
+    )
+    out_path = tmp_path / "BENCH_perf.json"
+    assert main(["perf-baseline", "--quick", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "identical results: True" in out
+    assert main(
+        ["perf-baseline", "--quick", "--check", str(out_path)]
+    ) == 0
