@@ -1,0 +1,38 @@
+"""Trust-boundary static analysis for the eLSM codebase.
+
+The paper's security argument (Sections 4-5) is a *code discipline*:
+enclave code consumes untrusted bytes only through the boundary
+(:class:`~repro.sgx.env.ExecutionEnv`), digests are compared fail-closed
+in constant time, verifiers reject rather than fall through on malformed
+proofs, and simulated power cuts are never swallowed by broad exception
+handlers.  ``repro.analysis`` turns that discipline into machine-checked
+invariants: an AST pass over ``src/repro`` with a zone model
+(``analysis/zones.toml``), rule IDs (EL1xx-EL4xx), per-line suppression
+(``# elsm-lint: disable=EL###``), and a committed findings baseline so
+pre-existing debt never blocks CI while *new* violations always do.
+
+Run it as ``python -m repro lint``; see ``docs/static-analysis.md``.
+"""
+
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.engine import AnalysisError, ProjectIndex, run_analysis
+from repro.analysis.model import Finding, Severity
+from repro.analysis.rules import ALL_RULES, RULE_DOCS, rule_severity
+from repro.analysis.zones import Zone, ZoneConfig, load_zone_config
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisError",
+    "Baseline",
+    "Finding",
+    "ProjectIndex",
+    "RULE_DOCS",
+    "Severity",
+    "Zone",
+    "ZoneConfig",
+    "load_baseline",
+    "load_zone_config",
+    "rule_severity",
+    "run_analysis",
+    "write_baseline",
+]

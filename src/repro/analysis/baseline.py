@@ -1,0 +1,87 @@
+"""Committed findings baseline: existing debt never blocks CI, new debt does.
+
+The baseline file (``analysis/baseline.json``) records the fingerprints
+of accepted findings.  A lint run then splits its findings three ways:
+
+* **new** — not in the baseline; these fail the run;
+* **baselined** — matched debt, reported only in the summary;
+* **expired** — baseline entries no line of code matches any more.
+  Expired entries are pruned automatically on ``--update-baseline`` and
+  surfaced in the summary otherwise, so the file can only shrink as the
+  debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.model import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The accepted-findings set plus bookkeeping for one lint run."""
+
+    entries: dict[str, dict] = field(default_factory=dict)  # fingerprint -> entry
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[dict]]:
+        """Partition findings into (new, baselined) and list expired entries."""
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        matched: set[str] = set()
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                matched.add(finding.fingerprint)
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        expired = [
+            entry
+            for fingerprint, entry in self.entries.items()
+            if fingerprint not in matched
+        ]
+        return new, baselined, expired
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.is_file():
+        return Baseline()
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = json.load(fh)
+    if raw.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {raw.get('version')!r} in {path}"
+        )
+    entries = {}
+    for entry in raw.get("findings", []):
+        entries[entry["fingerprint"]] = entry
+    return Baseline(entries=entries)
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write the baseline for the current findings (pruning expired debt)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in sorted(
+                findings, key=lambda f: (f.path, f.rule, f.message)
+            )
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

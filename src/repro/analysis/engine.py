@@ -1,0 +1,262 @@
+"""The analysis engine: project indexing and rule dispatch.
+
+One pass parses every module under ``src/repro`` into an AST, resolves
+its imports to dotted module names, and pre-extracts the cross-file
+facts the rules need (registered crash sites and their call sites,
+metric registrations, suppression pragmas).  Rules then run over this
+:class:`ProjectIndex` — each is a pure function from index to findings,
+so a rule can reason about the whole project (the EL1xx import graph,
+EL3xx crash-site cross-references) and not just one file at a time.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.model import Finding, Suppressions, parse_suppressions
+from repro.analysis.zones import ZoneConfig
+
+
+class AnalysisError(RuntimeError):
+    """The checker itself could not run (bad config, unparseable file)."""
+
+
+@dataclass
+class MetricRegistration:
+    """One ``telemetry.counter/gauge/histogram("name", "description")`` site."""
+
+    name: str
+    module: str
+    line: int
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the rules need to know about one source module."""
+
+    name: str  # "repro.core.verifier"
+    path: Path
+    relpath: str  # repo-relative, posix
+    tree: ast.Module
+    source: str
+    suppressions: Suppressions
+    #: (imported dotted module, line) pairs, absolute names only.
+    imports: list[tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class ProjectIndex:
+    """The parsed project plus pre-extracted cross-file facts."""
+
+    root: Path
+    config: ZoneConfig
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    #: Sites registered in the crash plan's CRASH_SITES tuple.
+    crash_sites: tuple[str, ...] = ()
+    crash_sites_line: int = 0
+    #: site -> [(module-or-relpath, line)] for crash_point()/crash_at() literals.
+    crash_refs: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+    metric_registrations: list[MetricRegistration] = field(default_factory=list)
+    #: Raw text of the telemetry documentation page ("" when missing).
+    telemetry_doc_text: str = ""
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        root: Path,
+        config: ZoneConfig,
+        package_dir: Path | None = None,
+        reference_dirs: Iterable[Path] = (),
+    ) -> "ProjectIndex":
+        """Index ``package_dir`` (default ``<root>/src/repro``) for findings.
+
+        ``reference_dirs`` (default ``<root>/tests``) are scanned only
+        for crash-site references — tests referencing a crash point keep
+        it alive for EL303 but are never themselves linted.
+        """
+        root = root.resolve()
+        if package_dir is None:
+            package_dir = root / "src" / "repro"
+        index = cls(root=root, config=config)
+        for path in sorted(package_dir.rglob("*.py")):
+            index._add_module(path, package_dir)
+        index._extract_crash_sites()
+        for module in index.modules.values():
+            index._collect_crash_refs(module.tree, module.name)
+            index._collect_metric_registrations(module)
+        ref_dirs = list(reference_dirs) or [root / "tests"]
+        for ref_dir in ref_dirs:
+            if not ref_dir.is_dir():
+                continue
+            for path in sorted(ref_dir.rglob("*.py")):
+                index._collect_reference_file(path)
+        doc_path = root / config.telemetry_doc
+        if doc_path.is_file():
+            index.telemetry_doc_text = doc_path.read_text(encoding="utf-8")
+        return index
+
+    def _add_module(self, path: Path, package_dir: Path) -> None:
+        rel = path.relative_to(package_dir)
+        parts = ("repro",) + rel.with_suffix("").parts
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        name = ".".join(parts)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise AnalysisError(f"cannot parse {path}: {exc}") from exc
+        info = ModuleInfo(
+            name=name,
+            path=path,
+            relpath=path.relative_to(self.root).as_posix(),
+            tree=tree,
+            source=source,
+            suppressions=parse_suppressions(source),
+        )
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    info.imports.append((alias.name, node.lineno))
+            elif isinstance(node, ast.ImportFrom):
+                target = self._resolve_from_import(node, name)
+                if target:
+                    info.imports.append((target, node.lineno))
+        self.modules[name] = info
+
+    @staticmethod
+    def _resolve_from_import(node: ast.ImportFrom, module: str) -> str | None:
+        if node.level == 0:
+            return node.module
+        # Relative import: resolve against the importing module's package.
+        package = module.split(".")
+        package = package[: len(package) - (node.level - 1) - 1]
+        if node.module:
+            package = package + node.module.split(".")
+        return ".".join(package) if package else None
+
+    # ------------------------------------------------------------------
+    # Cross-file fact extraction
+    # ------------------------------------------------------------------
+    def _extract_crash_sites(self) -> None:
+        plan = self.modules.get(self.config.crash_plan)
+        if plan is None:
+            return
+        for node in plan.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            else:
+                continue
+            names = {t.id for t in targets if isinstance(t, ast.Name)}
+            if "CRASH_SITES" not in names:
+                continue
+            value = node.value if isinstance(node, ast.Assign) else node.value
+            try:
+                sites = ast.literal_eval(value)
+            except ValueError:
+                continue
+            if isinstance(sites, (tuple, list)):
+                self.crash_sites = tuple(str(s) for s in sites)
+                self.crash_sites_line = node.lineno
+                return
+
+    def _collect_crash_refs(self, tree: ast.AST, where: str) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in ("crash_point", "crash_at"):
+                continue
+            if node.args and isinstance(node.args[0], ast.Constant):
+                value = node.args[0].value
+                if isinstance(value, str):
+                    self.crash_refs.setdefault(value, []).append(
+                        (where, node.lineno)
+                    )
+
+    def _collect_reference_file(self, path: Path) -> None:
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except (SyntaxError, UnicodeDecodeError):
+            return  # reference-only scan: never fail the run on test files
+        self._collect_crash_refs(tree, path.relative_to(self.root).as_posix())
+
+    def _collect_metric_registrations(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in ("counter", "gauge", "histogram"):
+                continue
+            if not node.args or not isinstance(node.args[0], ast.Constant):
+                continue
+            name = node.args[0].value
+            if not isinstance(name, str):
+                continue
+            # A *registration* carries a description; bare lookups
+            # (``metrics.counter("wal.appends").total()``) do not.
+            has_description = (
+                len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+            ) or any(kw.arg == "description" for kw in node.keywords)
+            if not has_description:
+                continue
+            self.metric_registrations.append(
+                MetricRegistration(name=name, module=module.name, line=node.lineno)
+            )
+
+
+def run_analysis(
+    root: Path,
+    config: ZoneConfig,
+    rule_filter: Iterable[str] | None = None,
+    package_dir: Path | None = None,
+    reference_dirs: Iterable[Path] = (),
+) -> list[Finding]:
+    """Index the project, run every (selected) rule, apply suppressions."""
+    from repro.analysis.rules import ALL_RULES, run_rules
+
+    wanted = set(rule_filter) if rule_filter else None
+    if wanted:
+        unknown = wanted - set(ALL_RULES)
+        if unknown:
+            raise AnalysisError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(ALL_RULES))})"
+            )
+    index = ProjectIndex.build(
+        root, config, package_dir=package_dir, reference_dirs=reference_dirs
+    )
+    findings = []
+    for finding in run_rules(index):
+        if wanted is not None and finding.rule not in wanted:
+            continue
+        module = _module_for_path(index, finding.path)
+        if module is not None and module.suppressions.is_suppressed(
+            finding.rule, finding.line
+        ):
+            continue
+        findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _module_for_path(index: ProjectIndex, relpath: str):
+    for module in index.modules.values():
+        if module.relpath == relpath:
+            return module
+    return None

@@ -1,0 +1,108 @@
+"""Finding model and suppression parsing for the invariant checker.
+
+A :class:`Finding` pins one rule violation to a ``file:line``; its
+*fingerprint* deliberately ignores the line number so the committed
+baseline survives unrelated edits above a finding (the message and the
+file, not the offset, identify the debt).
+
+Suppression syntax (checked against the physical source line):
+
+* ``# elsm-lint: disable=EL203`` on the flagged line, or alone on the
+  line directly above it, silences those rule IDs for that line;
+* ``# elsm-lint: disable-file=EL402`` anywhere silences the IDs for the
+  whole module;
+* ``all`` is accepted in place of a rule list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*elsm-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+class Severity(str, Enum):
+    """How a finding is ranked in the summary (all new findings gate CI)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str  # "EL203"
+    severity: Severity
+    path: str  # repo-relative, posix separators
+    line: int  # 1-based
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-independent)."""
+        blob = f"{self.rule}|{self.path}|{self.message}".encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def format_github(self) -> str:
+        """A GitHub Actions workflow annotation line."""
+        kind = "error" if self.severity is Severity.ERROR else "warning"
+        return (
+            f"::{kind} file={self.path},line={self.line},"
+            f"title={self.rule}::{self.message}"
+        )
+
+
+@dataclass
+class Suppressions:
+    """Per-module suppression state parsed from the raw source."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    whole_file: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if "all" in self.whole_file or rule in self.whole_file:
+            return True
+        for candidate in (line, line - 1):
+            rules = self.by_line.get(candidate)
+            if rules is not None and ("all" in rules or rule in rules):
+                # A comment-only line above applies to the next line;
+                # a trailing comment applies to its own line.
+                if candidate == line or self._comment_only(candidate):
+                    return True
+        return False
+
+    _comment_lines: set[int] = field(default_factory=set)
+
+    def _comment_only(self, line: int) -> bool:
+        return line in self._comment_lines
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract ``elsm-lint`` pragmas from a module's source text."""
+    out = Suppressions()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        kind = match.group(1)
+        rules = {
+            token.strip()
+            for token in match.group(2).split(",")
+            if token.strip()
+        }
+        if kind == "disable-file":
+            out.whole_file |= rules
+        else:
+            out.by_line.setdefault(lineno, set()).update(rules)
+            if text.lstrip().startswith("#"):
+                out._comment_lines.add(lineno)
+    return out

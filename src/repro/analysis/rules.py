@@ -1,0 +1,505 @@
+"""The EL rule families: mechanical forms of the paper's trust argument.
+
+Every rule has an ID, a severity, and a one-line summary in
+:data:`ALL_RULES`; the longer rationale (tied to PAPER.md's threat
+model) lives in :data:`RULE_DOCS` and is rendered into
+``docs/static-analysis.md``.  Suppress a finding with
+``# elsm-lint: disable=EL###`` (see :mod:`repro.analysis.model`).
+
+* **EL1xx — trust-boundary taint.**  Enclave-zone modules may not
+  import untrusted-zone modules, reach the disk/readers directly, or
+  index host-supplied proof pools without a bounds check.  The only
+  sanctioned route for untrusted bytes is the boundary shim
+  (``ExecutionEnv.copy_in`` / ``repro.sgx.boundary``).
+* **EL2xx — fail-closed verification.**  No bare excepts; broad
+  handlers in verification/recovery paths must re-raise; digests are
+  compared through ``constant_time_eq``; deserialisers validate magic
+  and consume the buffer exactly.
+* **EL3xx — crash/fault hygiene.**  ``SimulatedCrash`` is a
+  ``BaseException`` and must never be swallowed; crash-point names and
+  the registered ``CRASH_SITES`` must stay in bijection.
+* **EL4xx — telemetry/API hygiene.**  Registered metric names follow
+  the ``component.noun[.verb]`` convention and are documented.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import ModuleInfo, ProjectIndex
+from repro.analysis.model import Finding, Severity
+from repro.analysis.zones import Zone
+
+#: rule id -> (severity, one-line summary used in reports).
+ALL_RULES: dict[str, tuple[Severity, str]] = {
+    "EL101": (Severity.ERROR, "enclave module imports an untrusted-zone module"),
+    "EL102": (Severity.ERROR, "enclave module reads untrusted data outside the boundary"),
+    "EL103": (Severity.ERROR, "proof-pool index used without a bounds check"),
+    "EL201": (Severity.ERROR, "bare `except:` clause"),
+    "EL202": (Severity.ERROR, "broad exception handler in a fail-closed path"),
+    "EL203": (Severity.ERROR, "digest compared with `==`/`!=` instead of constant_time_eq"),
+    "EL204": (Severity.ERROR, "deserializer does not validate magic/consume the buffer"),
+    "EL301": (Severity.ERROR, "handler can swallow SimulatedCrash (BaseException)"),
+    "EL302": (Severity.ERROR, "crash point name is not registered in CRASH_SITES"),
+    "EL303": (Severity.ERROR, "registered crash site has no crash_point call site"),
+    "EL401": (Severity.WARNING, "metric name violates the component.noun.verb convention"),
+    "EL402": (Severity.WARNING, "registered metric name is missing from the telemetry docs"),
+}
+
+#: Longer rationale per rule, tied to the paper's threat model.
+RULE_DOCS: dict[str, str] = {
+    "EL101": (
+        "Enclave code believing host bytes without a hash path to a trusted "
+        "root is the attack the paper defends against (Sections 4-5); an "
+        "import edge from the enclave zone into the untrusted zone is the "
+        "refactor that silently makes it possible."
+    ),
+    "EL102": (
+        "Even without an import edge, enclave code can reach untrusted "
+        "state through a handle (`*.disk.*`, a Prover/BlockFetcher/"
+        "ReadBuffer, or builtin file IO). All untrusted bytes must enter "
+        "through ExecutionEnv's boundary methods, which charge the copy "
+        "and mark the taint."
+    ),
+    "EL103": (
+        "Batch proofs carry host-chosen u32 references into shared pools; "
+        "indexing a pool without a bounds check turns a malformed proof "
+        "into an IndexError (or worse) instead of a ProofFormatError."
+    ),
+    "EL201": (
+        "A bare `except:` swallows SimulatedCrash (a BaseException power "
+        "cut), KeyboardInterrupt, and device failures alike - nothing in "
+        "this codebase legitimately wants that."
+    ),
+    "EL202": (
+        "Verification and recovery must fail closed: `except Exception` "
+        "in those paths converts an integrity violation into a fall-"
+        "through. Narrow the type or re-raise."
+    ),
+    "EL203": (
+        "Digest equality decides whether the enclave trusts host bytes; "
+        "short-circuiting `==` leaks a timing oracle and, worse, invites "
+        "`!=`/`==` asymmetry bugs. All root/digest/MAC comparisons go "
+        "through repro.cryptoprim.constant_time_eq (hmac.compare_digest)."
+    ),
+    "EL204": (
+        "A proof deserializer that parses before validating its magic, or "
+        "returns with bytes left over, can half-parse an attacker blob "
+        "into something verifiable (wire.py's strictness contract)."
+    ),
+    "EL301": (
+        "SimulatedCrash subclasses BaseException precisely so `except "
+        "Exception` retry/cleanup logic cannot swallow a simulated power "
+        "cut; an `except BaseException` (or catching SimulatedCrash "
+        "outside the harness) without re-raising defeats that design."
+    ),
+    "EL302": (
+        "crash_point() with an unregistered name is dead fault-injection "
+        "surface: FaultPlan.crash_at refuses the name, so the harness can "
+        "never exercise the path."
+    ),
+    "EL303": (
+        "A CRASH_SITES entry with no call site means the crash matrix "
+        "reports PASS for a scenario that never ran - silent loss of "
+        "crash coverage."
+    ),
+    "EL401": (
+        "Metric names are API: dashboards and the report() assembly key "
+        "on them. The convention is lowercase dotted segments, "
+        "component-first (e.g. `wal.recovery.dropped_bytes`)."
+    ),
+    "EL402": (
+        "Every registered metric must be documented in "
+        "docs/observability.md so operators can find it; an undocumented "
+        "counter is invisible telemetry."
+    ),
+}
+
+
+def rule_severity(rule: str) -> Severity:
+    return ALL_RULES[rule][0]
+
+
+def _finding(rule: str, module: ModuleInfo, line: int, message: str) -> Finding:
+    return Finding(
+        rule=rule,
+        severity=rule_severity(rule),
+        path=module.relpath,
+        line=line,
+        message=message,
+    )
+
+
+def run_rules(index: ProjectIndex) -> Iterator[Finding]:
+    """Run every rule family over the indexed project."""
+    yield from _el101_cross_zone_imports(index)
+    yield from _el102_untrusted_reads(index)
+    yield from _el103_pool_bounds(index)
+    yield from _el2xx_exception_hygiene(index)
+    yield from _el203_digest_equality(index)
+    yield from _el204_deserializer_shape(index)
+    yield from _el30x_crash_sites(index)
+    yield from _el4xx_telemetry(index)
+
+
+# ----------------------------------------------------------------------
+# EL1xx - trust-boundary taint
+# ----------------------------------------------------------------------
+def _el101_cross_zone_imports(index: ProjectIndex) -> Iterator[Finding]:
+    for module in index.modules.values():
+        if index.config.zone_of(module.name) is not Zone.ENCLAVE:
+            continue
+        for target, line in module.imports:
+            if not target.startswith("repro"):
+                continue  # stdlib use is EL102's concern
+            if index.config.zone_of(target) is Zone.UNTRUSTED:
+                yield _finding(
+                    "EL101",
+                    module,
+                    line,
+                    f"enclave module {module.name} imports untrusted module "
+                    f"{target}; route the access through the boundary "
+                    f"(repro.sgx.env) or reclassify in analysis/zones.toml",
+                )
+
+
+#: Constructors/handles that mean "I am reading the untrusted world".
+_UNTRUSTED_CONSTRUCTORS = frozenset(
+    {"Prover", "OnDemandProver", "BlockFetcher", "ReadBuffer", "SimDisk"}
+)
+_IO_BUILTINS = frozenset({"open", "exec", "eval"})
+_IO_MODULES = frozenset({"os", "io", "pathlib", "shutil", "socket", "subprocess"})
+_UNTRUSTED_HANDLES = frozenset({"disk", "fetcher", "prover"})
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"] (empty when not a pure name chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _el102_untrusted_reads(index: ProjectIndex) -> Iterator[Finding]:
+    for module in index.modules.values():
+        if index.config.zone_of(module.name) is not Zone.ENCLAVE:
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in _IO_BUILTINS:
+                    yield _finding(
+                        "EL102", module, node.lineno,
+                        f"enclave module calls builtin {func.id}(); file IO "
+                        f"must go through ExecutionEnv (an OCall)",
+                    )
+                elif func.id in _UNTRUSTED_CONSTRUCTORS:
+                    yield _finding(
+                        "EL102", module, node.lineno,
+                        f"enclave module constructs untrusted reader "
+                        f"{func.id}; only host-side code may own one",
+                    )
+            elif isinstance(func, ast.Attribute):
+                chain = _attr_chain(func)
+                if not chain:
+                    continue
+                if chain[0] in _IO_MODULES:
+                    yield _finding(
+                        "EL102", module, node.lineno,
+                        f"enclave module calls {'.'.join(chain)}(); direct "
+                        f"OS access bypasses the enclave boundary",
+                    )
+                elif any(part in _UNTRUSTED_HANDLES for part in chain[:-1]):
+                    yield _finding(
+                        "EL102", module, node.lineno,
+                        f"enclave module dereferences untrusted handle in "
+                        f"{'.'.join(chain)}(); use the ExecutionEnv file_* / "
+                        f"copy_in shims instead",
+                    )
+        for target, line in module.imports:
+            if target.split(".")[0] in _IO_MODULES:
+                yield _finding(
+                    "EL102", module, line,
+                    f"enclave module imports IO module {target}; file IO "
+                    f"must go through ExecutionEnv (an OCall)",
+                )
+
+
+_POOL_ATTRS = frozenset({"node_pool", "reveal_pool"})
+
+
+def _el103_pool_bounds(index: ProjectIndex) -> Iterator[Finding]:
+    for module in index.modules.values():
+        if index.config.zone_of(module.name) is not Zone.ENCLAVE:
+            continue
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            guarded: set[str] = set()
+            subscripts: list[tuple[str, int]] = []
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Compare):
+                    for call in ast.walk(node):
+                        if (
+                            isinstance(call, ast.Call)
+                            and isinstance(call.func, ast.Name)
+                            and call.func.id == "len"
+                            and call.args
+                            and isinstance(call.args[0], ast.Attribute)
+                            and call.args[0].attr in _POOL_ATTRS
+                        ):
+                            guarded.add(call.args[0].attr)
+                if (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Attribute)
+                    and node.value.attr in _POOL_ATTRS
+                    and not isinstance(node.slice, ast.Constant)
+                ):
+                    subscripts.append((node.value.attr, node.lineno))
+            for attr, line in subscripts:
+                if attr not in guarded:
+                    yield _finding(
+                        "EL103", module, line,
+                        f"{attr}[...] indexed with a host-controlled "
+                        f"reference but no len() bounds check in "
+                        f"{fn.name}(); malformed proofs must raise "
+                        f"ProofFormatError, not IndexError",
+                    )
+
+
+# ----------------------------------------------------------------------
+# EL2xx / EL3xx - exception hygiene (one walk, two families)
+# ----------------------------------------------------------------------
+def _handler_names(handler: ast.ExceptHandler) -> list[str]:
+    """Terminal identifiers of the caught type(s); [] for a bare except."""
+    node = handler.type
+    if node is None:
+        return []
+    elts = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for elt in elts:
+        if isinstance(elt, ast.Name):
+            names.append(elt.id)
+        elif isinstance(elt, ast.Attribute):
+            names.append(elt.attr)
+    return names
+
+
+def _body_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _el2xx_exception_hygiene(index: ProjectIndex) -> Iterator[Finding]:
+    for module in index.modules.values():
+        fail_closed = index.config.is_fail_closed(module.name)
+        is_catcher = index.config.matches_any(
+            module.name, index.config.crash_catchers
+        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _handler_names(node)
+            if node.type is None:
+                yield _finding(
+                    "EL201", module, node.lineno,
+                    "bare `except:` swallows SimulatedCrash and "
+                    "KeyboardInterrupt; name the exception type",
+                )
+                continue
+            if "BaseException" in names and not _body_reraises(node):
+                yield _finding(
+                    "EL301", module, node.lineno,
+                    "`except BaseException` without re-raise swallows "
+                    "SimulatedCrash (a simulated power cut)",
+                )
+            if (
+                "SimulatedCrash" in names
+                and not is_catcher
+                and not _body_reraises(node)
+            ):
+                yield _finding(
+                    "EL301", module, node.lineno,
+                    "SimulatedCrash may only be caught by the crash-"
+                    "consistency harness (roles.crash_catchers); re-raise "
+                    "it here",
+                )
+            if (
+                fail_closed
+                and "Exception" in names
+                and not _body_reraises(node)
+            ):
+                yield _finding(
+                    "EL202", module, node.lineno,
+                    "broad `except Exception` in a fail-closed path; "
+                    "narrow the type or re-raise so verification errors "
+                    "cannot fall through",
+                )
+
+
+#: Terminal identifiers that mean "this value is a digest/root/MAC".
+_DIGEST_NAMES = frozenset(
+    {
+        "root", "digest", "older_digest", "mac", "measurement",
+        "root_hash", "wal_digest", "leaf_hash", "expect", "dataset",
+    }
+)
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _el203_digest_equality(index: ProjectIndex) -> Iterator[Finding]:
+    for module in index.modules.values():
+        if not index.config.is_fail_closed(module.name):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not all(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            named = [
+                name for name in (_terminal_name(o) for o in operands)
+                if name is not None
+            ]
+            hits = [n for n in named if n.lower() in _DIGEST_NAMES]
+            if not hits:
+                continue
+            # `x == None`-style shape checks and length fields are fine;
+            # only flag when the other side could be digest bytes too.
+            if any(
+                isinstance(o, ast.Constant) and not isinstance(o.value, bytes)
+                for o in operands
+            ):
+                continue
+            yield _finding(
+                "EL203", module, node.lineno,
+                f"digest comparison on `{hits[0]}` uses ==/!=; use "
+                f"repro.cryptoprim.constant_time_eq (fail-closed, "
+                f"constant-time)",
+            )
+
+
+def _el204_deserializer_shape(index: ProjectIndex) -> Iterator[Finding]:
+    for module in index.modules.values():
+        if not index.config.matches_any(module.name, index.config.wire):
+            continue
+        for fn in module.tree.body:
+            if not isinstance(fn, ast.FunctionDef):
+                continue
+            if not fn.name.startswith("deserialize"):
+                continue
+            if not _has_early_magic_check(fn):
+                yield _finding(
+                    "EL204", module, fn.lineno,
+                    f"{fn.name}() must validate a *_MAGIC tag (and raise) "
+                    f"before parsing any payload bytes",
+                )
+            if not _calls_done(fn):
+                yield _finding(
+                    "EL204", module, fn.lineno,
+                    f"{fn.name}() never calls .done(); trailing bytes "
+                    f"after a proof must be rejected",
+                )
+
+
+def _has_early_magic_check(fn: ast.FunctionDef) -> bool:
+    for stmt in fn.body[:3]:
+        if not isinstance(stmt, ast.If):
+            continue
+        mentions_magic = any(
+            isinstance(n, (ast.Name, ast.Attribute))
+            and (_terminal_name(n) or "").upper().endswith("MAGIC")
+            for n in ast.walk(stmt.test)
+        )
+        raises = any(isinstance(n, ast.Raise) for n in stmt.body)
+        if mentions_magic and raises:
+            return True
+    return False
+
+
+def _calls_done(fn: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "done"
+        for node in ast.walk(fn)
+    )
+
+
+# ----------------------------------------------------------------------
+# EL30x - crash-site bijection
+# ----------------------------------------------------------------------
+def _el30x_crash_sites(index: ProjectIndex) -> Iterator[Finding]:
+    plan = index.modules.get(index.config.crash_plan)
+    if plan is None or not index.crash_sites:
+        return
+    registered = set(index.crash_sites)
+    for site, refs in index.crash_refs.items():
+        for where, line in refs:
+            module = index.modules.get(where)
+            if module is None:
+                continue  # reference files (tests) are not linted
+            if site not in registered:
+                yield _finding(
+                    "EL302", module, line,
+                    f"crash point {site!r} is not registered in "
+                    f"{index.config.crash_plan}.CRASH_SITES; the harness "
+                    f"can never exercise it",
+                )
+    # Call sites in src/ (module-name refs) keep a registered site alive;
+    # test references alone do not - the production path must reach it.
+    src_referenced = {
+        site
+        for site, refs in index.crash_refs.items()
+        if any(where in index.modules for where, _ in refs)
+    }
+    for site in index.crash_sites:
+        if site not in src_referenced:
+            yield _finding(
+                "EL303", plan, index.crash_sites_line,
+                f"registered crash site {site!r} has no crash_point() "
+                f"call site under src/; the crash matrix silently skips it",
+            )
+
+
+# ----------------------------------------------------------------------
+# EL4xx - telemetry hygiene
+# ----------------------------------------------------------------------
+def _el4xx_telemetry(index: ProjectIndex) -> Iterator[Finding]:
+    pattern = re.compile(index.config.metric_name_pattern)
+    doc = index.telemetry_doc_text
+    seen: set[tuple[str, str, int]] = set()
+    for reg in index.metric_registrations:
+        key = (reg.name, reg.module, reg.line)
+        if key in seen:
+            continue
+        seen.add(key)
+        module = index.modules[reg.module]
+        if not pattern.match(reg.name):
+            yield _finding(
+                "EL401", module, reg.line,
+                f"metric name {reg.name!r} does not match the "
+                f"component.noun[.verb] convention "
+                f"({index.config.metric_name_pattern})",
+            )
+        if doc and reg.name not in doc:
+            yield _finding(
+                "EL402", module, reg.line,
+                f"metric {reg.name!r} is registered here but not "
+                f"documented in {index.config.telemetry_doc}",
+            )

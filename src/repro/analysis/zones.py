@@ -1,0 +1,189 @@
+"""Zone classification: which side of the trust boundary a module is on.
+
+The paper's architecture splits the codebase in three (Section 4):
+
+* **enclave** — code that runs inside the enclave and handles trusted
+  state (verifier, digest registry, Merkle forest, sealing, crypto);
+* **untrusted** — the host side: provers, block fetchers, caches, the
+  simulated disk — everything an adversary controls;
+* **boundary** — the ECall/OCall shims (:mod:`repro.sgx.env`,
+  :mod:`repro.sgx.boundary`) which are the *only* sanctioned way for
+  enclave code to touch untrusted bytes.
+
+Everything else is **neutral**: pure data codecs, orchestration that
+legitimately spans both worlds (the stores), telemetry, tooling.  The
+mapping lives in a checked-in ``analysis/zones.toml`` so refactors that
+move a module across the boundary are a reviewed one-line diff, not an
+implicit re-classification.
+
+Patterns are dotted module names with ``fnmatch`` globs; an exact entry
+beats a glob, and among globs the longest pattern wins.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from dataclasses import dataclass, field
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python < 3.11: fall back to the mini-parser
+    tomllib = None
+from enum import Enum
+from pathlib import Path
+
+
+class Zone(str, Enum):
+    ENCLAVE = "enclave"
+    UNTRUSTED = "untrusted"
+    BOUNDARY = "boundary"
+    NEUTRAL = "neutral"
+
+
+DEFAULT_CONFIG_RELPATH = Path("analysis") / "zones.toml"
+
+
+@dataclass
+class ZoneConfig:
+    """Parsed ``zones.toml``: zone patterns plus rule-scoping roles."""
+
+    zones: dict[Zone, list[str]] = field(default_factory=dict)
+    #: Modules whose error handling must fail closed (EL2xx scope).
+    fail_closed: list[str] = field(default_factory=list)
+    #: Proof (de)serialisation modules (EL204 scope).
+    wire: list[str] = field(default_factory=list)
+    #: The module defining CRASH_SITES (EL302/EL303 anchor).
+    crash_plan: str = "repro.faults.plan"
+    #: Modules allowed to catch SimulatedCrash (the harness, by design).
+    crash_catchers: list[str] = field(default_factory=list)
+    #: Where every registered metric name must be documented (EL402).
+    telemetry_doc: str = "docs/observability.md"
+    #: ``component.noun[.verb]`` metric-name convention (EL401).
+    metric_name_pattern: str = r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+){1,3}$"
+
+    def zone_of(self, module: str) -> Zone:
+        """Classify a dotted module name (NEUTRAL when nothing matches)."""
+        best: tuple[int, int, Zone] | None = None
+        for zone, patterns in self.zones.items():
+            for pattern in patterns:
+                if module == pattern:
+                    exactness, length = 1, len(pattern)
+                elif fnmatch.fnmatchcase(module, pattern):
+                    exactness, length = 0, len(pattern)
+                else:
+                    continue
+                key = (exactness, length, zone)
+                if best is None or key[:2] > best[:2]:
+                    best = key
+        return best[2] if best is not None else Zone.NEUTRAL
+
+    def matches_any(self, module: str, patterns: list[str]) -> bool:
+        return any(fnmatch.fnmatchcase(module, p) for p in patterns)
+
+    def is_fail_closed(self, module: str) -> bool:
+        return (
+            self.zone_of(module) is Zone.ENCLAVE
+            or self.matches_any(module, self.fail_closed)
+        )
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    quote = None
+    for ch in line:
+        if quote:
+            out.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            out.append(ch)
+        elif ch == "#":
+            break
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _bracket_balance(text: str) -> int:
+    depth = 0
+    quote = None
+    for ch in text:
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+    return depth
+
+
+_QUOTED = re.compile(r"'([^']*)'|\"([^\"]*)\"")
+
+
+def _parse_toml_subset(text: str) -> dict:
+    """Parse the TOML subset ``zones.toml`` uses: tables, quoted strings,
+    and (possibly multiline) arrays of quoted strings.  Used only when
+    :mod:`tomllib` is unavailable (Python 3.10)."""
+    root: dict = {}
+    table = root
+    pending = ""
+    for raw in text.splitlines():
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if pending:
+            pending += " " + line
+        elif line.startswith("[") and line.endswith("]") and "=" not in line:
+            table = root.setdefault(line[1:-1].strip(), {})
+            continue
+        else:
+            pending = line
+        key, _, value = pending.partition("=")
+        if value.lstrip().startswith("[") and _bracket_balance(value) > 0:
+            continue  # multiline array: keep accumulating
+        pending = ""
+        key, value = key.strip(), value.strip()
+        if value.startswith("["):
+            table[key] = [a or b for a, b in _QUOTED.findall(value)]
+        else:
+            match = _QUOTED.fullmatch(value)
+            if match is None:
+                raise ValueError(f"unsupported TOML value for {key!r}: {value}")
+            table[key] = match.group(1) or match.group(2) or ""
+    return root
+
+
+def load_zone_config(path: Path) -> ZoneConfig:
+    """Load ``zones.toml``; unknown keys are rejected to keep the file honest."""
+    if tomllib is not None:
+        with open(path, "rb") as fh:
+            raw = tomllib.load(fh)
+    else:
+        raw = _parse_toml_subset(path.read_text(encoding="utf-8"))
+    config = ZoneConfig()
+    zones_raw = raw.pop("zones", {})
+    for name, patterns in zones_raw.items():
+        config.zones[Zone(name)] = list(patterns)
+    roles = raw.pop("roles", {})
+    config.fail_closed = list(roles.pop("fail_closed", []))
+    config.wire = list(roles.pop("wire", []))
+    config.crash_plan = roles.pop("crash_plan", config.crash_plan)
+    config.crash_catchers = list(roles.pop("crash_catchers", []))
+    telemetry = raw.pop("telemetry", {})
+    config.telemetry_doc = telemetry.pop("doc", config.telemetry_doc)
+    config.metric_name_pattern = telemetry.pop(
+        "name_pattern", config.metric_name_pattern
+    )
+    leftovers = (
+        [f"top-level [{key}]" for key in raw]
+        + [f"roles.{key}" for key in roles]
+        + [f"telemetry.{key}" for key in telemetry]
+    )
+    if leftovers:
+        raise ValueError(f"unknown keys in {path}: {', '.join(leftovers)}")
+    return config

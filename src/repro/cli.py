@@ -14,6 +14,9 @@ Commands:
 * ``crash-test`` — the crash-consistency harness: crash the store at
   every registered crash point (plus random points, a rollback attack,
   and an fsync-dropping device) and verify recovery (docs/robustness.md).
+* ``lint`` — the trust-boundary invariant checker (``repro.analysis``):
+  AST rules for enclave/untrusted separation, fail-closed verification,
+  crash hygiene, and telemetry naming (docs/static-analysis.md).
 
 ``bench`` and ``ycsb`` accept ``--metrics-out <path>`` to dump the run's
 telemetry: JSON (metrics snapshot + spans) by default, or Prometheus
@@ -329,6 +332,121 @@ def cmd_crash_test(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_lint(args) -> int:
+    """The `lint` command: run the trust-boundary invariant checker."""
+    from pathlib import Path
+
+    from repro.analysis import (
+        ALL_RULES,
+        AnalysisError,
+        Severity,
+        load_baseline,
+        load_zone_config,
+        run_analysis,
+        write_baseline,
+    )
+    from repro.analysis.zones import DEFAULT_CONFIG_RELPATH
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parents[2]
+    config_path = root / DEFAULT_CONFIG_RELPATH
+    if not config_path.is_file():
+        print(f"zone config not found: {config_path}", file=sys.stderr)
+        return 2
+    try:
+        config = load_zone_config(config_path)
+        findings = run_analysis(
+            root, config, rule_filter=args.rule or None
+        )
+    except (AnalysisError, ValueError) as exc:
+        print(f"lint failed to run: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else root / "analysis" / "baseline.json"
+    try:
+        baseline = load_baseline(baseline_path)
+    except ValueError as exc:
+        print(f"lint failed to run: {exc}", file=sys.stderr)
+        return 2
+    new, baselined, expired = baseline.split(findings)
+
+    if args.update_baseline:
+        write_baseline(baseline_path, findings)
+        print(
+            f"baseline updated: {len(findings)} finding(s) accepted, "
+            f"{len(expired)} expired entr(y/ies) pruned -> {baseline_path}"
+        )
+        return 0
+
+    shown = findings if args.all else new
+    for finding in shown:
+        if args.format == "github":
+            print(finding.format_github())
+        else:
+            print(finding.format_text())
+
+    # report()-style summary: rule counts by severity.
+    by_rule: dict[str, int] = {}
+    for finding in new:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    summary = {
+        "files_checked": "src/repro",
+        "findings_total": len(findings),
+        "findings_new": len(new),
+        "findings_baselined": len(baselined),
+        "baseline_expired": len(expired),
+        "errors_new": sum(
+            1 for f in new if f.severity is Severity.ERROR
+        ),
+        "warnings_new": sum(
+            1 for f in new if f.severity is Severity.WARNING
+        ),
+        "by_rule": {
+            rule: {
+                "count": count,
+                "severity": ALL_RULES[rule][0].value,
+                "summary": ALL_RULES[rule][1],
+            }
+            for rule, count in sorted(by_rule.items())
+        },
+    }
+    if args.json_out:
+        _write_json(
+            args.json_out,
+            {
+                **summary,
+                "findings": [
+                    {
+                        "rule": f.rule,
+                        "severity": f.severity.value,
+                        "path": f.path,
+                        "line": f.line,
+                        "message": f.message,
+                        "fingerprint": f.fingerprint,
+                        "baselined": f.fingerprint in baseline.entries,
+                    }
+                    for f in findings
+                ],
+            },
+        )
+        print(f"results written to {args.json_out}")
+    if new:
+        print()
+    print(
+        f"lint: {len(new)} new finding(s) "
+        f"({summary['errors_new']} error(s), {summary['warnings_new']} "
+        f"warning(s)), {len(baselined)} baselined, {len(expired)} expired "
+        f"baseline entr(y/ies)"
+    )
+    for rule, info in summary["by_rule"].items():
+        print(f"  {rule} [{info['severity']}] x{info['count']}  {info['summary']}")
+    if expired:
+        print(
+            "  note: expired baseline entries remain in "
+            f"{baseline_path.name}; run with --update-baseline to prune"
+        )
+    return 1 if new else 0
+
+
 def cmd_audit(args) -> int:
     """The `audit` command: whole-store integrity audit (optionally tampered)."""
     from repro.core.adversary import tamper_sstable_byte
@@ -438,6 +556,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dump merged telemetry (JSON, or Prometheus "
                             "text for .prom/.txt paths)")
     crash.set_defaults(fn=cmd_crash_test)
+
+    lint = sub.add_parser(
+        "lint", help="trust-boundary invariant checker (repro.analysis)"
+    )
+    lint.add_argument("--format", choices=["text", "github"], default="text",
+                      help="finding output style (github = workflow "
+                           "annotations)")
+    lint.add_argument("--rule", action="append", default=None, metavar="EL###",
+                      help="run only these rule ids (repeatable; for local "
+                           "iteration)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="baseline file (default analysis/baseline.json)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="accept all current findings into the baseline "
+                           "(prunes expired entries)")
+    lint.add_argument("--all", action="store_true",
+                      help="print baselined findings too, not just new ones")
+    lint.add_argument("--json-out", default=None, metavar="PATH",
+                      help="write findings + rule-count summary as JSON")
+    lint.add_argument("--root", default=None, metavar="DIR",
+                      help="repo root override (default: inferred from the "
+                           "installed package)")
+    lint.set_defaults(fn=cmd_lint)
 
     audit = sub.add_parser("audit", help="full-store integrity audit demo")
     audit.add_argument("--tamper", action="store_true",

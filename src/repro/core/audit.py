@@ -14,16 +14,19 @@ O(log n) per query; the audit verifies O(dataset) once.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 
 from repro.core.digest import DigestRegistry
 from repro.core.proofs import EmbeddedProof
-from repro.cryptoprim.hashing import hash_leaf
+from repro.cryptoprim.hashing import constant_time_eq, hash_leaf
 from repro.lsm.db import LSMStore
 from repro.lsm.records import encode_record
+from repro.lsm.sstable import BlockCorruptionError
 from repro.mht.chain import fold_chain
 from repro.mht.incremental import OrderingError, StreamingLevelDigester
 from repro.mht.merkle import ProofError, compute_root
+from repro.sim.disk import StorageFailure
 
 
 @dataclass
@@ -119,11 +122,18 @@ def _audit_level(
             digester.add(record.key, record.ts, encode_record(record))
             entries.append((record, aux))
             out.records += 1
-    except (OrderingError, Exception) as exc:  # noqa: BLE001 - report, not raise
+    except (
+        OrderingError,
+        BlockCorruptionError,
+        StorageFailure,
+        struct.error,  # torn record decodes
+        ValueError,
+        KeyError,
+    ) as exc:
         out.problems.append(f"level stream corrupt: {exc}")
         return out
     tree = digester.finalize()
-    out.root_matches = tree.root == digest.root
+    out.root_matches = constant_time_eq(tree.root, digest.root)
     out.leaf_count_matches = tree.leaf_count == digest.leaf_count
     if not out.root_matches:
         out.problems.append("recomputed root differs from the trusted root")
@@ -163,9 +173,9 @@ def _embedded_proof_ok(record, aux, tree, digest) -> bool:
         return False
     leaf = hash_leaf(fold_chain(prefix, proof.older_digest))
     try:
-        return (
-            compute_root(leaf, proof.leaf_index, digest.leaf_count, list(proof.path))
-            == digest.root
+        return constant_time_eq(
+            compute_root(leaf, proof.leaf_index, digest.leaf_count, list(proof.path)),
+            digest.root,
         )
     except ProofError:
         return False

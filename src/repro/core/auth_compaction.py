@@ -22,7 +22,7 @@ from __future__ import annotations
 from repro.core.digest import DigestRegistry, LevelDigest
 from repro.core.errors import IntegrityViolation
 from repro.core.proofs import EmbeddedProof
-from repro.cryptoprim.hashing import tagged_hash
+from repro.cryptoprim.hashing import constant_time_eq, tagged_hash
 from repro.lsm.events import CompactionContext, EventListener
 from repro.lsm.records import Record, encode_record
 from repro.lsm.sstable import Entry
@@ -106,7 +106,10 @@ class AuthCompactionListener(EventListener):
         for level, digester in ctx.state["input_digesters"].items():
             tree = digester.finalize()
             trusted = self.registry.get(level)
-            if tree.root != trusted.root or tree.leaf_count != trusted.leaf_count:
+            if (
+                not constant_time_eq(tree.root, trusted.root)
+                or tree.leaf_count != trusted.leaf_count
+            ):
                 raise IntegrityViolation(
                     f"compaction input at level {level} failed authentication"
                 )

@@ -35,6 +35,7 @@ from repro.core.proofs import (
     ScanProof,
 )
 from repro.core.verifier import Verifier
+from repro.cryptoprim.hashing import constant_time_eq
 from repro.lsm.db import LSMConfig, LSMStore
 from repro.lsm.records import Record
 from repro.sgx.counter import BufferedCounterAnchor, TrustedMonotonicCounter
@@ -766,12 +767,13 @@ class ELSMP2Store:
         seen: list[Record] = []
         accepted: list[Record] = []
         accepted_end = 0
-        matched = digest == target  # an empty log matches the reset digest
+        # An empty log matches the reset digest.
+        matched = constant_time_eq(digest, target)
         for record, end in self.db.wal.replay_entries():
             digest = advance_wal_digest(digest, record)
             self.env.trusted_hash(record.approximate_bytes() + 32)
             seen.append(record)
-            if digest == target:
+            if constant_time_eq(digest, target):
                 accepted = list(seen)
                 accepted_end = end
                 matched = True

@@ -38,7 +38,12 @@ from repro.core.proofs import (
     RangeLevelProof,
     ScanProof,
 )
-from repro.cryptoprim.hashing import HASH_LEN, hash_internal, hash_leaf
+from repro.cryptoprim.hashing import (
+    HASH_LEN,
+    constant_time_eq,
+    hash_internal,
+    hash_leaf,
+)
 from repro.lsm.records import Record, encode_record
 from repro.mht.chain import fold_chain
 from repro.mht.merkle import ProofError
@@ -513,7 +518,7 @@ class Verifier:
         except ProofError as exc:
             raise IntegrityViolation(f"range cover malformed: {exc}") from exc
         self._charge(HASH_LEN * 2 * max(1, len(entry.cover_hashes) + len(leaves)))
-        if root != digest.root:
+        if not constant_time_eq(root, digest.root):
             raise IntegrityViolation("range cover does not match the level root")
         return results
 
@@ -597,7 +602,7 @@ class Verifier:
         while width > 1:
             if cache is not None:
                 known = cache.lookup(root, tree_level, idx)
-                if known is not None and known == node:
+                if known is not None and constant_time_eq(known, node):
                     # Already verified up to this root from this rung.
                     self._charge(HASH_LEN * 2 * (hashed + 1))
                     for lvl, i, h in computed:
@@ -618,7 +623,7 @@ class Verifier:
             tree_level += 1
             computed.append((tree_level, idx, node))
         self._charge(HASH_LEN * 2 * (hashed + 1))
-        if node != root:
+        if not constant_time_eq(node, root):
             raise IntegrityViolation("authentication path does not match root")
         if cache is not None:
             for lvl, i, h in computed:

@@ -11,6 +11,7 @@ crypto strength.
 
 from repro.cryptoprim.hashing import (
     HASH_LEN,
+    constant_time_eq,
     hash_chain_node,
     hash_internal,
     hash_leaf,
@@ -23,6 +24,7 @@ from repro.cryptoprim.value_encrypt import ValueCipher
 
 __all__ = [
     "HASH_LEN",
+    "constant_time_eq",
     "sha256",
     "tagged_hash",
     "hash_leaf",

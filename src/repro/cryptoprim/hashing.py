@@ -11,6 +11,7 @@ input").
 from __future__ import annotations
 
 import hashlib
+import hmac
 import struct
 
 HASH_LEN = 32
@@ -23,6 +24,18 @@ _TAG_CHAIN = b"elsm/chain"
 def sha256(data: bytes) -> bytes:
     """Plain SHA-256."""
     return hashlib.sha256(data).digest()
+
+
+def constant_time_eq(a: bytes, b: bytes) -> bool:
+    """Fail-closed digest equality (``hmac.compare_digest``).
+
+    Every root/digest/MAC comparison in enclave and verification code
+    goes through this single helper: constant-time, and a single audited
+    place where "trusted value equals untrusted claim" is decided.  The
+    EL203 lint rule (``python -m repro lint``) rejects bare ``==``/``!=``
+    on digest-shaped operands in those paths.
+    """
+    return hmac.compare_digest(a, b)
 
 
 def tagged_hash(tag: bytes, *parts: bytes) -> bytes:

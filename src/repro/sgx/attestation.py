@@ -42,7 +42,7 @@ def attest(enclave: "Enclave", report_data: bytes = b"") -> Quote:  # noqa: F821
 
 def verify_quote(quote: Quote, expected_measurement: bytes) -> bool:
     """Client-side verification against the expected code measurement."""
-    if quote.measurement != expected_measurement:
+    if not hmac.compare_digest(quote.measurement, expected_measurement):
         return False
     expect = hmac.new(
         _PLATFORM_KEY, quote.measurement + quote.report_data, hashlib.sha256

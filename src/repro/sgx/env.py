@@ -226,6 +226,15 @@ class ExecutionEnv:
         """Existence check against the simulated disk."""
         return self.disk.exists(name)
 
+    def file_size(self, name: str) -> int:
+        """Size of a file in bytes (a metadata stat, like file_exists).
+
+        Enclave-side callers must use this instead of reaching for
+        ``env.disk`` directly — the disk handle is untrusted territory
+        (lint rule EL102).
+        """
+        return self.disk.size(name)
+
     def file_list(self, prefix: str = "") -> list[str]:
         """Names of files starting with ``prefix`` (directory listing)."""
         return [n for n in self.disk.list_files() if n.startswith(prefix)]

@@ -16,6 +16,8 @@ import json
 from dataclasses import dataclass
 from typing import Any
 
+from repro.cryptoprim.hashing import constant_time_eq
+
 
 @dataclass(frozen=True)
 class SealedBlob:
@@ -90,13 +92,13 @@ def store_blob(env: "ExecutionEnv", name: str, blob: SealedBlob) -> None:  # noq
 
 def load_blob(env: "ExecutionEnv", name: str) -> SealedBlob:  # noqa: F821
     """Read a sealed blob back from untrusted storage."""
-    size = env.disk.size(name)
+    size = env.file_size(name)
     return decode_blob(env.file_read(name, 0, size))
 
 
 def unseal(enclave: "Enclave", blob: SealedBlob) -> dict[str, Any]:  # noqa: F821
     """Unseal a blob; fails if it was tampered with or sealed elsewhere."""
-    if blob.measurement != enclave.measurement:
+    if not constant_time_eq(blob.measurement, enclave.measurement):
         raise SealError("sealed by a different enclave identity")
     expect = hmac.new(
         enclave.sealing_key, enclave.measurement + blob.ciphertext, hashlib.sha256

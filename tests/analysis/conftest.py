@@ -1,0 +1,81 @@
+"""Fixture scaffolding: build scratch projects for the invariant checker.
+
+Each test writes a tiny fake ``repro`` package under a tmp directory,
+with its own ``analysis/zones.toml``, and runs the real engine over it —
+so every rule family is exercised against seeded violations without
+touching the actual codebase.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import load_zone_config, run_analysis
+
+FIXTURE_ZONES = """\
+[zones]
+enclave = ["repro.enc.*", "repro.enclave_mod"]
+untrusted = ["repro.host.*"]
+boundary = ["repro.bound"]
+
+[roles]
+fail_closed = ["repro.fc"]
+wire = ["repro.wireish"]
+crash_plan = "repro.plan"
+crash_catchers = ["repro.catcher"]
+
+[telemetry]
+doc = "docs/obs.md"
+"""
+
+
+class Project:
+    """A scratch repo the engine can index."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.package_dir = root / "src" / "repro"
+        self.package_dir.mkdir(parents=True)
+        (root / "analysis").mkdir()
+        self.write_zones(FIXTURE_ZONES)
+        (root / "docs").mkdir()
+        (root / "docs" / "obs.md").write_text("`ok.metric` is documented\n")
+
+    def write_zones(self, content: str) -> None:
+        (self.root / "analysis" / "zones.toml").write_text(content)
+
+    def add_module(self, dotted: str, source: str) -> Path:
+        """Write ``repro.<dotted>`` (e.g. ``enc.verifier``) into the tree."""
+        parts = dotted.split(".")
+        path = self.package_dir.joinpath(*parts).with_suffix(".py")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    def add_test_file(self, name: str, source: str) -> Path:
+        tests_dir = self.root / "tests"
+        tests_dir.mkdir(exist_ok=True)
+        path = tests_dir / name
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    def lint(self, rules: list[str] | None = None):
+        config = load_zone_config(self.root / "analysis" / "zones.toml")
+        return run_analysis(
+            self.root,
+            config,
+            rule_filter=rules,
+            package_dir=self.package_dir,
+        )
+
+
+@pytest.fixture
+def project(tmp_path) -> Project:
+    return Project(tmp_path)
+
+
+def rules_of(findings) -> list[str]:
+    return [f.rule for f in findings]
