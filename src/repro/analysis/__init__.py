@@ -7,32 +7,56 @@ in constant time, verifiers reject rather than fall through on malformed
 proofs, and simulated power cuts are never swallowed by broad exception
 handlers.  ``repro.analysis`` turns that discipline into machine-checked
 invariants: an AST pass over ``src/repro`` with a zone model
-(``analysis/zones.toml``), rule IDs (EL1xx-EL4xx), per-line suppression
+(``analysis/zones.toml``), rule IDs (EL1xx-EL5xx), per-line suppression
 (``# elsm-lint: disable=EL###``), and a committed findings baseline so
 pre-existing debt never blocks CI while *new* violations always do.
 
-Run it as ``python -m repro lint``; see ``docs/static-analysis.md``.
+The EL5xx family goes beyond syntax: :mod:`repro.analysis.callgraph`
+builds a project-wide call graph and :mod:`repro.analysis.taint` runs a
+summary-based interprocedural taint fixpoint over it, checking the
+source -> sanitizer -> sink policy declared in the ``[taint]`` section
+of ``zones.toml`` (untrusted host bytes must be verified before
+reaching trusted state; enclave secrets must be sealed or hashed before
+reaching host-visible sinks; verification verdicts must gate control
+flow).
+
+Run it as ``python -m repro lint`` (``--changed-only`` for the
+git-diff dependency cone); see ``docs/static-analysis.md``.
 """
 
 from repro.analysis.baseline import Baseline, load_baseline, write_baseline
-from repro.analysis.engine import AnalysisError, ProjectIndex, run_analysis
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.engine import (
+    AnalysisError,
+    ProjectIndex,
+    dependency_cone,
+    git_changed_modules,
+    run_analysis,
+)
 from repro.analysis.model import Finding, Severity
 from repro.analysis.rules import ALL_RULES, RULE_DOCS, rule_severity
-from repro.analysis.zones import Zone, ZoneConfig, load_zone_config
+from repro.analysis.taint import TaintAnalysis, run_taint
+from repro.analysis.zones import TaintConfig, Zone, ZoneConfig, load_zone_config
 
 __all__ = [
     "ALL_RULES",
     "AnalysisError",
     "Baseline",
+    "CallGraph",
     "Finding",
     "ProjectIndex",
     "RULE_DOCS",
     "Severity",
+    "TaintAnalysis",
+    "TaintConfig",
     "Zone",
     "ZoneConfig",
+    "dependency_cone",
+    "git_changed_modules",
     "load_baseline",
     "load_zone_config",
     "rule_severity",
     "run_analysis",
+    "run_taint",
     "write_baseline",
 ]

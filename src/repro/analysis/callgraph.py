@@ -1,0 +1,404 @@
+"""Project-wide call graph over ``src/repro``.
+
+The taint pass (:mod:`repro.analysis.taint`) needs to know, for every
+``ast.Call`` in the project, *which function body* the call lands in —
+otherwise a tainted value laundered through two helper functions is
+invisible.  This module resolves calls to fully-qualified names
+(``repro.core.digest.DigestRegistry.set``) using only facts the
+:class:`~repro.analysis.engine.ProjectIndex` already holds:
+
+* module-level bindings from imports (including aliased imports and
+  ``from x import f as g``) and local ``def``/``class`` statements;
+* ``self.method()`` dispatch through the enclosing class and its
+  project-resolvable bases (a linearised base walk, not full MRO);
+* light local type inference: ``x = ClassName(...)``, annotated
+  parameters (``registry: DigestRegistry``), and instance attributes
+  assigned in ``__init__`` from annotated parameters or constructors.
+
+Resolution is deliberately *under*-approximate: a call we cannot pin to
+a project function stays unresolved and the taint pass falls back to
+"result carries the union of its argument taints".  That keeps the
+analysis sound for propagation without inventing spurious edges (an
+over-approximate graph would drown EL5xx in false flows).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import ProjectIndex
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class FunctionNode:
+    """One function or method body in the project."""
+
+    qualname: str  # "repro.core.verifier.Verifier.verify_get"
+    module: str  # "repro.core.verifier"
+    cls: str | None  # enclosing class qualname, None for module functions
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    params: tuple[str, ...]  # positional-or-kw + kw-only names, in order
+    is_method: bool
+
+
+@dataclass
+class ClassNode:
+    """One class: its methods, bases, and inferred attribute types."""
+
+    qualname: str  # "repro.core.verifier.Verifier"
+    module: str
+    name: str
+    bases: list[str] = field(default_factory=list)  # resolved qualnames
+    methods: dict[str, str] = field(default_factory=dict)  # name -> func qual
+    attr_types: dict[str, str] = field(default_factory=dict)  # attr -> class qual
+
+
+@dataclass
+class CallSite:
+    """Resolution of one ``ast.Call``: target (if any) plus display name."""
+
+    target: str | None  # resolved function/class qualname
+    display: str  # syntactic name, e.g. "env.file_read"
+    bound: bool  # instance call: receiver maps to param 0 ("self")
+
+
+class CallGraph:
+    """Functions, classes, and per-call resolution for one project index."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionNode] = {}
+        self.classes: dict[str, ClassNode] = {}
+        #: id(ast.Call) -> CallSite, valid for the lifetime of the index.
+        self.calls: dict[int, CallSite] = {}
+        #: callee qualname -> caller qualnames (for the fixpoint worklist).
+        self.callers: dict[str, set[str]] = {}
+        self.functions_of_module: dict[str, list[str]] = {}
+        self._bindings: dict[str, dict[str, tuple[str, str]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, index: ProjectIndex) -> "CallGraph":
+        graph = cls()
+        for name in sorted(index.modules):
+            graph._collect_definitions(index, name)
+        for name in sorted(index.modules):
+            graph._collect_bindings(index, name)
+        for cnode in graph.classes.values():
+            graph._infer_attr_types(cnode)
+        for name in sorted(index.modules):
+            graph._resolve_module_calls(name)
+        return graph
+
+    def _collect_definitions(self, index: ProjectIndex, modname: str) -> None:
+        module = index.modules[modname]
+        funcs: list[str] = []
+        for node in module.tree.body:
+            if isinstance(node, _FuncDef):
+                qual = f"{modname}.{node.name}"
+                self.functions[qual] = FunctionNode(
+                    qualname=qual,
+                    module=modname,
+                    cls=None,
+                    name=node.name,
+                    node=node,
+                    params=_param_names(node),
+                    is_method=False,
+                )
+                funcs.append(qual)
+            elif isinstance(node, ast.ClassDef):
+                cqual = f"{modname}.{node.name}"
+                cnode = ClassNode(qualname=cqual, module=modname, name=node.name)
+                self.classes[cqual] = cnode
+                for item in node.body:
+                    if not isinstance(item, _FuncDef):
+                        continue
+                    fqual = f"{cqual}.{item.name}"
+                    self.functions[fqual] = FunctionNode(
+                        qualname=fqual,
+                        module=modname,
+                        cls=cqual,
+                        name=item.name,
+                        node=item,
+                        params=_param_names(item),
+                        is_method=not _is_staticmethod(item),
+                    )
+                    cnode.methods[item.name] = fqual
+                    funcs.append(fqual)
+        self.functions_of_module[modname] = funcs
+
+    def _collect_bindings(self, index: ProjectIndex, modname: str) -> None:
+        """Name -> ("module"|"func"|"class", qualname) for one module."""
+        module = index.modules[modname]
+        bindings: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    bindings[local] = ("module", target)
+            elif isinstance(node, ast.ImportFrom):
+                base = ProjectIndex._resolve_from_import(node, modname)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    dotted = f"{base}.{alias.name}"
+                    bindings[local] = self._classify(dotted)
+        for name in module.tree.body:
+            if isinstance(name, _FuncDef):
+                bindings[name.name] = ("func", f"{modname}.{name.name}")
+            elif isinstance(name, ast.ClassDef):
+                bindings[name.name] = ("class", f"{modname}.{name.name}")
+        self._bindings[modname] = bindings
+        # Base classes become resolvable only once every module's
+        # definitions exist, so resolve them here.
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                cnode = self.classes[f"{modname}.{node.name}"]
+                for base in node.bases:
+                    resolved = self._resolve_name_chain(modname, base)
+                    if resolved and resolved[0] == "class":
+                        cnode.bases.append(resolved[1])
+
+    def _classify(self, dotted: str) -> tuple[str, str]:
+        if dotted in self.functions:
+            return ("func", dotted)
+        if dotted in self.classes:
+            return ("class", dotted)
+        return ("module", dotted)
+
+    # ------------------------------------------------------------------
+    # Type inference helpers
+    # ------------------------------------------------------------------
+    def _annotation_class(self, modname: str, node: ast.expr | None) -> str | None:
+        """Resolve an annotation AST to a project class qualname, if any."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            # "X | None": take whichever side resolves.
+            return self._annotation_class(modname, node.left) or self._annotation_class(
+                modname, node.right
+            )
+        if isinstance(node, ast.Subscript):
+            # Optional[X] / list[X]: only unwrap Optional-style wrappers.
+            head = _chain_of(node.value)
+            if head and head[-1] in ("Optional",):
+                return self._annotation_class(modname, node.slice)
+            return None
+        resolved = self._resolve_name_chain(modname, node)
+        if resolved and resolved[0] == "class":
+            return resolved[1]
+        return None
+
+    def _infer_attr_types(self, cnode: ClassNode) -> None:
+        """``self.attr`` types from annotations and method-body assigns."""
+        modname = cnode.module
+        # __init__ first so constructor-established types win ties.
+        order = sorted(
+            cnode.methods.values(), key=lambda q: not q.endswith(".__init__")
+        )
+        for fn in (self.functions[q].node for q in order):
+            ann = {
+                a.arg: self._annotation_class(modname, a.annotation)
+                for a in fn.args.args + fn.args.kwonlyargs
+            }
+            for stmt in ast.walk(fn):
+                target: ast.expr | None = None
+                value: ast.expr | None = None
+                annotation: ast.expr | None = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value, annotation = stmt.target, stmt.value, stmt.annotation
+                if (
+                    not isinstance(target, ast.Attribute)
+                    or not isinstance(target.value, ast.Name)
+                    or target.value.id != "self"
+                ):
+                    continue
+                inferred = self._annotation_class(modname, annotation)
+                if inferred is None and isinstance(value, ast.Name):
+                    inferred = ann.get(value.id)
+                if inferred is None and isinstance(value, ast.Call):
+                    resolved = self._resolve_name_chain(modname, value.func)
+                    if resolved and resolved[0] == "class":
+                        inferred = resolved[1]
+                if inferred is not None:
+                    cnode.attr_types.setdefault(target.attr, inferred)
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+    def _resolve_name_chain(
+        self, modname: str, node: ast.expr
+    ) -> tuple[str, str] | None:
+        """Resolve ``a.b.c`` through module bindings; no local variables."""
+        chain = _chain_of(node)
+        if not chain:
+            return None
+        bindings = self._bindings.get(modname, {})
+        head = bindings.get(chain[0])
+        if head is None:
+            return None
+        kind, qual = head
+        for part in chain[1:]:
+            if kind == "module":
+                kind, qual = self._classify(f"{qual}.{part}")
+            elif kind == "class":
+                cnode = self.classes.get(qual)
+                method = self._lookup_method(qual, part) if cnode else None
+                if method is None:
+                    return None
+                kind, qual = "func", method
+            else:
+                return None  # attribute of a function: not resolvable
+        return (kind, qual)
+
+    def _lookup_method(self, classqual: str, name: str) -> str | None:
+        """Method lookup through the class and its project bases."""
+        seen: set[str] = set()
+        stack = [classqual]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            cnode = self.classes.get(qual)
+            if cnode is None:
+                continue
+            if name in cnode.methods:
+                return cnode.methods[name]
+            stack.extend(cnode.bases)
+        return None
+
+    def _attr_type(self, classqual: str, attr: str) -> str | None:
+        seen: set[str] = set()
+        stack = [classqual]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            cnode = self.classes.get(qual)
+            if cnode is None:
+                continue
+            if attr in cnode.attr_types:
+                return cnode.attr_types[attr]
+            stack.extend(cnode.bases)
+        return None
+
+    def _resolve_module_calls(self, modname: str) -> None:
+        for fqual in self.functions_of_module[modname]:
+            fn = self.functions[fqual]
+            local_types = self._local_types(fn)
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Call):
+                    site = self._resolve_call(fn, node, local_types)
+                    self.calls[id(node)] = site
+                    if site.target is not None:
+                        self.callers.setdefault(site.target, set()).add(fqual)
+
+    def _local_types(self, fn: FunctionNode) -> dict[str, str]:
+        """Flow-insensitive variable -> class-qualname map for one body."""
+        types: dict[str, str] = {}
+        args = fn.node.args
+        for a in args.args + args.kwonlyargs + args.posonlyargs:
+            inferred = self._annotation_class(fn.module, a.annotation)
+            if inferred:
+                types[a.arg] = inferred
+        if fn.is_method and fn.cls and (args.posonlyargs or args.args):
+            first = (args.posonlyargs + args.args)[0].arg
+            types.setdefault(first, fn.cls)
+        for stmt in ast.walk(fn.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value, annotation = stmt.target, stmt.value, stmt.annotation
+            if not isinstance(target, ast.Name):
+                continue
+            inferred = self._annotation_class(fn.module, annotation)
+            if inferred is None and isinstance(value, ast.Call):
+                resolved = self._resolve_name_chain(fn.module, value.func)
+                if resolved and resolved[0] == "class":
+                    inferred = resolved[1]
+            if inferred is not None:
+                types.setdefault(target.id, inferred)
+        return types
+
+    def _resolve_call(
+        self, fn: FunctionNode, call: ast.Call, local_types: dict[str, str]
+    ) -> CallSite:
+        chain = _chain_of(call.func)
+        display = ".".join(chain) if chain else "<expr>"
+        if not chain:
+            return CallSite(target=None, display=display, bound=False)
+
+        # Pure module-scope resolution first: imported names, local defs,
+        # Class.method, module.func — an unbound (static-style) call.
+        resolved = self._resolve_name_chain(fn.module, call.func)
+        if resolved is not None:
+            kind, qual = resolved
+            if kind == "class":
+                # Constructor: report the class itself; the taint pass maps
+                # arguments onto __init__ when the class defines one.
+                return CallSite(target=qual, display=display, bound=False)
+            if kind == "func":
+                # Module-scope resolution is always a static-style access
+                # (func(), Class.method(), module.func()): arguments align
+                # with the callee's parameters from position 0.
+                return CallSite(target=qual, display=display, bound=False)
+            return CallSite(target=None, display=display, bound=False)
+
+        # Instance dispatch: head is a local variable (or self) whose
+        # class we inferred.
+        head_type = local_types.get(chain[0])
+        if head_type is not None:
+            # Walk intermediate attributes through inferred field types.
+            qual: str | None = head_type
+            for part in chain[1:-1]:
+                qual = self._attr_type(qual, part) if qual else None
+            if qual is not None and len(chain) >= 2:
+                method = self._lookup_method(qual, chain[-1])
+                if method is not None:
+                    return CallSite(target=method, display=display, bound=True)
+        return CallSite(target=None, display=display, bound=False)
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    args = fn.args
+    return tuple(
+        a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)
+    )
+
+
+def _is_staticmethod(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return any(
+        isinstance(d, ast.Name) and d.id == "staticmethod" for d in fn.decorator_list
+    )
+
+
+def _chain_of(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; [] for anything not a name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []

@@ -62,6 +62,9 @@ class ProjectIndex:
     metric_registrations: list[MetricRegistration] = field(default_factory=list)
     #: Raw text of the telemetry documentation page ("" when missing).
     telemetry_doc_text: str = ""
+    #: When set (``--changed-only``), only findings in these modules are
+    #: reported; cross-file facts still come from the whole project.
+    scope: set[str] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -226,8 +229,13 @@ def run_analysis(
     rule_filter: Iterable[str] | None = None,
     package_dir: Path | None = None,
     reference_dirs: Iterable[Path] = (),
+    index: ProjectIndex | None = None,
 ) -> list[Finding]:
-    """Index the project, run every (selected) rule, apply suppressions."""
+    """Index the project, run every (selected) rule, apply suppressions.
+
+    Pass a prebuilt ``index`` (e.g. one carrying a ``--changed-only``
+    scope) to skip re-indexing; ``root``/``config`` must then match it.
+    """
     from repro.analysis.rules import ALL_RULES, run_rules
 
     wanted = set(rule_filter) if rule_filter else None
@@ -238,12 +246,24 @@ def run_analysis(
                 f"unknown rule id(s): {', '.join(sorted(unknown))} "
                 f"(known: {', '.join(sorted(ALL_RULES))})"
             )
-    index = ProjectIndex.build(
-        root, config, package_dir=package_dir, reference_dirs=reference_dirs
+    if index is None:
+        index = ProjectIndex.build(
+            root, config, package_dir=package_dir, reference_dirs=reference_dirs
+        )
+    scoped_paths = (
+        None
+        if index.scope is None
+        else {
+            index.modules[name].relpath
+            for name in index.scope
+            if name in index.modules
+        }
     )
     findings = []
     for finding in run_rules(index):
         if wanted is not None and finding.rule not in wanted:
+            continue
+        if scoped_paths is not None and finding.path not in scoped_paths:
             continue
         module = _module_for_path(index, finding.path)
         if module is not None and module.suppressions.is_suppressed(
@@ -260,3 +280,65 @@ def _module_for_path(index: ProjectIndex, relpath: str):
         if module.relpath == relpath:
             return module
     return None
+
+
+# ----------------------------------------------------------------------
+# --changed-only support: git-diff-aware dependency cones
+# ----------------------------------------------------------------------
+def git_changed_modules(index: ProjectIndex) -> set[str] | None:
+    """Dotted names of indexed modules touched since HEAD (diff + untracked).
+
+    Returns ``None`` when git is unavailable or the root is not a work
+    tree — callers should fall back to a full run rather than guess.
+    """
+    import subprocess
+
+    by_relpath = {m.relpath: m.name for m in index.modules.values()}
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            cwd=index.root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            cwd=index.root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    changed: set[str] = set()
+    for line in diff.stdout.splitlines() + untracked.stdout.splitlines():
+        name = by_relpath.get(line.strip())
+        if name is not None:
+            changed.add(name)
+    return changed
+
+
+def dependency_cone(index: ProjectIndex, changed: set[str]) -> set[str]:
+    """``changed`` plus every module that (transitively) imports one.
+
+    A change to ``repro.core.wire`` can introduce findings in any module
+    that imports it (new taint flows, changed summaries), so the cone
+    follows reverse import edges to a fixpoint.
+    """
+    importers: dict[str, set[str]] = {}
+    for module in index.modules.values():
+        for target, _line in module.imports:
+            if target in index.modules:
+                importers.setdefault(target, set()).add(module.name)
+    cone = set(changed) & set(index.modules)
+    stack = list(cone)
+    while stack:
+        name = stack.pop()
+        for importer in importers.get(name, ()):
+            if importer not in cone:
+                cone.add(importer)
+                stack.append(importer)
+    return cone

@@ -27,10 +27,15 @@ _SUPPRESS_RE = re.compile(
 
 
 class Severity(str, Enum):
-    """How a finding is ranked in the summary (all new findings gate CI)."""
+    """How a finding is ranked in the summary.
+
+    New ERROR/WARNING findings gate CI; INFO findings (the EL104 zone
+    coverage self-check) are advisory and never affect the exit code.
+    """
 
     ERROR = "error"
     WARNING = "warning"
+    INFO = "info"
 
 
 @dataclass(frozen=True)
@@ -54,7 +59,12 @@ class Finding:
 
     def format_github(self) -> str:
         """A GitHub Actions workflow annotation line."""
-        kind = "error" if self.severity is Severity.ERROR else "warning"
+        if self.severity is Severity.ERROR:
+            kind = "error"
+        elif self.severity is Severity.WARNING:
+            kind = "warning"
+        else:
+            kind = "notice"
         return (
             f"::{kind} file={self.path},line={self.line},"
             f"title={self.rule}::{self.message}"

@@ -20,6 +20,12 @@ model) lives in :data:`RULE_DOCS` and is rendered into
   the registered ``CRASH_SITES`` must stay in bijection.
 * **EL4xx — telemetry/API hygiene.**  Registered metric names follow
   the ``component.noun[.verb]`` convention and are documented.
+* **EL5xx — interprocedural taint & secret flow.**  A call-graph
+  fixpoint (:mod:`repro.analysis.taint`) tracks untrusted host data and
+  enclave secrets through helper chains: untrusted bytes must pass a
+  sanitizer before any trusted-state sink, secrets must be sealed or
+  hashed before any host-visible sink, and verification verdicts must
+  gate control flow.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ ALL_RULES: dict[str, tuple[Severity, str]] = {
     "EL101": (Severity.ERROR, "enclave module imports an untrusted-zone module"),
     "EL102": (Severity.ERROR, "enclave module reads untrusted data outside the boundary"),
     "EL103": (Severity.ERROR, "proof-pool index used without a bounds check"),
+    "EL104": (Severity.INFO, "src module matched no zone pattern (coverage gap)"),
     "EL201": (Severity.ERROR, "bare `except:` clause"),
     "EL202": (Severity.ERROR, "broad exception handler in a fail-closed path"),
     "EL203": (Severity.ERROR, "digest compared with `==`/`!=` instead of constant_time_eq"),
@@ -46,6 +53,9 @@ ALL_RULES: dict[str, tuple[Severity, str]] = {
     "EL303": (Severity.ERROR, "registered crash site has no crash_point call site"),
     "EL401": (Severity.WARNING, "metric name violates the component.noun.verb convention"),
     "EL402": (Severity.WARNING, "registered metric name is missing from the telemetry docs"),
+    "EL501": (Severity.ERROR, "unsanitized untrusted data reaches a trusted-state sink"),
+    "EL502": (Severity.ERROR, "enclave secret flows to an untrusted/telemetry/log sink"),
+    "EL503": (Severity.ERROR, "verification result computed but discarded"),
 }
 
 #: Longer rationale per rule, tied to the paper's threat model.
@@ -115,6 +125,35 @@ RULE_DOCS: dict[str, str] = {
         "docs/observability.md so operators can find it; an undocumented "
         "counter is invisible telemetry."
     ),
+    "EL104": (
+        "A module no zone pattern matches gets NEUTRAL by default, which "
+        "silently exempts it from every zone-scoped rule. List new "
+        "packages in analysis/zones.toml - under zones.neutral if that "
+        "is the intent - so the exemption is a reviewed decision."
+    ),
+    "EL501": (
+        "The interprocedural taint fixpoint (repro.analysis.taint) "
+        "tracked a value from an untrusted source (copy_in, file_read, "
+        "proof pools, wire blobs) into a trusted-state sink "
+        "(DigestRegistry updates, seal inputs) without passing a "
+        "sanitizer (Verifier.verify_*, a magic-validating deserializer, "
+        "constant_time_eq). This is the exact attack of PAPER.md "
+        "Sections 4-5: the enclave acting on host bytes with no hash "
+        "path to a trusted root."
+    ),
+    "EL502": (
+        "Enclave secret material (sealing keys) reached a host-visible "
+        "sink - telemetry labels, log/exception text, store_blob, or any "
+        "untrusted-zone function - without being sealed or hashed first. "
+        "Secrets may only leave the enclave through the sanctioned "
+        "declassifiers (seal, tagged_hash)."
+    ),
+    "EL503": (
+        "A verification call's result was discarded (a bare expression "
+        "statement). Computing a verdict without letting it gate control "
+        "flow fails open - the caller proceeds identically whether "
+        "verification passed or failed."
+    ),
 }
 
 
@@ -137,11 +176,13 @@ def run_rules(index: ProjectIndex) -> Iterator[Finding]:
     yield from _el101_cross_zone_imports(index)
     yield from _el102_untrusted_reads(index)
     yield from _el103_pool_bounds(index)
+    yield from _el104_zone_coverage(index)
     yield from _el2xx_exception_hygiene(index)
     yield from _el203_digest_equality(index)
     yield from _el204_deserializer_shape(index)
     yield from _el30x_crash_sites(index)
     yield from _el4xx_telemetry(index)
+    yield from _el5xx_taint(index)
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +273,18 @@ def _el102_untrusted_reads(index: ProjectIndex) -> Iterator[Finding]:
                     f"enclave module imports IO module {target}; file IO "
                     f"must go through ExecutionEnv (an OCall)",
                 )
+
+
+def _el104_zone_coverage(index: ProjectIndex) -> Iterator[Finding]:
+    """INFO-level self-check: no src module may dodge zoning silently."""
+    for module in index.modules.values():
+        if index.config.explicit_zone_of(module.name) is None:
+            yield _finding(
+                "EL104", module, 1,
+                f"module {module.name} matches no pattern in "
+                f"analysis/zones.toml; add it (zones.neutral if that is "
+                f"deliberate) so zone-scoped rules cover it",
+            )
 
 
 _POOL_ATTRS = frozenset({"node_pool", "reveal_pool"})
@@ -503,3 +556,13 @@ def _el4xx_telemetry(index: ProjectIndex) -> Iterator[Finding]:
                 f"metric {reg.name!r} is registered here but not "
                 f"documented in {index.config.telemetry_doc}",
             )
+
+
+# ----------------------------------------------------------------------
+# EL5xx - interprocedural taint & secret flow
+# ----------------------------------------------------------------------
+def _el5xx_taint(index: ProjectIndex) -> Iterator[Finding]:
+    """Call-graph + fixpoint dataflow; see :mod:`repro.analysis.taint`."""
+    from repro.analysis.taint import run_taint
+
+    yield from run_taint(index)

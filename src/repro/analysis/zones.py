@@ -45,6 +45,39 @@ DEFAULT_CONFIG_RELPATH = Path("analysis") / "zones.toml"
 
 
 @dataclass
+class TaintConfig:
+    """The ``[taint]`` section: sources, sanitizers and sinks for EL5xx.
+
+    Every entry is an ``fnmatch`` pattern matched against the *resolved*
+    qualified name of a call/attribute when the call graph can resolve
+    it, and against the syntactic dotted form (``env.copy_in``) as a
+    fallback; a pattern without dots also matches as a dotted suffix
+    (``copy_in`` matches ``repro.sgx.env.ExecutionEnv.copy_in``).
+    """
+
+    #: Calls whose result is attacker-influenced host data.
+    untrusted_calls: list[str] = field(default_factory=list)
+    #: Attribute reads that yield host data (proof pools, raw blobs).
+    untrusted_attrs: list[str] = field(default_factory=list)
+    #: Functions whose (non-self) parameters arrive from the host.
+    untrusted_params: list[str] = field(default_factory=list)
+    #: Calls whose result is enclave secret material.
+    secret_calls: list[str] = field(default_factory=list)
+    #: Attribute reads that yield secret material (sealing keys).
+    secret_attrs: list[str] = field(default_factory=list)
+    #: Calls that launder UNTRUSTED (verification against a trusted root).
+    sanitizers: list[str] = field(default_factory=list)
+    #: Calls that launder SECRET (sealing/hashing is the sanctioned exit).
+    declassifiers: list[str] = field(default_factory=list)
+    #: Trusted-state writes that must never receive UNTRUSTED (EL501).
+    trusted_sinks: list[str] = field(default_factory=list)
+    #: Host-visible outputs that must never receive SECRET (EL502).
+    untrusted_sinks: list[str] = field(default_factory=list)
+    #: Verification calls whose result must not be discarded (EL503).
+    verifiers: list[str] = field(default_factory=list)
+
+
+@dataclass
 class ZoneConfig:
     """Parsed ``zones.toml``: zone patterns plus rule-scoping roles."""
 
@@ -61,9 +94,21 @@ class ZoneConfig:
     telemetry_doc: str = "docs/observability.md"
     #: ``component.noun[.verb]`` metric-name convention (EL401).
     metric_name_pattern: str = r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+){1,3}$"
+    #: Taint sources/sanitizers/sinks for the EL5xx dataflow rules.
+    taint: TaintConfig = field(default_factory=TaintConfig)
 
     def zone_of(self, module: str) -> Zone:
         """Classify a dotted module name (NEUTRAL when nothing matches)."""
+        zone = self.explicit_zone_of(module)
+        return zone if zone is not None else Zone.NEUTRAL
+
+    def explicit_zone_of(self, module: str) -> Zone | None:
+        """Like :meth:`zone_of`, but ``None`` when no pattern matched.
+
+        The distinction feeds EL104: a module may be *deliberately*
+        neutral (listed under ``zones.neutral``) or merely *unclassified*
+        (matched nothing) — only the latter is a coverage gap.
+        """
         best: tuple[int, int, Zone] | None = None
         for zone, patterns in self.zones.items():
             for pattern in patterns:
@@ -76,7 +121,7 @@ class ZoneConfig:
                 key = (exactness, length, zone)
                 if best is None or key[:2] > best[:2]:
                     best = key
-        return best[2] if best is not None else Zone.NEUTRAL
+        return best[2] if best is not None else None
 
     def matches_any(self, module: str, patterns: list[str]) -> bool:
         return any(fnmatch.fnmatchcase(module, p) for p in patterns)
@@ -179,10 +224,25 @@ def load_zone_config(path: Path) -> ZoneConfig:
     config.metric_name_pattern = telemetry.pop(
         "name_pattern", config.metric_name_pattern
     )
+    taint = raw.pop("taint", {})
+    for key in (
+        "untrusted_calls",
+        "untrusted_attrs",
+        "untrusted_params",
+        "secret_calls",
+        "secret_attrs",
+        "sanitizers",
+        "declassifiers",
+        "trusted_sinks",
+        "untrusted_sinks",
+        "verifiers",
+    ):
+        setattr(config.taint, key, list(taint.pop(key, [])))
     leftovers = (
         [f"top-level [{key}]" for key in raw]
         + [f"roles.{key}" for key in roles]
         + [f"telemetry.{key}" for key in telemetry]
+        + [f"taint.{key}" for key in taint]
     )
     if leftovers:
         raise ValueError(f"unknown keys in {path}: {', '.join(leftovers)}")

@@ -20,6 +20,7 @@ FIXTURE_ZONES = """\
 enclave = ["repro.enc.*", "repro.enclave_mod"]
 untrusted = ["repro.host.*"]
 boundary = ["repro.bound"]
+neutral = ["repro", "repro.*"]
 
 [roles]
 fail_closed = ["repro.fc"]
@@ -29,6 +30,18 @@ crash_catchers = ["repro.catcher"]
 
 [telemetry]
 doc = "docs/obs.md"
+
+[taint]
+untrusted_calls = ["host_read"]
+untrusted_attrs = ["node_pool"]
+untrusted_params = ["repro.wireish.deserialize_*"]
+secret_calls = ["derive_key"]
+secret_attrs = ["sealing_key"]
+sanitizers = ["verify_get", "deserialize_proof"]
+declassifiers = ["seal_up"]
+trusted_sinks = ["Registry.set", "registry.set"]
+untrusted_sinks = ["meter.inc", "Meter.inc", "file_write"]
+verifiers = ["verify_get", "constant_time_eq"]
 """
 
 
