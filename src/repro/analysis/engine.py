@@ -26,7 +26,9 @@ class AnalysisError(RuntimeError):
 
 @dataclass
 class MetricRegistration:
-    """One ``telemetry.counter/gauge/histogram("name", "description")`` site."""
+    """One named telemetry site: a ``counter/gauge/histogram("name",
+    "description")`` registration, a ``span("name")`` opening, or an
+    ``emit("kind")`` event emission."""
 
     name: str
     module: str
@@ -60,6 +62,10 @@ class ProjectIndex:
     #: site -> [(module-or-relpath, line)] for crash_point()/crash_at() literals.
     crash_refs: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
     metric_registrations: list[MetricRegistration] = field(default_factory=list)
+    #: ``.span("name")`` openings with a constant name.
+    span_registrations: list[MetricRegistration] = field(default_factory=list)
+    #: ``.emit("kind")`` event emissions with a constant kind.
+    event_emissions: list[MetricRegistration] = field(default_factory=list)
     #: Raw text of the telemetry documentation page ("" when missing).
     telemetry_doc_text: str = ""
     #: When set (``--changed-only``), only findings in these modules are
@@ -202,12 +208,21 @@ class ProjectIndex:
             func = node.func
             if not isinstance(func, ast.Attribute):
                 continue
-            if func.attr not in ("counter", "gauge", "histogram"):
+            if func.attr not in ("counter", "gauge", "histogram", "span", "emit"):
                 continue
             if not node.args or not isinstance(node.args[0], ast.Constant):
                 continue
             name = node.args[0].value
             if not isinstance(name, str):
+                continue
+            site = MetricRegistration(
+                name=name, module=module.name, line=node.lineno
+            )
+            if func.attr == "span":
+                self.span_registrations.append(site)
+                continue
+            if func.attr == "emit":
+                self.event_emissions.append(site)
                 continue
             # A *registration* carries a description; bare lookups
             # (``metrics.counter("wal.appends").total()``) do not.
@@ -218,9 +233,7 @@ class ProjectIndex:
             ) or any(kw.arg == "description" for kw in node.keywords)
             if not has_description:
                 continue
-            self.metric_registrations.append(
-                MetricRegistration(name=name, module=module.name, line=node.lineno)
-            )
+            self.metric_registrations.append(site)
 
 
 def run_analysis(

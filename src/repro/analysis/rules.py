@@ -534,28 +534,36 @@ def _el30x_crash_sites(index: ProjectIndex) -> Iterator[Finding]:
 # EL4xx - telemetry hygiene
 # ----------------------------------------------------------------------
 def _el4xx_telemetry(index: ProjectIndex) -> Iterator[Finding]:
-    pattern = re.compile(index.config.metric_name_pattern)
     doc = index.telemetry_doc_text
-    seen: set[tuple[str, str, int]] = set()
-    for reg in index.metric_registrations:
-        key = (reg.name, reg.module, reg.line)
-        if key in seen:
-            continue
-        seen.add(key)
-        module = index.modules[reg.module]
-        if not pattern.match(reg.name):
-            yield _finding(
-                "EL401", module, reg.line,
-                f"metric name {reg.name!r} does not match the "
-                f"component.noun[.verb] convention "
-                f"({index.config.metric_name_pattern})",
-            )
-        if doc and reg.name not in doc:
-            yield _finding(
-                "EL402", module, reg.line,
-                f"metric {reg.name!r} is registered here but not "
-                f"documented in {index.config.telemetry_doc}",
-            )
+    groups = (
+        ("metric", index.metric_registrations,
+         index.config.metric_name_pattern),
+        ("span", index.span_registrations,
+         index.config.span_name_pattern),
+        ("event", index.event_emissions,
+         index.config.event_name_pattern),
+    )
+    seen: set[tuple[str, str, str, int]] = set()
+    for kind, registrations, raw_pattern in groups:
+        pattern = re.compile(raw_pattern)
+        for reg in registrations:
+            key = (kind, reg.name, reg.module, reg.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            module = index.modules[reg.module]
+            if not pattern.match(reg.name):
+                yield _finding(
+                    "EL401", module, reg.line,
+                    f"{kind} name {reg.name!r} does not match the "
+                    f"component.noun[.verb] convention ({raw_pattern})",
+                )
+            if doc and reg.name not in doc:
+                yield _finding(
+                    "EL402", module, reg.line,
+                    f"{kind} {reg.name!r} is registered here but not "
+                    f"documented in {index.config.telemetry_doc}",
+                )
 
 
 # ----------------------------------------------------------------------

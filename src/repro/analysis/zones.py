@@ -94,6 +94,10 @@ class ZoneConfig:
     telemetry_doc: str = "docs/observability.md"
     #: ``component.noun[.verb]`` metric-name convention (EL401).
     metric_name_pattern: str = r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+){1,3}$"
+    #: Span-name convention (EL401 over ``.span("name")`` openings).
+    span_name_pattern: str = r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+){1,2}$"
+    #: Event-kind convention (EL401 over ``.emit("kind")`` sites).
+    event_name_pattern: str = r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+){1,3}$"
     #: Taint sources/sanitizers/sinks for the EL5xx dataflow rules.
     taint: TaintConfig = field(default_factory=TaintConfig)
 
@@ -223,6 +227,12 @@ def load_zone_config(path: Path) -> ZoneConfig:
     config.telemetry_doc = telemetry.pop("doc", config.telemetry_doc)
     config.metric_name_pattern = telemetry.pop(
         "name_pattern", config.metric_name_pattern
+    )
+    config.span_name_pattern = telemetry.pop(
+        "span_name_pattern", config.span_name_pattern
+    )
+    config.event_name_pattern = telemetry.pop(
+        "event_name_pattern", config.event_name_pattern
     )
     taint = raw.pop("taint", {})
     for key in (

@@ -1,0 +1,206 @@
+"""Perf-trajectory history: the append-only record of perf-baseline runs.
+
+``BENCH_perf.json`` is a *snapshot* — the one committed baseline CI
+regresses against.  This module keeps the *trajectory*: every
+``perf-baseline --history`` run appends one timestamped JSONL record to
+``BENCH_history.jsonl`` (committed at the repo root), so performance
+over the life of the repo is a first-class, queryable artifact rather
+than something archaeologically reconstructed from git blame.
+
+``python -m repro perf-report`` renders the history as a CSV table and
+a markdown trajectory, flagging regressions: a record whose ``batch_us``
+exceeds the *previous* record of the same profile by more than the
+tolerance is marked ``REGRESSION`` (the simulated clock is
+deterministic, so any drift is a real code change, not noise).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+
+HISTORY_SCHEMA = 1
+DEFAULT_HISTORY_RELPATH = "BENCH_history.jsonl"
+#: Same bar as the CI perf-smoke check (see repro.bench.perf_baseline).
+REGRESSION_TOLERANCE = 0.15
+
+#: The result fields a history record carries (the trajectory columns).
+RECORD_FIELDS = (
+    "profile",
+    "batch_us",
+    "sequential_us",
+    "us_saved_pct",
+    "batch_proof_bytes",
+    "sequential_proof_bytes",
+    "proof_bytes_saved_pct",
+)
+
+
+def _utc_now_iso() -> str:
+    from datetime import datetime, timezone
+
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _git_commit(cwd: str | None = None) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def history_record(
+    result: dict, timestamp: str | None = None, commit: str | None = None
+) -> dict:
+    """One JSONL record from a :func:`run_perf_baseline` result."""
+    record = {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": timestamp or _utc_now_iso(),
+        "commit": commit or _git_commit(),
+    }
+    for field in RECORD_FIELDS:
+        record[field] = result[field]
+    return record
+
+
+def append_history(path: str, record: dict) -> None:
+    """Append one record to the history file (created if missing)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_history(path: str) -> list[dict]:
+    """All records, oldest first.  Raises ValueError on a corrupt line."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: corrupt history line: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: history line is not an object"
+                )
+            records.append(record)
+    return records
+
+
+def flag_records(
+    records: list[dict], tolerance: float = REGRESSION_TOLERANCE
+) -> list[dict]:
+    """Copy of ``records`` with a ``flag`` on each: compared to the
+    previous record of the *same profile*, ``REGRESSION`` past the
+    tolerance, ``improved`` past it the other way, else ``ok`` (the
+    first record of a profile is the ``baseline``)."""
+    flagged = []
+    last_by_profile: dict[str, float] = {}
+    for record in records:
+        record = dict(record)
+        profile = record.get("profile", "default")
+        batch_us = float(record.get("batch_us", 0.0))
+        prev = last_by_profile.get(profile)
+        if prev is None:
+            record["flag"] = "baseline"
+        elif prev > 0 and batch_us > prev * (1.0 + tolerance):
+            record["flag"] = "REGRESSION"
+        elif prev > 0 and batch_us < prev * (1.0 - tolerance):
+            record["flag"] = "improved"
+        else:
+            record["flag"] = "ok"
+        last_by_profile[profile] = batch_us
+        flagged.append(record)
+    return flagged
+
+
+def to_csv(records: list[dict]) -> str:
+    """The trajectory as CSV (flag column included)."""
+    import csv
+    import io
+
+    columns = ["timestamp", "commit", *RECORD_FIELDS, "flag"]
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for record in flag_records(records):
+        writer.writerow(record)
+    return buf.getvalue()
+
+
+def to_markdown(
+    records: list[dict], tolerance: float = REGRESSION_TOLERANCE
+) -> str:
+    """The trajectory as a markdown report, one table per profile."""
+    flagged = flag_records(records, tolerance=tolerance)
+    lines = ["# Perf trajectory", ""]
+    if not flagged:
+        lines.append("_No history records yet._")
+        return "\n".join(lines) + "\n"
+    regressions = [r for r in flagged if r["flag"] == "REGRESSION"]
+    lines.append(
+        f"{len(flagged)} record(s); "
+        f"{len(regressions)} flagged regression(s) "
+        f"(tolerance {tolerance:.0%} vs the previous run of a profile)."
+    )
+    lines.append("")
+    profiles = sorted({r.get("profile", "default") for r in flagged})
+    for profile in profiles:
+        rows = [r for r in flagged if r.get("profile", "default") == profile]
+        lines.append(f"## profile `{profile}`")
+        lines.append("")
+        lines.append(
+            "| timestamp | commit | batch_us | saved % | proof B saved % "
+            "| flag |"
+        )
+        lines.append("|---|---|---:|---:|---:|---|")
+        for r in rows:
+            lines.append(
+                f"| {r.get('timestamp', '?')} | {r.get('commit', '?')} "
+                f"| {r.get('batch_us', 0.0)} | {r.get('us_saved_pct', 0.0)} "
+                f"| {r.get('proof_bytes_saved_pct', 0.0)} | {r['flag']} |"
+            )
+        first, last = rows[0], rows[-1]
+        try:
+            delta = float(last["batch_us"]) - float(first["batch_us"])
+            lines.append("")
+            lines.append(
+                f"Net change since first record: {delta:+.1f} us batch time "
+                f"({first['batch_us']} → {last['batch_us']})."
+            )
+        except (KeyError, TypeError, ValueError):
+            pass
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def regression_summary(
+    records: list[dict], tolerance: float = REGRESSION_TOLERANCE
+) -> list[str]:
+    """Human-readable lines for every flagged regression."""
+    problems = []
+    for record in flag_records(records, tolerance=tolerance):
+        if record["flag"] == "REGRESSION":
+            problems.append(
+                f"{record.get('timestamp', '?')} "
+                f"({record.get('commit', '?')}, "
+                f"profile {record.get('profile', '?')}): "
+                f"batch_us {record.get('batch_us')} regressed past "
+                f"{tolerance:.0%} tolerance"
+            )
+    return problems

@@ -17,10 +17,17 @@ Commands:
 * ``lint`` — the trust-boundary invariant checker (``repro.analysis``):
   AST rules for enclave/untrusted separation, fail-closed verification,
   crash hygiene, and telemetry naming (docs/static-analysis.md).
+* ``trace-report`` — cost-attribution analysis of one or more exported
+  Chrome traces: top-down cost tree, critical path, most expensive span
+  types (docs/observability.md).
+* ``perf-report`` — render the committed ``BENCH_history.jsonl``
+  trajectory as CSV/markdown with regression flags.
 
-``bench`` and ``ycsb`` accept ``--metrics-out <path>`` to dump the run's
-telemetry: JSON (metrics snapshot + spans) by default, or Prometheus
-text when the path ends in ``.prom``/``.txt`` (see docs/observability.md).
+Every command that runs a store accepts the shared output flags:
+``--metrics-out`` (JSON metrics+spans+events, or Prometheus text for
+``.prom``/``.txt`` paths), ``--trace-out`` (Chrome trace-event JSON —
+load it in Perfetto), and ``--events-out`` (structured-event JSONL).
+See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -37,6 +44,67 @@ def _write_json(path: str, payload: dict) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True, default=str)
         fh.write("\n")
+
+
+def _add_output_flags(parser) -> None:
+    """The shared telemetry-export flags, identical on every command
+    that runs a store (bench, ycsb, perf-baseline, crash-test, audit)."""
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="dump the run's telemetry (JSON, or Prometheus "
+                             "text for .prom/.txt paths)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="export a Chrome trace-event JSON file "
+                             "(Perfetto-loadable; feed it to trace-report)")
+    parser.add_argument("--events-out", default=None, metavar="PATH",
+                        help="write the structured event log as JSONL")
+
+
+def _wants_outputs(args) -> bool:
+    """True when any shared output flag was passed."""
+    return bool(
+        getattr(args, "metrics_out", None)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "events_out", None)
+    )
+
+
+def _write_run_outputs(args, source) -> None:
+    """Honour the shared output flags for one finished run.
+
+    ``source`` is either the active :class:`~repro.telemetry.TelemetryHub`
+    (commands whose runs build many stores) or a single
+    :class:`~repro.telemetry.Telemetry`; every exporter feeds off the
+    same normalised view, so a new exporter is one extra branch here
+    rather than one per command.
+    """
+    from repro.telemetry import (
+        TelemetryHub,
+        write_events_file,
+        write_metrics_file,
+        write_trace_file,
+    )
+
+    if not _wants_outputs(args):
+        return
+    if isinstance(source, TelemetryHub):
+        snapshot = source.merged_snapshot()
+        spans = source.spans()
+        events = source.events()
+        trace_sources = source.trace_sources()
+    else:
+        snapshot = source.metrics.snapshot()
+        spans = source.tracer.export()
+        events = source.events.export()
+        trace_sources = [source.trace_source()]
+    if args.metrics_out:
+        write_metrics_file(args.metrics_out, snapshot, spans, events)
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out:
+        write_trace_file(args.trace_out, trace_sources)
+        print(f"trace written to {args.trace_out}")
+    if args.events_out:
+        write_events_file(args.events_out, events)
+        print(f"events written to {args.events_out}")
 
 
 def _experiment_registry():
@@ -109,7 +177,7 @@ def cmd_list_experiments(_args) -> int:
 
 def cmd_bench(args) -> int:
     """The `bench` command: run one figure reproduction and print it."""
-    from repro.telemetry import HUB, write_metrics_file
+    from repro.telemetry import HUB
 
     registry = _experiment_registry()
     if args.experiment not in registry:
@@ -129,17 +197,13 @@ def cmd_bench(args) -> int:
         lsm_db.DEFAULT_WAL_SYNC_EVERY = args.wal_sync_every
     # An experiment constructs many stores internally; the hub merges
     # their per-store registries into one exportable snapshot.
-    if args.metrics_out:
+    if _wants_outputs(args):
         HUB.activate()
     try:
         result = registry[args.experiment](ops=args.ops)
-        if args.metrics_out:
-            write_metrics_file(
-                args.metrics_out, HUB.merged_snapshot(), HUB.spans()
-            )
-            print(f"metrics written to {args.metrics_out}")
+        _write_run_outputs(args, HUB)
     finally:
-        if args.metrics_out:
+        if _wants_outputs(args):
             HUB.deactivate()
     if args.json_out:
         _write_json(
@@ -238,20 +302,13 @@ def cmd_ycsb(args) -> int:
                     payload[field] = report[field]
         _write_json(args.json_out, payload)
         print(f"results written to {args.json_out}")
-    if args.metrics_out:
-        from repro.telemetry import write_metrics_file
-
-        write_metrics_file(
-            args.metrics_out,
-            store.telemetry.metrics.snapshot(),
-            store.telemetry.tracer.export(),
-        )
-        print(f"metrics written to {args.metrics_out}")
+    _write_run_outputs(args, store.telemetry)
     return 0
 
 
 def cmd_perf_baseline(args) -> int:
     """The `perf-baseline` command: sequential vs batched verified reads."""
+    from repro.bench.history import append_history, history_record
     from repro.bench.perf_baseline import (
         acceptance_problems,
         format_result,
@@ -259,8 +316,17 @@ def cmd_perf_baseline(args) -> int:
         run_perf_baseline,
         write_baseline,
     )
+    from repro.telemetry import HUB
 
-    result = run_perf_baseline(quick=args.quick)
+    # The baseline builds two stores internally; the hub merges them.
+    if _wants_outputs(args):
+        HUB.activate()
+    try:
+        result = run_perf_baseline(quick=args.quick)
+        _write_run_outputs(args, HUB)
+    finally:
+        if _wants_outputs(args):
+            HUB.deactivate()
     print(format_result(result))
     problems = acceptance_problems(result)
     if args.check:
@@ -270,6 +336,9 @@ def cmd_perf_baseline(args) -> int:
     if args.out:
         write_baseline(args.out, result)
         print(f"baseline written to {args.out}")
+    if args.history:
+        append_history(args.history, history_record(result))
+        print(f"history appended to {args.history}")
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)
     return 1 if problems else 0
@@ -278,7 +347,7 @@ def cmd_perf_baseline(args) -> int:
 def cmd_crash_test(args) -> int:
     """The `crash-test` command: the full crash/recover matrix."""
     from repro.faults import CRASH_SITES, CrashConsistencyHarness
-    from repro.telemetry import HUB, write_metrics_file
+    from repro.telemetry import HUB
 
     sites = tuple(CRASH_SITES)
     if args.sites:
@@ -295,7 +364,7 @@ def cmd_crash_test(args) -> int:
     harness = CrashConsistencyHarness(
         seed=args.seed, ops=args.ops, sync_every=args.sync_every
     )
-    if args.metrics_out:
+    if _wants_outputs(args):
         HUB.activate()
     try:
         results = harness.run_all(
@@ -303,12 +372,9 @@ def cmd_crash_test(args) -> int:
             hits=hits,
             random_rounds=args.random_rounds,
         )
-        if args.metrics_out:
-            write_metrics_file(
-                args.metrics_out, HUB.merged_snapshot(), HUB.spans()
-            )
+        _write_run_outputs(args, HUB)
     finally:
-        if args.metrics_out:
+        if _wants_outputs(args):
             HUB.deactivate()
 
     width = max(len(r.scenario) for r in results)
@@ -327,8 +393,6 @@ def cmd_crash_test(args) -> int:
         f"{len(results) - failures} passed, {failures} failed "
         f"(seed={args.seed}, ops={args.ops}, sync_every={args.sync_every})"
     )
-    if args.metrics_out:
-        print(f"metrics written to {args.metrics_out}")
     return 1 if failures else 0
 
 
@@ -495,7 +559,62 @@ def cmd_audit(args) -> int:
                 store.db.fetcher.invalidate_file(meta.name)
     report = store.audit()
     print(report.summary())
+    _write_run_outputs(args, store.telemetry)
     return 0 if report.clean == (not args.tamper) else 1
+
+
+def cmd_trace_report(args) -> int:
+    """The `trace-report` command: cost attribution from exported traces."""
+    from repro.telemetry import load_trace_file
+    from repro.telemetry.trace_report import build_report
+
+    traces = []
+    for path in args.traces:
+        try:
+            traces.append(load_trace_file(path))
+        except (OSError, ValueError) as exc:
+            print(f"cannot load trace {path}: {exc}", file=sys.stderr)
+            return 2
+    report = build_report(traces)
+    if args.json_out:
+        _write_json(args.json_out, report.to_dict(top=args.top))
+        print(f"report written to {args.json_out}")
+    print(report.render(top=args.top))
+    return 0
+
+
+def cmd_perf_report(args) -> int:
+    """The `perf-report` command: render the perf trajectory."""
+    from repro.bench.history import (
+        load_history,
+        regression_summary,
+        to_csv,
+        to_markdown,
+    )
+
+    try:
+        records = load_history(args.history)
+    except OSError as exc:
+        print(f"cannot read history {args.history}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"corrupt history: {exc}", file=sys.stderr)
+        return 2
+    markdown = to_markdown(records, tolerance=args.tolerance)
+    if args.csv_out:
+        with open(args.csv_out, "w", encoding="utf-8") as fh:
+            fh.write(to_csv(records))
+        print(f"CSV written to {args.csv_out}")
+    if args.md_out:
+        with open(args.md_out, "w", encoding="utf-8") as fh:
+            fh.write(markdown)
+        print(f"markdown written to {args.md_out}")
+    else:
+        print(markdown)
+    problems = regression_summary(records, tolerance=args.tolerance)
+    for problem in problems:
+        print(f"REGRESSION: {problem}", file=sys.stderr)
+    return 1 if problems and args.strict else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -520,9 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write results/<id>.txt")
     bench.add_argument("--chart", action="store_true",
                        help="render an ASCII bar chart too")
-    bench.add_argument("--metrics-out", default=None, metavar="PATH",
-                       help="dump merged telemetry (JSON, or Prometheus "
-                            "text for .prom/.txt paths)")
+    _add_output_flags(bench)
     bench.add_argument("--wal-sync-every", type=int, default=None,
                        help="WAL fsync cadence for every store the "
                             "experiment builds (default 32)")
@@ -536,9 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
     ycsb.add_argument("--records", type=int, default=5000)
     ycsb.add_argument("--ops", type=int, default=1000)
     ycsb.add_argument("--factor", type=float, default=1 / 2048)
-    ycsb.add_argument("--metrics-out", default=None, metavar="PATH",
-                      help="dump the run's telemetry (JSON, or Prometheus "
-                           "text for .prom/.txt paths)")
+    _add_output_flags(ycsb)
     ycsb.add_argument("--wal-sync-every", type=int, default=None,
                       help="WAL fsync cadence for the store under test "
                            "(default 32)")
@@ -563,6 +678,10 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--tolerance", type=float, default=0.15,
                       help="allowed simulated-clock slowdown vs the "
                            "committed baseline (default 0.15)")
+    perf.add_argument("--history", default=None, metavar="PATH",
+                      help="append this run as one timestamped record to a "
+                           "JSONL trajectory file (BENCH_history.jsonl)")
+    _add_output_flags(perf)
     perf.set_defaults(fn=cmd_perf_baseline)
 
     crash = sub.add_parser(
@@ -583,9 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="first hit per site only (the CI smoke config)")
     crash.add_argument("--verbose", action="store_true",
                        help="print the invariant detail for passing runs too")
-    crash.add_argument("--metrics-out", default=None, metavar="PATH",
-                       help="dump merged telemetry (JSON, or Prometheus "
-                            "text for .prom/.txt paths)")
+    _add_output_flags(crash)
     crash.set_defaults(fn=cmd_crash_test)
 
     lint = sub.add_parser(
@@ -617,7 +734,40 @@ def build_parser() -> argparse.ArgumentParser:
     audit = sub.add_parser("audit", help="full-store integrity audit demo")
     audit.add_argument("--tamper", action="store_true",
                        help="corrupt a record first (audit must fail)")
+    _add_output_flags(audit)
     audit.set_defaults(fn=cmd_audit)
+
+    trace = sub.add_parser(
+        "trace-report",
+        help="cost-attribution analysis of exported Chrome traces",
+    )
+    trace.add_argument("traces", nargs="+", metavar="TRACE",
+                       help="trace files written by --trace-out")
+    trace.add_argument("--top", type=int, default=10,
+                       help="how many span types in the expense table")
+    trace.add_argument("--json-out", default=None, metavar="PATH",
+                       help="write the full report as structured JSON")
+    trace.set_defaults(fn=cmd_trace_report)
+
+    perf_report = sub.add_parser(
+        "perf-report",
+        help="CSV/markdown trajectory from BENCH_history.jsonl",
+    )
+    perf_report.add_argument("--history", default="BENCH_history.jsonl",
+                             metavar="PATH",
+                             help="the JSONL trajectory to render")
+    perf_report.add_argument("--csv-out", default=None, metavar="PATH",
+                             help="write the trajectory as CSV")
+    perf_report.add_argument("--md-out", default=None, metavar="PATH",
+                             help="write the markdown report to a file "
+                                  "instead of stdout")
+    perf_report.add_argument("--tolerance", type=float, default=0.15,
+                             help="regression flag threshold vs the previous "
+                                  "record of a profile (default 0.15)")
+    perf_report.add_argument("--strict", action="store_true",
+                             help="exit non-zero when any record is flagged "
+                                  "as a regression")
+    perf_report.set_defaults(fn=cmd_perf_report)
     return parser
 
 

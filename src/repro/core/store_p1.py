@@ -97,7 +97,9 @@ class ELSMP1Store:
 
     def put(self, key: bytes, value: bytes) -> int:
         """PUT inside the enclave; protection is the hardware's job."""
-        with self._op_lock, self.env.op_call("put", in_bytes=len(key) + len(value)):
+        with self._op_lock, self.telemetry.span("elsm.put"), self.env.op_call(
+            "put", in_bytes=len(key) + len(value)
+        ):
             ts = self._next_ts()
             self.db.put(key, value, ts)
             return ts
@@ -111,14 +113,18 @@ class ELSMP1Store:
 
     def get(self, key: bytes, ts_query: int | None = None) -> bytes | None:
         """GET: hardware memory protection stands in for proofs."""
-        with self._op_lock, self.env.op_call("get", in_bytes=len(key)):
+        with self._op_lock, self.telemetry.span("elsm.get"), self.env.op_call(
+            "get", in_bytes=len(key)
+        ):
             return self.db.get(key, ts_query)
 
     def scan(
         self, lo: bytes, hi: bytes, ts_query: int | None = None
     ) -> list[tuple[bytes, bytes]]:
         """Range read (no completeness proof needed under hardware trust)."""
-        with self._op_lock, self.env.op_call("scan", in_bytes=len(lo) + len(hi)):
+        with self._op_lock, self.telemetry.span("elsm.scan"), self.env.op_call(
+            "scan", in_bytes=len(lo) + len(hi)
+        ):
             return [(r.key, r.value) for r in self.db.scan(lo, hi, ts_query)]
 
     def flush(self) -> None:
@@ -165,6 +171,8 @@ class ELSMP1Store:
             "disk_bytes": self.disk.total_bytes(),
             "simulated_us": self.clock.now_us,
             "cost_breakdown_us": self.clock.breakdown(),
+            "spans_dropped": self.telemetry.tracer.dropped,
+            "events_dropped": self.telemetry.events.dropped,
         }
 
     def recover(self) -> int:

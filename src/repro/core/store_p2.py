@@ -256,8 +256,14 @@ class ELSMP2Store:
     # Write path (w1-w3)
     # ------------------------------------------------------------------
     def put(self, key: bytes, value: bytes) -> int:
-        """PUT(k, v) -> ts.  WAL-digested, buffered, eventually compacted."""
-        with self._op_lock, self.env.op_call("put", in_bytes=len(key) + len(value)):
+        """PUT(k, v) -> ts.  WAL-digested, buffered, eventually compacted.
+
+        The span opens *outside* the ECall so the boundary-crossing
+        charge lands in ``elsm.put``'s ledger, not its parent's.
+        """
+        with self._op_lock, self.telemetry.span("elsm.put"), self.env.op_call(
+            "put", in_bytes=len(key) + len(value)
+        ):
             ts = self._next_ts()
             stored_key = self.codec.encode_key(key)
             stored_value = self.codec.encode_value(value)
@@ -314,46 +320,49 @@ class ELSMP2Store:
 
     def get_verified(self, key: bytes, ts_query: int | None = None) -> VerifiedGet:
         """GET with the full verified proof exposed (stored-form record)."""
-        with self._op_lock, self.env.op_call("get", in_bytes=len(key)):
+        # The span wraps the ECall so boundary charges land in its ledger.
+        with self._op_lock, self.telemetry.span(
+            "elsm.get"
+        ) as span, self.env.op_call("get", in_bytes=len(key)):
             tsq = self._ts if ts_query is None else ts_query
             stored_key = self.codec.encode_key(key)
-            with self.telemetry.span("elsm.get") as span:
-                # Level L0 (the MemTable) is inside the enclave: trusted.
-                memtable_hit = self.db.memtable.get(stored_key, tsq)
-                if memtable_hit is not None:
-                    self._m_proof_stop_level.inc(level="memtable")
-                    self._m_proof_get_bytes.observe(0)
-                    span.set(stop_level="memtable", proof_bytes=0)
-                    return VerifiedGet(
-                        record=memtable_hit,
-                        proof=GetProof(key=stored_key, ts_query=tsq),
-                        proof_bytes=0,
-                    )
-                proof = self._build_get_proof(stored_key, tsq)
-                proof_bytes = proof.size_bytes()
-                # The proof is assembled in untrusted memory and copied
-                # into the enclave before verification.
-                self.env.copy_in(proof_bytes)
-                hashes_before = self.env.telemetry.counter(
-                    "enclave.hash.invocations"
-                ).total()
-                record = self.verifier.verify_get(
-                    stored_key, tsq, proof, trusted_absence=self._trusted_absence
-                )
-                self._m_verify_hashes.inc(
-                    self.env.telemetry.counter("enclave.hash.invocations").total()
-                    - hashes_before
-                )
-                self.total_proof_bytes += proof_bytes
-                self._m_proof_get_bytes.observe(proof_bytes)
-                stop_level = max(
-                    (entry.level for entry in proof.levels), default="none"
-                )
-                self._m_proof_stop_level.inc(level=str(stop_level))
-                span.set(stop_level=stop_level, proof_bytes=proof_bytes)
+            # Level L0 (the MemTable) is inside the enclave: trusted.
+            memtable_hit = self.db.memtable.get(stored_key, tsq)
+            if memtable_hit is not None:
+                self._m_proof_stop_level.inc(level="memtable")
+                self._m_proof_get_bytes.observe(0)
+                span.set(stop_level="memtable", proof_bytes=0)
                 return VerifiedGet(
-                    record=record, proof=proof, proof_bytes=proof_bytes
+                    record=memtable_hit,
+                    proof=GetProof(key=stored_key, ts_query=tsq),
+                    proof_bytes=0,
                 )
+            proof = self._build_get_proof(stored_key, tsq)
+            proof_bytes = proof.size_bytes()
+            # The proof is assembled in untrusted memory and copied
+            # into the enclave before verification.
+            self.env.copy_in(proof_bytes)
+            hashes_before = self.env.telemetry.counter(
+                "enclave.hash.invocations"
+            ).total()
+            record = self.verifier.verify_get(
+                stored_key, tsq, proof, trusted_absence=self._trusted_absence
+            )
+            self._m_verify_hashes.inc(
+                self.env.telemetry.counter("enclave.hash.invocations").total()
+                - hashes_before
+            )
+            self.total_proof_bytes += proof_bytes
+            self.telemetry.charge_resource("proof.bytes", proof_bytes)
+            self._m_proof_get_bytes.observe(proof_bytes)
+            stop_level = max(
+                (entry.level for entry in proof.levels), default="none"
+            )
+            self._m_proof_stop_level.inc(level=str(stop_level))
+            span.set(stop_level=stop_level, proof_bytes=proof_bytes)
+            return VerifiedGet(
+                record=record, proof=proof, proof_bytes=proof_bytes
+            )
 
     def multi_get(
         self, keys: list[bytes], ts_query: int | None = None
@@ -379,12 +388,14 @@ class ELSMP2Store:
         sequential :meth:`get_verified` calls would return.
         """
         keys = list(keys)
-        with self._op_lock, self.env.op_call(
-            "multi_get", in_bytes=sum(len(k) for k in keys)
-        ):
+        # The span wraps the ECall so the batch's boundary charges land
+        # in ``elsm.multi_get``'s ledger (the paper's cost story).
+        with self._op_lock, self.telemetry.span("elsm.multi_get") as span:
             tsq = self._ts if ts_query is None else ts_query
             stored = [self.codec.encode_key(key) for key in keys]
-            with self.telemetry.span("elsm.multi_get") as span:
+            with self.env.op_call(
+                "multi_get", in_bytes=sum(len(k) for k in keys)
+            ):
                 # MemTable hits are served inside the enclave (trusted)
                 # and excluded from the proof, exactly as in get_verified.
                 memtable_hits: dict[bytes, Record | None] = {}
@@ -457,6 +468,7 @@ class ELSMP2Store:
                 by_key.update(memtable_hits)
                 records = [by_key.get(sk) for sk in stored]
                 self.total_proof_bytes += proof_bytes
+                self.telemetry.charge_resource("proof.bytes", proof_bytes)
                 self._m_proof_multiget_bytes.observe(proof_bytes)
                 span.set(batch_size=len(keys), proof_bytes=proof_bytes)
                 return VerifiedMultiGet(
@@ -498,7 +510,9 @@ class ELSMP2Store:
         self, lo: bytes, hi: bytes, ts_query: int | None = None
     ) -> list[tuple[bytes, bytes]]:
         """SCAN(k1, k2, tsq): verified-complete range result."""
-        with self._op_lock, self.env.op_call("scan", in_bytes=len(lo) + len(hi)):
+        with self._op_lock, self.telemetry.span("elsm.scan") as span, self.env.op_call(
+            "scan", in_bytes=len(lo) + len(hi)
+        ):
             if not self.codec.supports_range:
                 raise ValueError(
                     "deterministic key encryption cannot serve range queries; "
@@ -522,6 +536,8 @@ class ELSMP2Store:
             scan_proof_bytes = proof.size_bytes()
             self._m_proof_scan_bytes.observe(scan_proof_bytes)
             self.total_proof_bytes += scan_proof_bytes
+            self.telemetry.charge_resource("proof.bytes", scan_proof_bytes)
+            span.set(result_count=len(records), proof_bytes=scan_proof_bytes)
             return [
                 (self.codec.decode_key(r.key), self.codec.decode_value(r.value))
                 for r in records
@@ -634,6 +650,8 @@ class ELSMP2Store:
             "disk_bytes": self.disk.total_bytes(),
             "simulated_us": self.clock.now_us,
             "cost_breakdown_us": self.clock.breakdown(),
+            "spans_dropped": self.telemetry.tracer.dropped,
+            "events_dropped": self.telemetry.events.dropped,
         }
 
     # ------------------------------------------------------------------
@@ -737,6 +755,16 @@ class ELSMP2Store:
         no prefix matches (tampering, or a device that dropped an
         acknowledged fsync), recovery refuses loudly.
         """
+        # The recovery span owns every charge replay makes (hashing the
+        # WAL, replay IO, the recovery flush), so a trace of a restart
+        # shows what recovery cost; the events it emits carry its ids.
+        with self.telemetry.span("elsm.recovery") as span:
+            replayed = self._recover_from_seal_locked(blob)
+            span.set(replayed=replayed)
+        self.telemetry.emit("store.recovered", replayed=replayed, ts=self._ts)
+        return replayed
+
+    def _recover_from_seal_locked(self, blob: SealedBlob) -> int:
         from repro.core.auth_compaction import WAL_DIGEST_INIT, advance_wal_digest
         from repro.core.errors import IntegrityViolation
 
@@ -785,6 +813,12 @@ class ELSMP2Store:
         if wal_size > accepted_end:
             self._m_recovery_dropped_bytes.inc(wal_size - accepted_end)
             self._m_recovery_dropped_entries.inc(len(seen) - len(accepted))
+            self.telemetry.emit(
+                "wal.recovery.truncated",
+                dropped_bytes=wal_size - accepted_end,
+                dropped_entries=len(seen) - len(accepted),
+                accepted_end=accepted_end,
+            )
             self.db.wal.truncate_to(accepted_end)
 
         self.db.cleanup_orphans()

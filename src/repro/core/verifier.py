@@ -85,6 +85,7 @@ class VerifiedNodeCache:
         self.misses = 0
         self.evictions = 0
         self._m_hit = self._m_miss = self._m_evict = None
+        self._telemetry = telemetry
         if telemetry is not None:
             self._m_hit = telemetry.counter(
                 "verifier.cache.hit", "verified-node cache probe hits"
@@ -137,11 +138,19 @@ class VerifiedNodeCache:
 
     def invalidate_root(self, root: bytes) -> None:
         """Drop every entry anchored to a root that left the registry."""
+        invalidated = 0
         for key in self._by_root.pop(root, ()):
             del self._entries[key]
             self.evictions += 1
+            invalidated += 1
             if self._m_evict is not None:
                 self._m_evict.inc(reason="root-change")
+        if invalidated and self._telemetry is not None:
+            self._telemetry.emit(
+                "verifier.cache.invalidated",
+                root=root.hex()[:16],
+                entries=invalidated,
+            )
 
     def _unindex(self, key: _NodeKey) -> None:
         resident = self._by_root.get(key[0])

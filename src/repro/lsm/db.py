@@ -292,6 +292,7 @@ class LSMStore:
         self._health = "degraded"
         self._degraded_reason = f"{op}: {exc}"
         self._m_degraded.inc()
+        self.telemetry.emit("lsm.degraded", op=op, reason=str(exc))
         raise StoreDegradedError(
             f"store degraded to read-only after {op} failed: {exc}"
         ) from exc

@@ -224,6 +224,13 @@ class WriteAheadLog:
         dropped = size - offset
         self._m_dropped_bytes.inc(dropped)
         self._m_dropped_entries.inc()
+        self.env.telemetry.emit(
+            "wal.replay.truncated",
+            file=self.path,
+            reason=reason,
+            dropped_bytes=dropped,
+            intact_entries=intact,
+        )
         logger.warning(
             "wal replay dropped tail: file=%s reason=%s offset=%d "
             "dropped_bytes=%d intact_entries=%d",

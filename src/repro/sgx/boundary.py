@@ -69,6 +69,8 @@ class WorldBoundary:
         self.ecall_count += 1
         if self._m_ecalls is not None:
             self._m_ecalls.inc(call=name or "anonymous")
+        if self._telemetry is not None:
+            self._telemetry.charge_resource("boundary.ecalls", 1)
         self._count_copy(in_bytes, "in")
         self.clock.charge("ecall", self.costs.ecall_us)
         if in_bytes:
@@ -86,6 +88,8 @@ class WorldBoundary:
         self.ocall_count += 1
         if self._m_ocalls is not None:
             self._m_ocalls.inc(call=name or "anonymous")
+        if self._telemetry is not None:
+            self._telemetry.charge_resource("boundary.ocalls", 1)
         self._count_copy(in_bytes, "out")
         self.clock.charge("ocall", self.costs.ocall_us)
         if in_bytes:

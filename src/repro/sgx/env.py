@@ -47,6 +47,11 @@ class ExecutionEnv:
         self.disk = disk
         self.enclave = enclave
         self.telemetry = telemetry or Telemetry(clock=lambda: clock.now_us)
+        # Cost attribution: every clock charge lands in the active span's
+        # ledger (or the tracer's unattributed bucket).  The latest env
+        # built over a clock owns attribution, so reopened stores never
+        # double-count a charge.
+        clock.set_attribution(self.telemetry.tracer.on_charge)
         if hasattr(disk, "bind_telemetry"):
             disk.bind_telemetry(self.telemetry)
         if enclave is not None and boundary is None:

@@ -11,6 +11,7 @@ the expensive enclave paging").
 from __future__ import annotations
 
 from collections import Counter
+from typing import Callable
 
 
 class SimClock:
@@ -18,13 +19,26 @@ class SimClock:
 
     The clock never goes backwards.  ``charge`` advances time and tags the
     charge with a category; ``lap`` yields elapsed time between two points,
-    which is how per-operation latency is measured.
+    which is how per-operation latency is measured.  The *attribution
+    hook* sees every charge as it happens — that is how the tracer lands
+    each simulated microsecond in the active span's cost ledger.
     """
 
     def __init__(self) -> None:
         self._now_us = 0.0
         self._by_category: Counter[str] = Counter()
         self._event_counts: Counter[str] = Counter()
+        self._attribution: Callable[[str, float], None] | None = None
+
+    def set_attribution(self, hook: Callable[[str, float], None] | None) -> None:
+        """Install ``hook(category, micros)`` as the attribution sink.
+
+        A clock has exactly one attribution owner — the latest execution
+        environment built over it (matters when a store is reopened over
+        the same clock: the live env takes over, and every charge is
+        delivered exactly once, never double-attributed).
+        """
+        self._attribution = hook
 
     @property
     def now_us(self) -> float:
@@ -38,6 +52,8 @@ class SimClock:
         self._now_us += micros
         self._by_category[category] += micros
         self._event_counts[category] += 1
+        if self._attribution is not None:
+            self._attribution(category, micros)
 
     def lap(self, since_us: float) -> float:
         """Elapsed simulated microseconds since ``since_us``."""

@@ -1,17 +1,23 @@
 """Unified telemetry for the eLSM stack.
 
-One :class:`Telemetry` bundles the two halves of observability:
+One :class:`Telemetry` bundles the three halves of observability:
 
 * ``metrics`` — a :class:`~repro.telemetry.metrics.MetricsRegistry` of
   named counters, gauges, and fixed-bucket histograms with labels and a
   snapshot/diff API;
 * ``tracer`` — a :class:`~repro.telemetry.tracing.Tracer` producing
-  nested spans on the simulated clock with a bounded ring buffer.
+  nested spans on the simulated clock with a bounded ring buffer and
+  per-span cost ledgers (exclusive + inclusive simulated microseconds
+  by charge category, plus resources like proof bytes);
+* ``events`` — an :class:`~repro.telemetry.events.EventLog` of
+  structured robustness events (degradation, recovery, WAL truncation,
+  cache invalidation) carrying span/trace ids.
 
 Each :class:`~repro.sgx.env.ExecutionEnv` (and therefore each store)
 gets its own instance, so runs are isolated; the CLI aggregates across
 stores through :data:`~repro.telemetry.hub.HUB`.  The metric name
-catalogue and span taxonomy live in ``docs/observability.md``.
+catalogue, span taxonomy, event kinds, and the cost-attribution model
+live in ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -20,7 +26,9 @@ import json
 import os
 from typing import Any, Callable, Iterator
 
+from repro.telemetry.events import EventLog, write_events_file
 from repro.telemetry.hub import HUB, TelemetryHub
+from repro.telemetry.ledger import CostLedger
 from repro.telemetry.metrics import (
     DURATION_BUCKETS_US,
     LATENCY_BUCKETS_US,
@@ -33,6 +41,12 @@ from repro.telemetry.metrics import (
     merge_snapshots,
     render_prometheus,
 )
+from repro.telemetry.trace_export import (
+    load_trace_file,
+    telemetry_trace_source,
+    to_chrome_trace,
+    write_trace_file,
+)
 from repro.telemetry.tracing import Span, Tracer
 
 __all__ = [
@@ -43,12 +57,19 @@ __all__ = [
     "Histogram",
     "Tracer",
     "Span",
+    "CostLedger",
+    "EventLog",
     "TelemetryHub",
     "HUB",
     "diff_snapshots",
     "merge_snapshots",
     "render_prometheus",
     "write_metrics_file",
+    "write_events_file",
+    "write_trace_file",
+    "load_trace_file",
+    "to_chrome_trace",
+    "telemetry_trace_source",
     "DURATION_BUCKETS_US",
     "SIZE_BUCKETS_BYTES",
     "LATENCY_BUCKETS_US",
@@ -56,16 +77,23 @@ __all__ = [
 
 
 class Telemetry:
-    """A metrics registry plus a tracer sharing one simulated clock."""
+    """Metrics, tracer, and event log sharing one simulated clock."""
 
     def __init__(
         self,
         clock: Callable[[], float] | None = None,
         span_capacity: int = 4096,
+        event_capacity: int = 4096,
     ) -> None:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(
             clock=clock, capacity=span_capacity, registry=self.metrics
+        )
+        self.events = EventLog(
+            clock=clock,
+            tracer=self.tracer,
+            capacity=event_capacity,
+            registry=self.metrics,
         )
         HUB.register(self)
 
@@ -95,24 +123,46 @@ class Telemetry:
         """Open a nested span (context manager)."""
         return self.tracer.span(name, **attributes)
 
+    def emit(self, kind: str, **fields: Any) -> dict:
+        """Record a structured event, stamped with the active span."""
+        return self.events.emit(kind, **fields)
+
+    def charge_resource(self, name: str, amount: float) -> None:
+        """Attribute a non-time resource to the active span's ledger."""
+        self.tracer.charge_resource(name, amount)
+
     def snapshot(self) -> dict:
-        """Combined export: metric snapshot plus finished spans."""
-        return {"metrics": self.metrics.snapshot(), "spans": self.tracer.export()}
+        """Combined export: metrics, finished spans, recorded events."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "spans": self.tracer.export(),
+            "events": self.events.export(),
+        }
+
+    def trace_source(self, label: str = "store") -> dict:
+        """This instance as one Chrome-trace export source."""
+        return telemetry_trace_source(self, label)
 
 
 def write_metrics_file(
-    path: str, snapshot: dict, spans: list[dict] | None = None
+    path: str,
+    snapshot: dict,
+    spans: list[dict] | None = None,
+    events: list[dict] | None = None,
 ) -> None:
     """Write a metrics dump to ``path``.
 
     Paths ending in ``.prom`` or ``.txt`` get the Prometheus text format
-    (metrics only); everything else gets JSON with both metrics and spans.
+    (metrics only); everything else gets JSON with metrics, spans, and
+    structured events.
     """
     if path.endswith((".prom", ".txt")):
         body = render_prometheus(snapshot)
     else:
         body = json.dumps(
-            {"metrics": snapshot, "spans": spans or []}, indent=2, default=str
+            {"metrics": snapshot, "spans": spans or [], "events": events or []},
+            indent=2,
+            default=str,
         )
     parent = os.path.dirname(path)
     if parent:

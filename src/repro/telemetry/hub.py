@@ -6,7 +6,12 @@ stores never bleed counters into each other.  The CLI's ``bench``
 subcommand, however, runs whole experiments that construct many stores
 internally — to export one combined snapshot it *activates* the hub,
 which then holds a reference to every telemetry created while active and
-can merge their registries afterwards.
+can merge their registries, spans, events, and cost ledgers afterwards.
+
+Merged span export rebases each store's span ids into a disjoint range
+(store *k*'s ids are offset past store *k-1*'s maximum), so a merged
+trace never aliases two different spans under one id — the property the
+sharded-cluster roadmap item depends on.
 
 The hub is inert by default: when inactive, registration is a no-op and
 nothing is retained.
@@ -16,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.telemetry.ledger import CostLedger
 from repro.telemetry.metrics import merge_snapshots
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -53,11 +59,64 @@ class TelemetryHub:
         return merge_snapshots([t.metrics.snapshot() for t in self._collected])
 
     def spans(self) -> list[dict]:
-        """All collected tracers' finished spans, in collection order."""
+        """All collected tracers' finished spans, ids rebased disjointly.
+
+        Span/parent/trace ids are offset per source so the merged list
+        never reuses an id across stores; ``store`` on each span names
+        the source it came from.
+        """
         out: list[dict] = []
-        for telemetry in self._collected:
-            out.extend(telemetry.tracer.export())
+        offset = 0
+        for index, telemetry in enumerate(self._collected):
+            exported = telemetry.tracer.export()
+            max_id = 0
+            for span in exported:
+                span = dict(span)
+                max_id = max(max_id, span["span_id"])
+                span["span_id"] += offset
+                if span["parent_id"] is not None:
+                    span["parent_id"] += offset
+                span["trace_id"] = span.get("trace_id", 0) + offset
+                span["store"] = index
+                out.append(span)
+            offset += max_id
         return out
+
+    def events(self) -> list[dict]:
+        """All collected event logs' events, tagged with their store."""
+        out: list[dict] = []
+        for index, telemetry in enumerate(self._collected):
+            for event in telemetry.events.export():
+                event = dict(event)
+                event["store"] = index
+                out.append(event)
+        return out
+
+    def merged_ledger(self) -> CostLedger:
+        """Sum of every tracer's attributed costs (roots + unattributed).
+
+        At a quiescent point (no open spans) this equals the sum of the
+        collected stores' clock totals — the hub-level form of the
+        exactness invariant.  A clock has a single attribution owner
+        (the latest env built over it), so even stores sharing one clock
+        deliver every charge to exactly one tracer; the merged ledger
+        never double-counts.
+        """
+        total = CostLedger()
+        for telemetry in self._collected:
+            total.merge(telemetry.tracer.attributed_total())
+        return total
+
+    def dropped_spans(self) -> int:
+        """Total spans evicted from collected ring buffers."""
+        return sum(t.tracer.dropped for t in self._collected)
+
+    def trace_sources(self) -> list[dict]:
+        """One Chrome-trace source per collected store (for --trace-out)."""
+        return [
+            t.trace_source(label=f"store-{i + 1}")
+            for i, t in enumerate(self._collected)
+        ]
 
 
 #: The process-wide hub the CLI uses; inactive unless explicitly enabled.

@@ -1,0 +1,94 @@
+"""Per-span cost ledgers: where simulated time and proof bytes went.
+
+A :class:`CostLedger` is two maps:
+
+* ``us`` — simulated microseconds by :class:`~repro.sim.clock.SimClock`
+  charge category (``ecall``, ``hash``, ``disk_read``, ...);
+* ``resources`` — non-time quantities by name (``proof.bytes``,
+  ``boundary.ecalls``, ...).
+
+Every open span owns two ledgers: ``self_cost`` (charges made while the
+span was the innermost open span on its thread — *exclusive* cost) and
+``child_cost`` (the inclusive cost of every finished child, folded in as
+each child closes).  ``inclusive()`` merges the two, so for a finished
+span the ledger algebra gives the exactness invariant the attribution
+layer is built around:
+
+    sum(root-span inclusive us) + tracer.unattributed.us
+        == SimClock per-category totals, exactly (±0)
+
+Charges made while no span is open on the charging thread land in the
+tracer's ``unattributed`` ledger, so no simulated microsecond is ever
+silently lost.  See ``docs/observability.md`` for the worked model.
+"""
+
+from __future__ import annotations
+
+
+class CostLedger:
+    """Additive per-category cost account (simulated us + resources)."""
+
+    __slots__ = ("us", "resources")
+
+    def __init__(
+        self,
+        us: dict[str, float] | None = None,
+        resources: dict[str, float] | None = None,
+    ) -> None:
+        self.us: dict[str, float] = dict(us or {})
+        self.resources: dict[str, float] = dict(resources or {})
+
+    def add_us(self, category: str, micros: float) -> None:
+        """Record ``micros`` simulated microseconds under ``category``."""
+        self.us[category] = self.us.get(category, 0.0) + micros
+
+    def add_resource(self, name: str, amount: float) -> None:
+        """Record ``amount`` of a non-time resource (e.g. proof bytes)."""
+        self.resources[name] = self.resources.get(name, 0.0) + amount
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger into this one (category-wise sums)."""
+        for category, micros in other.us.items():
+            self.us[category] = self.us.get(category, 0.0) + micros
+        for name, amount in other.resources.items():
+            self.resources[name] = self.resources.get(name, 0.0) + amount
+
+    def merged(self, other: "CostLedger") -> "CostLedger":
+        """A new ledger holding ``self + other``."""
+        out = CostLedger(self.us, self.resources)
+        out.merge(other)
+        return out
+
+    def total_us(self) -> float:
+        """Sum of simulated microseconds across every category."""
+        return sum(self.us.values())
+
+    def resource(self, name: str) -> float:
+        """One resource total (0 when never charged)."""
+        return self.resources.get(name, 0.0)
+
+    def __bool__(self) -> bool:
+        return bool(self.us) or bool(self.resources)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CostLedger):
+            return NotImplemented
+        return self.us == other.us and self.resources == other.resources
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (categories sorted for stable dumps)."""
+        return {
+            "us": {k: self.us[k] for k in sorted(self.us)},
+            "resources": {
+                k: self.resources[k] for k in sorted(self.resources)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict | None) -> "CostLedger":
+        """Inverse of :meth:`to_dict`; tolerates missing keys."""
+        payload = payload or {}
+        return cls(payload.get("us"), payload.get("resources"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CostLedger(us={self.us!r}, resources={self.resources!r})"

@@ -1,0 +1,140 @@
+"""Chrome trace-event export: open a run in Perfetto.
+
+``--trace-out run.trace.json`` on any store-running CLI command writes
+the run's spans and structured events in the Chrome trace-event JSON
+format (the ``traceEvents`` array form), which https://ui.perfetto.dev
+and ``chrome://tracing`` load directly.  Simulated microseconds map 1:1
+onto the format's microsecond timestamps, so the Perfetto timeline *is*
+the simulated timeline.
+
+Each telemetry source (one store, or each store a bench experiment
+builds) becomes one process row (``pid``); spans become complete events
+(``ph: "X"``) carrying their cost ledgers in ``args``; structured events
+become instant markers (``ph: "i"``).  ``otherData`` carries what the
+format has no slot for: per-source dropped-span counts, unattributed
+ledgers, and clock totals — `trace-report` consumes these to warn when a
+trace is incomplete.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+
+#: Schema tag written into otherData so trace-report can sanity-check.
+TRACE_SCHEMA = "elsm-trace-1"
+
+
+def telemetry_trace_source(telemetry: "Telemetry", label: str = "store") -> dict:
+    """One telemetry instance as an exportable trace source."""
+    return {
+        "label": label,
+        "spans": telemetry.tracer.export(),
+        "events": telemetry.events.export(),
+        "dropped_spans": telemetry.tracer.dropped,
+        "dropped_events": telemetry.events.dropped,
+        "unattributed": telemetry.tracer.unattributed.to_dict(),
+        "root_total": telemetry.tracer.root_total.to_dict(),
+    }
+
+
+def to_chrome_trace(sources: list[dict]) -> dict:
+    """Render trace sources as a Chrome trace-event JSON object.
+
+    ``sources`` is a list of :func:`telemetry_trace_source` dicts (the
+    hub produces one per collected store).  Span ids inside each source
+    are local; the exporter keeps them per-``pid``, which is how the
+    format scopes them anyway.
+    """
+    trace_events: list[dict] = []
+    meta_sources: list[dict] = []
+    for index, source in enumerate(sources):
+        pid = index + 1
+        label = source.get("label") or f"store-{pid}"
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        for span in source.get("spans", ()):
+            if span.get("end_us") is None:
+                continue  # still open: no duration to draw
+            trace_events.append(
+                {
+                    "name": span["name"],
+                    "cat": span["name"].split(".", 1)[0],
+                    "ph": "X",
+                    "ts": span["start_us"],
+                    "dur": span["duration_us"],
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {
+                        "span_id": span["span_id"],
+                        "parent_id": span["parent_id"],
+                        "trace_id": span.get("trace_id", 0),
+                        "attributes": span.get("attributes", {}),
+                        "self_cost": span.get("self_cost", {}),
+                        "inclusive_cost": span.get("inclusive_cost", {}),
+                    },
+                }
+            )
+        for event in source.get("events", ()):
+            args = {
+                k: v for k, v in event.items() if k not in ("ts_us", "kind")
+            }
+            trace_events.append(
+                {
+                    "name": event["kind"],
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": event["ts_us"],
+                    "pid": pid,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+        meta_sources.append(
+            {
+                "pid": pid,
+                "label": label,
+                "dropped_spans": source.get("dropped_spans", 0),
+                "dropped_events": source.get("dropped_events", 0),
+                "unattributed": source.get("unattributed", {}),
+                "root_total": source.get("root_total", {}),
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA, "sources": meta_sources},
+    }
+
+
+def write_trace_file(path: str, sources: list[dict]) -> None:
+    """Write sources as a Chrome trace JSON file (parent dirs created)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(sources), fh, indent=2, default=str)
+        fh.write("\n")
+
+
+def load_trace_file(path: str) -> dict:
+    """Load a Chrome trace JSON file (either the object or array form)."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if isinstance(payload, list):  # bare traceEvents array form
+        payload = {"traceEvents": payload, "otherData": {}}
+    if "traceEvents" not in payload:
+        raise ValueError(f"{path}: not a Chrome trace-event file")
+    return payload

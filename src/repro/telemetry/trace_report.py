@@ -1,0 +1,360 @@
+"""Trace analysis: cost trees, critical paths, and attribution tables.
+
+``python -m repro trace-report run.trace.json [more.trace.json ...]``
+answers the paper's cost questions from a trace alone:
+
+* **top-down cost tree** — spans aggregated by their name-path, with
+  inclusive and exclusive simulated microseconds, so "where did the run
+  spend its time" reads like a profiler output;
+* **critical path** — the heaviest root span and the chain of heaviest
+  children under it;
+* **top span types** — the N most expensive span names by total
+  inclusive time, with proof bytes;
+* **attribution** — per span type, exclusive-cost categories folded
+  into the paper's cost groups (boundary crossings, proof verification,
+  disk IO, enclave paging), which is how the MULTIGET result ("batch
+  GET cost is dominated by boundary + proof work") is reproduced from a
+  trace file with no access to the run.
+
+The input is the Chrome trace-event JSON written by ``--trace-out``
+(:mod:`repro.telemetry.trace_export`); ``otherData`` carries dropped-span
+counts so a truncated trace is reported as such, never mistaken for a
+complete one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.ledger import CostLedger
+
+#: Charge categories folded into the report's cost groups.  Anything
+#: unlisted lands in ``other`` (the groups are a reporting view; the
+#: underlying per-category ledgers stay exact).
+COST_GROUPS: dict[str, tuple[str, ...]] = {
+    "boundary": ("ecall", "ocall", "ecall_copy", "ocall_copy", "enclave_copy"),
+    "proof": ("hash", "crypto"),
+    "paging": ("epc_page_fault", "enclave_touch", "eleos_monitor"),
+    "disk_io": (
+        "disk_read",
+        "disk_write",
+        "disk_seek",
+        "fsync",
+        "kernel_read",
+        "kernel_write",
+        "dram_copy",
+        "dram_touch",
+        "io_retry_backoff",
+    ),
+}
+
+
+def group_costs(us_by_category: dict[str, float]) -> dict[str, float]:
+    """Fold per-category microseconds into the report's cost groups."""
+    category_to_group = {
+        category: group
+        for group, categories in COST_GROUPS.items()
+        for category in categories
+    }
+    grouped: dict[str, float] = {}
+    for category, micros in us_by_category.items():
+        group = category_to_group.get(category, "other")
+        grouped[group] = grouped.get(group, 0.0) + micros
+    return grouped
+
+
+@dataclass
+class _SpanNode:
+    """One span instance re-linked into its per-source tree."""
+
+    name: str
+    duration_us: float
+    self_cost: CostLedger
+    inclusive_cost: CostLedger
+    parent_id: int | None
+    span_id: int
+    children: list["_SpanNode"] = field(default_factory=list)
+
+
+@dataclass
+class _Aggregate:
+    """Accumulated totals for one span name (or name-path)."""
+
+    count: int = 0
+    inclusive_us: float = 0.0
+    exclusive_us: float = 0.0
+    ledger: CostLedger = field(default_factory=CostLedger)
+    self_ledger: CostLedger = field(default_factory=CostLedger)
+
+    def add(self, node: _SpanNode) -> None:
+        self.count += 1
+        self.inclusive_us += node.inclusive_cost.total_us()
+        self.exclusive_us += node.self_cost.total_us()
+        self.ledger.merge(node.inclusive_cost)
+        self.self_ledger.merge(node.self_cost)
+
+
+class TraceReport:
+    """Parsed, aggregated view over one or more trace files."""
+
+    def __init__(self) -> None:
+        self.roots: list[_SpanNode] = []
+        self.by_name: dict[str, _Aggregate] = {}
+        self.by_path: dict[tuple[str, ...], _Aggregate] = {}
+        self.events_by_kind: dict[str, int] = {}
+        self.dropped_spans = 0
+        self.dropped_events = 0
+        self.unattributed = CostLedger()
+        self.sources = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def add_trace(self, trace: dict) -> None:
+        """Fold one loaded Chrome trace object into the report."""
+        other = trace.get("otherData") or {}
+        for source in other.get("sources", ()):
+            self.dropped_spans += int(source.get("dropped_spans", 0))
+            self.dropped_events += int(source.get("dropped_events", 0))
+            self.unattributed.merge(
+                CostLedger.from_dict(source.get("unattributed"))
+            )
+        nodes: dict[tuple[int, int], _SpanNode] = {}
+        for event in trace.get("traceEvents", ()):
+            ph = event.get("ph")
+            if ph == "i":
+                kind = event.get("name", "?")
+                self.events_by_kind[kind] = self.events_by_kind.get(kind, 0) + 1
+                continue
+            if ph != "X":
+                continue
+            args = event.get("args") or {}
+            node = _SpanNode(
+                name=event.get("name", "?"),
+                duration_us=float(event.get("dur", 0.0)),
+                self_cost=CostLedger.from_dict(args.get("self_cost")),
+                inclusive_cost=CostLedger.from_dict(args.get("inclusive_cost")),
+                parent_id=args.get("parent_id"),
+                span_id=int(args.get("span_id", 0)),
+            )
+            nodes[(event.get("pid", 0), node.span_id)] = node
+        for (pid, _), node in nodes.items():
+            parent = (
+                nodes.get((pid, node.parent_id))
+                if node.parent_id is not None
+                else None
+            )
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                self.roots.append(node)
+        self._aggregate(nodes.values())
+        self.sources += 1
+
+    def _aggregate(self, nodes) -> None:
+        for node in nodes:
+            self.by_name.setdefault(node.name, _Aggregate()).add(node)
+        # Name-paths are rebuilt from the full root set so multi-file
+        # reports aggregate identically to a single merged file.
+        self.by_path = {}
+        for root in self.roots:
+            self._walk_paths(root, ())
+
+    def _walk_paths(self, node: _SpanNode, prefix: tuple[str, ...]) -> None:
+        path = prefix + (node.name,)
+        self.by_path.setdefault(path, _Aggregate()).add(node)
+        for child in node.children:
+            self._walk_paths(child, path)
+
+    # ------------------------------------------------------------------
+    # Sections
+    # ------------------------------------------------------------------
+    def total_us(self) -> float:
+        """Root inclusive time plus unattributed time across sources."""
+        return (
+            sum(r.inclusive_cost.total_us() for r in self.roots)
+            + self.unattributed.total_us()
+        )
+
+    def cost_tree_lines(self, min_pct: float = 0.5) -> list[str]:
+        """The top-down tree, one line per aggregated name-path."""
+        total = self.total_us() or 1.0
+        lines = [
+            f"{'path':<44} {'count':>6} {'incl us':>12} {'excl us':>12} "
+            f"{'incl %':>7}"
+        ]
+        children: dict[tuple[str, ...], list[tuple[str, ...]]] = {}
+        for path in self.by_path:
+            children.setdefault(path[:-1], []).append(path)
+
+        def emit(path: tuple[str, ...]) -> None:
+            agg = self.by_path[path]
+            pct = 100.0 * agg.inclusive_us / total
+            if pct < min_pct and len(path) > 1:
+                return
+            indent = "  " * (len(path) - 1)
+            label = f"{indent}{path[-1]}"
+            lines.append(
+                f"{label:<44} {agg.count:>6} {agg.inclusive_us:>12.1f} "
+                f"{agg.exclusive_us:>12.1f} {pct:>6.1f}%"
+            )
+            for child in sorted(
+                children.get(path, ()),
+                key=lambda p: -self.by_path[p].inclusive_us,
+            ):
+                emit(child)
+
+        for root in sorted(
+            children.get((), ()), key=lambda p: -self.by_path[p].inclusive_us
+        ):
+            emit(root)
+        unattr = self.unattributed.total_us()
+        if unattr:
+            pct = 100.0 * unattr / total
+            lines.append(
+                f"{'(unattributed)':<44} {'-':>6} {unattr:>12.1f} "
+                f"{unattr:>12.1f} {pct:>6.1f}%"
+            )
+        return lines
+
+    def critical_path_lines(self) -> list[str]:
+        """Heaviest root, then the chain of heaviest children."""
+        if not self.roots:
+            return ["(no spans)"]
+        lines = []
+        node = max(self.roots, key=lambda r: r.inclusive_cost.total_us())
+        total = node.inclusive_cost.total_us() or 1.0
+        while node is not None:
+            incl = node.inclusive_cost.total_us()
+            excl = node.self_cost.total_us()
+            lines.append(
+                f"{node.name:<30} incl {incl:>12.1f} us  "
+                f"excl {excl:>12.1f} us  ({100.0 * incl / total:.1f}% of root)"
+            )
+            node = max(
+                node.children,
+                key=lambda c: c.inclusive_cost.total_us(),
+                default=None,
+            )
+        return lines
+
+    def top_spans(self, n: int = 10) -> list[dict]:
+        """The N most expensive span types by total inclusive time."""
+        total = self.total_us() or 1.0
+        rows = []
+        for name, agg in sorted(
+            self.by_name.items(), key=lambda kv: -kv[1].inclusive_us
+        )[:n]:
+            rows.append(
+                {
+                    "span": name,
+                    "count": agg.count,
+                    "inclusive_us": round(agg.inclusive_us, 1),
+                    "exclusive_us": round(agg.exclusive_us, 1),
+                    "inclusive_pct": round(100.0 * agg.inclusive_us / total, 1),
+                    "proof_bytes": int(agg.ledger.resource("proof.bytes")),
+                }
+            )
+        return rows
+
+    def attribution(self, name: str) -> dict:
+        """Cost-group shares of one span type's inclusive ledger.
+
+        ``boundary_proof_pct`` is the headline number: the share of the
+        span type's simulated time spent on boundary crossings plus
+        proof verification — the paper's (and PR 3's) cost story.
+        """
+        agg = self.by_name.get(name)
+        if agg is None or agg.inclusive_us <= 0:
+            return {"span": name, "groups": {}, "boundary_proof_pct": 0.0}
+        grouped = group_costs(agg.ledger.us)
+        total = agg.inclusive_us
+        return {
+            "span": name,
+            "inclusive_us": round(total, 1),
+            "groups": {
+                group: round(100.0 * us / total, 1)
+                for group, us in sorted(grouped.items(), key=lambda kv: -kv[1])
+            },
+            "boundary_proof_pct": round(
+                100.0
+                * (grouped.get("boundary", 0.0) + grouped.get("proof", 0.0))
+                / total,
+                1,
+            ),
+            "proof_bytes": int(agg.ledger.resource("proof.bytes")),
+            "ecalls": int(agg.ledger.resource("boundary.ecalls")),
+            "ocalls": int(agg.ledger.resource("boundary.ocalls")),
+        }
+
+    def to_dict(self, top: int = 10) -> dict:
+        """Machine-readable report (the ``--json-out`` payload)."""
+        return {
+            "sources": self.sources,
+            "total_us": round(self.total_us(), 1),
+            "dropped_spans": self.dropped_spans,
+            "dropped_events": self.dropped_events,
+            "complete": self.dropped_spans == 0,
+            "top_spans": self.top_spans(top),
+            "attribution": {
+                row["span"]: self.attribution(row["span"])
+                for row in self.top_spans(top)
+            },
+            "events": dict(sorted(self.events_by_kind.items())),
+            "unattributed_us": round(self.unattributed.total_us(), 1),
+        }
+
+    def render(self, top: int = 10) -> str:
+        """The full human-readable report."""
+        lines: list[str] = []
+        if self.dropped_spans:
+            lines.append(
+                f"WARNING: {self.dropped_spans} span(s) were dropped from "
+                f"tracer ring buffers before export — this trace is "
+                f"INCOMPLETE and the tree below understates costs."
+            )
+            lines.append("")
+        lines.append(f"== top-down cost tree ({self.sources} trace file(s)) ==")
+        lines.extend(self.cost_tree_lines())
+        lines.append("")
+        lines.append("== critical path (heaviest root, heaviest children) ==")
+        lines.extend(self.critical_path_lines())
+        lines.append("")
+        lines.append(f"== top {top} span types by inclusive simulated time ==")
+        lines.append(
+            f"{'span':<24} {'count':>6} {'incl us':>12} {'excl us':>12} "
+            f"{'incl %':>7} {'proof B':>10}"
+        )
+        for row in self.top_spans(top):
+            lines.append(
+                f"{row['span']:<24} {row['count']:>6} "
+                f"{row['inclusive_us']:>12.1f} {row['exclusive_us']:>12.1f} "
+                f"{row['inclusive_pct']:>6.1f}% {row['proof_bytes']:>10d}"
+            )
+        lines.append("")
+        lines.append("== attribution by cost group (share of span type) ==")
+        for row in self.top_spans(top):
+            attr = self.attribution(row["span"])
+            if not attr["groups"]:
+                continue
+            groups = "  ".join(
+                f"{group}={pct:.1f}%" for group, pct in attr["groups"].items()
+            )
+            lines.append(
+                f"{row['span']:<24} boundary+proof="
+                f"{attr['boundary_proof_pct']:>5.1f}%  {groups}"
+            )
+        if self.events_by_kind:
+            lines.append("")
+            lines.append("== structured events ==")
+            for kind, count in sorted(self.events_by_kind.items()):
+                lines.append(f"{kind:<36} x{count}")
+        return "\n".join(lines)
+
+
+def build_report(traces: list[dict]) -> TraceReport:
+    """Aggregate loaded trace objects into one :class:`TraceReport`."""
+    report = TraceReport()
+    for trace in traces:
+        report.add_trace(trace)
+    return report

@@ -1,0 +1,156 @@
+"""Perf-trajectory history: records, flags, and the rendered reports."""
+
+import pytest
+
+from repro.bench.history import (
+    HISTORY_SCHEMA,
+    RECORD_FIELDS,
+    append_history,
+    flag_records,
+    history_record,
+    load_history,
+    regression_summary,
+    to_csv,
+    to_markdown,
+)
+
+
+def _result(profile="quick", batch_us=100.0, **overrides):
+    result = {
+        "profile": profile,
+        "batch_us": batch_us,
+        "sequential_us": batch_us * 10,
+        "us_saved_pct": 90.0,
+        "batch_proof_bytes": 1000,
+        "sequential_proof_bytes": 5000,
+        "proof_bytes_saved_pct": 80.0,
+    }
+    result.update(overrides)
+    return result
+
+
+def _record(profile="quick", batch_us=100.0, timestamp="2026-01-01T00:00:00Z"):
+    return history_record(
+        _result(profile, batch_us), timestamp=timestamp, commit="abc1234"
+    )
+
+
+def test_history_record_carries_schema_stamp_and_fields():
+    record = _record()
+    assert record["schema"] == HISTORY_SCHEMA
+    assert record["timestamp"] == "2026-01-01T00:00:00Z"
+    assert record["commit"] == "abc1234"
+    for field in RECORD_FIELDS:
+        assert field in record
+    assert record["batch_us"] == 100.0
+
+
+def test_append_and_load_roundtrip(tmp_path):
+    path = tmp_path / "sub" / "history.jsonl"
+    append_history(str(path), _record(batch_us=100.0))
+    append_history(str(path), _record(batch_us=110.0))
+    records = load_history(str(path))
+    assert [r["batch_us"] for r in records] == [100.0, 110.0]
+
+
+def test_load_skips_blank_lines_and_rejects_corruption(tmp_path):
+    path = tmp_path / "history.jsonl"
+    append_history(str(path), _record())
+    with open(path, "a") as fh:
+        fh.write("\n")
+        fh.write("{not json\n")
+    with pytest.raises(ValueError, match=r"history\.jsonl:3"):
+        load_history(str(path))
+
+
+def test_load_rejects_non_object_lines(tmp_path):
+    path = tmp_path / "history.jsonl"
+    path.write_text('[1, 2, 3]\n')
+    with pytest.raises(ValueError, match="not an object"):
+        load_history(str(path))
+
+
+def test_flag_records_per_profile_baselines():
+    records = [
+        _record("quick", 100.0),
+        _record("default", 500.0),
+        _record("quick", 102.0),  # within tolerance
+        _record("quick", 130.0),  # +27% vs previous quick -> regression
+        _record("default", 400.0),  # -20% -> improved
+        _record("quick", 129.0),  # within tolerance of previous (130)
+    ]
+    flags = [r["flag"] for r in flag_records(records, tolerance=0.15)]
+    assert flags == [
+        "baseline",
+        "baseline",
+        "ok",
+        "REGRESSION",
+        "improved",
+        "ok",
+    ]
+
+
+def test_flag_records_compares_to_previous_not_first():
+    # 100 -> 114 -> 130: each step is under 15%, so no flag fires even
+    # though the total drift is 30% — the trajectory report shows it.
+    records = [_record(batch_us=us) for us in (100.0, 114.0, 130.0)]
+    flags = [r["flag"] for r in flag_records(records, tolerance=0.15)]
+    assert flags == ["baseline", "ok", "ok"]
+
+
+def test_to_csv_has_header_and_flags():
+    csv_text = to_csv([_record(batch_us=100.0), _record(batch_us=200.0)])
+    lines = csv_text.strip().splitlines()
+    assert lines[0].startswith("timestamp,commit,profile,batch_us")
+    assert lines[0].endswith(",flag")
+    assert len(lines) == 3
+    assert lines[1].endswith(",baseline")
+    assert lines[2].endswith(",REGRESSION")
+
+
+def test_to_markdown_tables_per_profile():
+    md = to_markdown(
+        [_record("quick", 100.0), _record("default", 500.0), _record("quick", 90.0)]
+    )
+    assert "# Perf trajectory" in md
+    assert "## profile `quick`" in md
+    assert "## profile `default`" in md
+    assert "Net change since first record: -10.0 us" in md
+    assert "0 flagged regression(s)" in md
+
+
+def test_to_markdown_empty_history():
+    md = to_markdown([])
+    assert "_No history records yet._" in md
+
+
+def test_regression_summary_lists_only_regressions():
+    records = [_record(batch_us=100.0), _record(batch_us=200.0), _record(batch_us=200.0)]
+    problems = regression_summary(records)
+    assert len(problems) == 1
+    assert "batch_us 200.0" in problems[0]
+    assert "abc1234" in problems[0]
+    assert regression_summary([_record()]) == []
+
+
+def test_committed_history_parses_and_matches_committed_baseline():
+    """The repo-root BENCH_history.jsonl must stay loadable and its last
+    record per profile must agree with the committed BENCH_perf.json."""
+    import json
+    import os
+
+    root = os.path.join(os.path.dirname(__file__), "..", "..")
+    history_path = os.path.join(root, "BENCH_history.jsonl")
+    baseline_path = os.path.join(root, "BENCH_perf.json")
+    records = load_history(history_path)
+    assert records, "committed history must carry at least one record"
+    for record in records:
+        assert record["schema"] == HISTORY_SCHEMA
+        for field in RECORD_FIELDS:
+            assert field in record
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    last_by_profile = {r["profile"]: r for r in records}
+    for profile, snapshot in baseline["profiles"].items():
+        assert profile in last_by_profile, f"profile {profile} not in history"
+        assert last_by_profile[profile]["batch_us"] == snapshot["batch_us"]

@@ -89,7 +89,7 @@ def test_ycsb_cli_metrics_out_json(tmp_path, capsys):
     ])
     assert rc == 0
     dump = json.loads(out.read_text())
-    assert set(dump) == {"metrics", "spans"}
+    assert set(dump) == {"metrics", "spans", "events"}
     metrics = dump["metrics"]
 
     def total(name):

@@ -1,0 +1,66 @@
+"""CostLedger: the additive algebra the attribution layer rests on."""
+
+from repro.telemetry.ledger import CostLedger
+
+
+def test_add_us_accumulates_by_category():
+    ledger = CostLedger()
+    ledger.add_us("ecall", 8.0)
+    ledger.add_us("ecall", 4.0)
+    ledger.add_us("hash", 1.5)
+    assert ledger.us == {"ecall": 12.0, "hash": 1.5}
+    assert ledger.total_us() == 13.5
+
+
+def test_add_resource_accumulates_by_name():
+    ledger = CostLedger()
+    ledger.add_resource("proof.bytes", 100)
+    ledger.add_resource("proof.bytes", 28)
+    ledger.add_resource("boundary.ecalls", 1)
+    assert ledger.resource("proof.bytes") == 128
+    assert ledger.resource("boundary.ecalls") == 1
+    assert ledger.resource("never.charged") == 0.0
+
+
+def test_merge_is_categorywise_sum():
+    a = CostLedger({"ecall": 8.0}, {"proof.bytes": 10})
+    b = CostLedger({"ecall": 2.0, "hash": 1.0}, {"proof.bytes": 5})
+    a.merge(b)
+    assert a.us == {"ecall": 10.0, "hash": 1.0}
+    assert a.resources == {"proof.bytes": 15}
+    # merge mutates in place; b is untouched.
+    assert b.us == {"ecall": 2.0, "hash": 1.0}
+
+
+def test_merged_returns_new_ledger():
+    a = CostLedger({"ecall": 8.0})
+    b = CostLedger({"hash": 1.0})
+    c = a.merged(b)
+    assert c.us == {"ecall": 8.0, "hash": 1.0}
+    assert a.us == {"ecall": 8.0}
+    assert b.us == {"hash": 1.0}
+
+
+def test_bool_and_eq():
+    assert not CostLedger()
+    assert CostLedger({"ecall": 1.0})
+    assert CostLedger(resources={"proof.bytes": 1})
+    assert CostLedger({"a": 1.0}) == CostLedger({"a": 1.0})
+    assert CostLedger({"a": 1.0}) != CostLedger({"a": 2.0})
+    assert CostLedger() != object()
+
+
+def test_to_dict_sorted_and_from_dict_roundtrip():
+    ledger = CostLedger(
+        {"ocall": 2.0, "ecall": 8.0}, {"proof.bytes": 7, "boundary.ecalls": 1}
+    )
+    payload = ledger.to_dict()
+    assert list(payload["us"]) == ["ecall", "ocall"]
+    assert list(payload["resources"]) == ["boundary.ecalls", "proof.bytes"]
+    assert CostLedger.from_dict(payload) == ledger
+
+
+def test_from_dict_tolerates_missing_keys():
+    assert CostLedger.from_dict(None) == CostLedger()
+    assert CostLedger.from_dict({}) == CostLedger()
+    assert CostLedger.from_dict({"us": {"ecall": 1.0}}).us == {"ecall": 1.0}

@@ -1,0 +1,226 @@
+"""Chrome trace export and the trace-report analysis built on it."""
+
+import json
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.telemetry.trace_export import (
+    TRACE_SCHEMA,
+    load_trace_file,
+    telemetry_trace_source,
+    to_chrome_trace,
+    write_trace_file,
+)
+from repro.telemetry.trace_report import build_report, group_costs
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, us):
+        self.now += us
+
+
+def _worked_telemetry():
+    """A telemetry with a nested span tree, costs, and one event."""
+    clock = FakeClock()
+    telemetry = Telemetry(clock=clock)
+    with telemetry.span("elsm.get", key="k"):
+        telemetry.tracer.on_charge("ecall", 8.0)
+        with telemetry.span("lsm.read"):
+            telemetry.tracer.on_charge("disk_read", 40.0)
+            clock.advance(40)
+        telemetry.tracer.on_charge("hash", 2.0)
+        telemetry.charge_resource("proof.bytes", 128)
+        clock.advance(10)
+        telemetry.emit("lsm.degraded", op="get", reason="test")
+    telemetry.tracer.on_charge("fsync", 5.0)  # outside any span
+    return telemetry
+
+
+def test_trace_source_shape():
+    telemetry = _worked_telemetry()
+    source = telemetry_trace_source(telemetry, label="s1")
+    assert source["label"] == "s1"
+    assert len(source["spans"]) == 2
+    assert len(source["events"]) == 1
+    assert source["dropped_spans"] == 0
+    assert source["unattributed"]["us"] == {"fsync": 5.0}
+    assert source["root_total"]["us"] == {
+        "ecall": 8.0,
+        "disk_read": 40.0,
+        "hash": 2.0,
+    }
+
+
+def test_to_chrome_trace_structure():
+    telemetry = _worked_telemetry()
+    trace = to_chrome_trace([telemetry.trace_source(label="s1")])
+    events = trace["traceEvents"]
+    by_ph = {}
+    for event in events:
+        by_ph.setdefault(event["ph"], []).append(event)
+    # One process-name metadata record, two complete spans, one instant.
+    assert [e["args"]["name"] for e in by_ph["M"]] == ["s1"]
+    assert sorted(e["name"] for e in by_ph["X"]) == ["elsm.get", "lsm.read"]
+    assert [e["name"] for e in by_ph["i"]] == ["lsm.degraded"]
+    get = next(e for e in by_ph["X"] if e["name"] == "elsm.get")
+    assert get["pid"] == 1
+    assert get["dur"] == 50.0
+    assert get["cat"] == "elsm"
+    assert get["args"]["self_cost"]["us"] == {"ecall": 8.0, "hash": 2.0}
+    assert get["args"]["inclusive_cost"]["us"] == {
+        "ecall": 8.0,
+        "hash": 2.0,
+        "disk_read": 40.0,
+    }
+    assert get["args"]["inclusive_cost"]["resources"] == {"proof.bytes": 128}
+    other = trace["otherData"]
+    assert other["schema"] == TRACE_SCHEMA
+    assert other["sources"][0]["pid"] == 1
+    assert other["sources"][0]["unattributed"]["us"] == {"fsync": 5.0}
+
+
+def test_open_spans_are_skipped():
+    clock = FakeClock()
+    telemetry = Telemetry(clock=clock)
+    span_cm = telemetry.span("stuck")
+    span_cm.__enter__()
+    with telemetry.span("done"):
+        clock.advance(1)
+    trace = to_chrome_trace([telemetry.trace_source()])
+    names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert names == ["done"]
+    span_cm.__exit__(None, None, None)
+
+
+def test_multiple_sources_get_distinct_pids():
+    a, b = _worked_telemetry(), _worked_telemetry()
+    trace = to_chrome_trace(
+        [a.trace_source(label="store-1"), b.trace_source(label="store-2")]
+    )
+    pids = {e["pid"] for e in trace["traceEvents"]}
+    assert pids == {1, 2}
+    labels = [s["label"] for s in trace["otherData"]["sources"]]
+    assert labels == ["store-1", "store-2"]
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    telemetry = _worked_telemetry()
+    path = tmp_path / "run.trace.json"
+    write_trace_file(str(path), [telemetry.trace_source()])
+    loaded = load_trace_file(str(path))
+    assert loaded["otherData"]["schema"] == TRACE_SCHEMA
+    assert len(loaded["traceEvents"]) == 4  # M + 2 X + 1 i
+
+
+def test_load_accepts_bare_array_form(tmp_path):
+    path = tmp_path / "bare.json"
+    path.write_text(json.dumps([{"ph": "X", "name": "a", "dur": 1}]))
+    loaded = load_trace_file(str(path))
+    assert loaded["traceEvents"][0]["name"] == "a"
+    assert loaded["otherData"] == {}
+
+
+def test_load_rejects_non_trace(tmp_path):
+    path = tmp_path / "not-a-trace.json"
+    path.write_text(json.dumps({"metrics": {}}))
+    with pytest.raises(ValueError, match="not a Chrome trace-event file"):
+        load_trace_file(str(path))
+
+
+# ----------------------------------------------------------------------
+# trace-report
+# ----------------------------------------------------------------------
+
+
+def test_group_costs_folds_categories():
+    grouped = group_costs(
+        {"ecall": 8.0, "ocall_copy": 2.0, "hash": 3.0, "disk_read": 5.0, "zzz": 1.0}
+    )
+    assert grouped == {"boundary": 10.0, "proof": 3.0, "disk_io": 5.0, "other": 1.0}
+
+
+def test_report_cost_tree_and_totals():
+    telemetry = _worked_telemetry()
+    report = build_report([to_chrome_trace([telemetry.trace_source()])])
+    assert report.sources == 1
+    # Root inclusive (50) plus unattributed fsync (5).
+    assert report.total_us() == pytest.approx(55.0)
+    tree = "\n".join(report.cost_tree_lines())
+    assert "elsm.get" in tree
+    assert "lsm.read" in tree
+    assert "(unattributed)" in tree
+    # The child is nested under (indented past) the root in the tree.
+    lines = report.cost_tree_lines()
+    root_line = next(line for line in lines if "elsm.get" in line)
+    child_line = next(line for line in lines if "lsm.read" in line)
+    assert child_line.index("lsm.read") > root_line.index("elsm.get")
+
+
+def test_report_attribution_groups():
+    telemetry = _worked_telemetry()
+    report = build_report([to_chrome_trace([telemetry.trace_source()])])
+    attr = report.attribution("elsm.get")
+    # Inclusive ledger: ecall 8 (boundary) + hash 2 (proof) + disk 40.
+    assert attr["inclusive_us"] == pytest.approx(50.0)
+    assert attr["boundary_proof_pct"] == pytest.approx(20.0)
+    assert attr["groups"]["disk_io"] == pytest.approx(80.0)
+    assert attr["proof_bytes"] == 128
+    assert report.attribution("no.such.span") == {
+        "span": "no.such.span",
+        "groups": {},
+        "boundary_proof_pct": 0.0,
+    }
+
+
+def test_report_top_spans_sorted_by_inclusive():
+    telemetry = _worked_telemetry()
+    report = build_report([to_chrome_trace([telemetry.trace_source()])])
+    rows = report.top_spans(10)
+    assert [r["span"] for r in rows] == ["elsm.get", "lsm.read"]
+    assert rows[0]["proof_bytes"] == 128
+    assert rows[0]["inclusive_pct"] == pytest.approx(90.9, abs=0.1)
+
+
+def test_report_counts_events_and_dropped():
+    telemetry = _worked_telemetry()
+    source = telemetry.trace_source()
+    source["dropped_spans"] = 3  # simulate a truncated ring
+    report = build_report([to_chrome_trace([source])])
+    assert report.events_by_kind == {"lsm.degraded": 1}
+    assert report.dropped_spans == 3
+    rendered = report.render()
+    assert "INCOMPLETE" in rendered
+    assert report.to_dict()["complete"] is False
+
+
+def test_report_render_complete_has_no_warning():
+    telemetry = _worked_telemetry()
+    report = build_report([to_chrome_trace([telemetry.trace_source()])])
+    rendered = report.render()
+    assert "INCOMPLETE" not in rendered
+    assert "top-down cost tree" in rendered
+    assert "critical path" in rendered
+    payload = report.to_dict(top=5)
+    assert payload["complete"] is True
+    assert payload["total_us"] == pytest.approx(55.0)
+    assert "elsm.get" in payload["attribution"]
+
+
+def test_report_aggregates_multiple_traces():
+    a, b = _worked_telemetry(), _worked_telemetry()
+    report = build_report(
+        [
+            to_chrome_trace([a.trace_source()]),
+            to_chrome_trace([b.trace_source()]),
+        ]
+    )
+    assert report.sources == 2
+    assert report.by_name["elsm.get"].count == 2
+    assert report.total_us() == pytest.approx(110.0)
