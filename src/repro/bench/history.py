@@ -36,6 +36,19 @@ RECORD_FIELDS = (
     "proof_bytes_saved_pct",
 )
 
+#: Extra columns carried by adversarial profiles (``adv-*``), which have
+#: no batch/sequential split; their headline time is ``defended_us``.
+ADVERSARIAL_FIELDS = (
+    "attack",
+    "honest_kops",
+    "undefended_kops",
+    "defended_kops",
+    "degradation_pct",
+    "recovery_pct",
+    "defended_fp_rate",
+    "defended_us",
+)
+
 
 def _utc_now_iso() -> str:
     from datetime import datetime, timezone
@@ -66,8 +79,11 @@ def history_record(
         "timestamp": timestamp or _utc_now_iso(),
         "commit": commit or _git_commit(),
     }
-    for field in RECORD_FIELDS:
-        record[field] = result[field]
+    for field in (*RECORD_FIELDS, *ADVERSARIAL_FIELDS):
+        # Tolerant: classic and adversarial profiles carry different
+        # column subsets of the shared trajectory schema.
+        if field in result:
+            record[field] = result[field]
     return record
 
 
@@ -102,6 +118,23 @@ def load_history(path: str) -> list[dict]:
     return records
 
 
+def headline(record: dict) -> tuple[str, float]:
+    """The record's headline lower-is-better metric as (field, value).
+
+    Classic profiles regress on ``batch_us``; adversarial profiles have
+    no batch/sequential split, so their headline is the defended mixed
+    run's duration (``defended_us``).
+    """
+    if "batch_us" in record:
+        return "batch_us", float(record.get("batch_us") or 0.0)
+    return "defended_us", float(record.get("defended_us") or 0.0)
+
+
+def headline_us(record: dict) -> float:
+    """Just the headline value (see :func:`headline`)."""
+    return headline(record)[1]
+
+
 def flag_records(
     records: list[dict], tolerance: float = REGRESSION_TOLERANCE
 ) -> list[dict]:
@@ -114,17 +147,17 @@ def flag_records(
     for record in records:
         record = dict(record)
         profile = record.get("profile", "default")
-        batch_us = float(record.get("batch_us", 0.0))
+        value = headline_us(record)
         prev = last_by_profile.get(profile)
         if prev is None:
             record["flag"] = "baseline"
-        elif prev > 0 and batch_us > prev * (1.0 + tolerance):
+        elif prev > 0 and value > prev * (1.0 + tolerance):
             record["flag"] = "REGRESSION"
-        elif prev > 0 and batch_us < prev * (1.0 - tolerance):
+        elif prev > 0 and value < prev * (1.0 - tolerance):
             record["flag"] = "improved"
         else:
             record["flag"] = "ok"
-        last_by_profile[profile] = batch_us
+        last_by_profile[profile] = value
         flagged.append(record)
     return flagged
 
@@ -134,7 +167,7 @@ def to_csv(records: list[dict]) -> str:
     import csv
     import io
 
-    columns = ["timestamp", "commit", *RECORD_FIELDS, "flag"]
+    columns = ["timestamp", "commit", *RECORD_FIELDS, *ADVERSARIAL_FIELDS, "flag"]
     buf = io.StringIO()
     writer = csv.DictWriter(buf, fieldnames=columns, extrasaction="ignore")
     writer.writeheader()
@@ -164,24 +197,38 @@ def to_markdown(
         rows = [r for r in flagged if r.get("profile", "default") == profile]
         lines.append(f"## profile `{profile}`")
         lines.append("")
-        lines.append(
-            "| timestamp | commit | batch_us | saved % | proof B saved % "
-            "| flag |"
-        )
-        lines.append("|---|---|---:|---:|---:|---|")
-        for r in rows:
+        if profile.startswith("adv-"):
             lines.append(
-                f"| {r.get('timestamp', '?')} | {r.get('commit', '?')} "
-                f"| {r.get('batch_us', 0.0)} | {r.get('us_saved_pct', 0.0)} "
-                f"| {r.get('proof_bytes_saved_pct', 0.0)} | {r['flag']} |"
+                "| timestamp | commit | defended_us | degradation % "
+                "| recovery % | flag |"
             )
+            lines.append("|---|---|---:|---:|---:|---|")
+            for r in rows:
+                lines.append(
+                    f"| {r.get('timestamp', '?')} | {r.get('commit', '?')} "
+                    f"| {r.get('defended_us', 0.0)} "
+                    f"| {r.get('degradation_pct', 0.0)} "
+                    f"| {r.get('recovery_pct', 0.0)} | {r['flag']} |"
+                )
+        else:
+            lines.append(
+                "| timestamp | commit | batch_us | saved % | proof B saved % "
+                "| flag |"
+            )
+            lines.append("|---|---|---:|---:|---:|---|")
+            for r in rows:
+                lines.append(
+                    f"| {r.get('timestamp', '?')} | {r.get('commit', '?')} "
+                    f"| {r.get('batch_us', 0.0)} | {r.get('us_saved_pct', 0.0)} "
+                    f"| {r.get('proof_bytes_saved_pct', 0.0)} | {r['flag']} |"
+                )
         first, last = rows[0], rows[-1]
         try:
-            delta = float(last["batch_us"]) - float(first["batch_us"])
+            delta = headline_us(last) - headline_us(first)
             lines.append("")
             lines.append(
-                f"Net change since first record: {delta:+.1f} us batch time "
-                f"({first['batch_us']} → {last['batch_us']})."
+                f"Net change since first record: {delta:+.1f} us headline "
+                f"time ({headline_us(first)} → {headline_us(last)})."
             )
         except (KeyError, TypeError, ValueError):
             pass
@@ -200,7 +247,7 @@ def regression_summary(
                 f"{record.get('timestamp', '?')} "
                 f"({record.get('commit', '?')}, "
                 f"profile {record.get('profile', '?')}): "
-                f"batch_us {record.get('batch_us')} regressed past "
+                f"{'%s %s' % headline(record)} regressed past "
                 f"{tolerance:.0%} tolerance"
             )
     return problems

@@ -227,8 +227,65 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_ycsb_adversarial(args) -> int:
+    """`ycsb --adversary`: the attack-vs-defense experiment triple.
+
+    For each attack, runs the honest / undefended / defended experiments
+    (:func:`repro.bench.adversarial.run_attack_profile`) and applies the
+    standing acceptance bars; ``--max-defended-degradation`` adds the CI
+    gate — fail when the *defended* store still loses more than the
+    committed share of honest goodput under attack.
+    """
+    from repro.bench.adversarial import (
+        acceptance_problems,
+        format_result,
+        run_attack_profile,
+    )
+    from repro.telemetry import HUB
+    from repro.ycsb.adversarial import ATTACKS
+
+    attacks = ATTACKS if args.adversary == "all" else (args.adversary,)
+    problems: list[str] = []
+    rows = []
+    # The experiments build their stores internally; the hub merges
+    # every store's telemetry into one exportable view.
+    if _wants_outputs(args):
+        HUB.activate()
+    try:
+        for attack in attacks:
+            result = run_attack_profile(attack, quick=args.quick)
+            rows.append(result)
+            print(format_result(result))
+            problems.extend(acceptance_problems(result))
+        _write_run_outputs(args, HUB)
+    finally:
+        if _wants_outputs(args):
+            HUB.deactivate()
+    if args.max_defended_degradation is not None:
+        for result in rows:
+            honest = result["honest_kops"]
+            defended = result["defended_kops"]
+            still_lost = (
+                100.0 * (honest - defended) / honest if honest else 0.0
+            )
+            if still_lost > args.max_defended_degradation:
+                problems.append(
+                    f"{result['attack']}: defended store still loses "
+                    f"{still_lost:.1f}% of honest goodput "
+                    f"(gate: {args.max_defended_degradation}%)"
+                )
+    if args.json_out:
+        _write_json(args.json_out, {"schema": 1, "results": rows})
+        print(f"results written to {args.json_out}")
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def cmd_ycsb(args) -> int:
     """The `ycsb` command: one workload run on a chosen system."""
+    if args.adversary:
+        return cmd_ycsb_adversarial(args)
     from repro.baselines.unsecured import UnsecuredLSMStore
     from repro.core.store_p1 import ELSMP1Store
     from repro.core.store_p2 import ELSMP2Store
@@ -333,11 +390,25 @@ def cmd_perf_baseline(args) -> int:
         problems = regression_problems(
             args.check, result, tolerance=args.tolerance
         )
+    results = [result]
+    if args.adversarial:
+        from repro.bench import adversarial
+
+        for row in adversarial.run_adversarial_suite(quick=args.quick):
+            print(adversarial.format_result(row))
+            problems.extend(adversarial.acceptance_problems(row))
+            # The bulky nested run dicts stay out of the committed
+            # baseline; the headline columns are the trajectory.
+            results.append(
+                {k: v for k, v in row.items() if k != "runs"}
+            )
     if args.out:
-        write_baseline(args.out, result)
+        for row in results:
+            write_baseline(args.out, row)
         print(f"baseline written to {args.out}")
     if args.history:
-        append_history(args.history, history_record(result))
+        for row in results:
+            append_history(args.history, history_record(row))
         print(f"history appended to {args.history}")
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)
@@ -663,6 +734,17 @@ def build_parser() -> argparse.ArgumentParser:
     ycsb.add_argument("--json-out", default=None, metavar="PATH",
                       help="write a structured run summary (latencies, "
                            "proof bytes, boundary crossings) as JSON")
+    ycsb.add_argument("--adversary", default=None,
+                      choices=["filter-saturation", "always-miss",
+                               "hot-key-flood", "tombstone-bomb", "all"],
+                      help="run the attack-vs-defense experiment triple "
+                           "for this attack instead of an honest workload")
+    ycsb.add_argument("--quick", action="store_true",
+                      help="with --adversary: the small CI profile")
+    ycsb.add_argument("--max-defended-degradation", type=float, default=None,
+                      metavar="PCT",
+                      help="with --adversary: fail if the defended store "
+                           "still loses more than PCT%% of honest goodput")
     ycsb.set_defaults(fn=cmd_ycsb)
 
     perf = sub.add_parser(
@@ -681,6 +763,9 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--history", default=None, metavar="PATH",
                       help="append this run as one timestamped record to a "
                            "JSONL trajectory file (BENCH_history.jsonl)")
+    perf.add_argument("--adversarial", action="store_true",
+                      help="also run the adversarial suite (adv-* profiles: "
+                           "attack degradation vs defended recovery)")
     _add_output_flags(perf)
     perf.set_defaults(fn=cmd_perf_baseline)
 

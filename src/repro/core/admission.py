@@ -1,0 +1,282 @@
+"""Per-client token-bucket admission control at the ECall boundary.
+
+The adversarial workloads (``repro.ycsb.adversarial``) show that a
+client can cost the enclave far more than its request size suggests: a
+mined filter-saturation key forces a Merkle non-membership proof per
+level, a hot-key flood grows version groups until every read hauls a
+long hash chain across the boundary.  Rate-limiting *requests* alone
+does not capture that asymmetry, so the controller keeps two budgets:
+
+* a per-client token bucket charged one token per admitted operation,
+  plus a *proof-work surcharge* after the fact — operations that made
+  the enclave assemble and verify large proofs drain their client's
+  bucket proportionally (``proof_bytes / proof_bytes_per_token``);
+* a global bucket modelling the enclave's aggregate capacity.  When it
+  runs dry the store enters the recoverable ``overloaded`` health state
+  (:meth:`repro.lsm.db.LSMStore.enter_overload`) and sheds *all* load
+  until the budget refills past the recovery level, then flips back to
+  ``ok`` — unlike the terminal read-only degradation.
+
+Shed requests fail with :class:`AdmissionShedError`, which is retryable
+and carries ``retry_after_us``; callers distinguish it from
+:class:`repro.lsm.db.StoreDegradedError` by type.  Buckets refill on
+the *simulated* clock, so admission decisions are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.sim.clock import SimClock
+
+
+class AdmissionShedError(RuntimeError):
+    """Retryable rejection: the admission controller shed this request.
+
+    Unlike :class:`repro.lsm.db.StoreDegradedError` (terminal,
+    read-only), shedding is transient back-pressure: the caller should
+    retry after ``retry_after_us`` simulated microseconds.
+    """
+
+    def __init__(self, message: str, retry_after_us: int) -> None:
+        super().__init__(message)
+        self.retry_after_us = retry_after_us
+
+
+class _TokenBucket:
+    """A token bucket refilled on the simulated clock.
+
+    Tokens may go *negative* (down to ``-debt_limit``) via proof-work
+    surcharges: a client that already cost more than its budget keeps
+    paying the debt off at the refill rate before new requests admit.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        if rate_per_s <= 0 or burst <= 0:
+            raise ValueError("rate_per_s and burst must be positive")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self.debt_limit = 2.0 * burst
+        self.tokens = burst
+        self._last_us: int | None = None
+
+    def refill(self, now_us: int) -> None:
+        if self._last_us is None:
+            self._last_us = now_us
+            return
+        elapsed = now_us - self._last_us
+        if elapsed <= 0:
+            return
+        self.tokens = min(
+            self.burst, self.tokens + elapsed * self.rate_per_s / 1_000_000.0
+        )
+        self._last_us = now_us
+
+    def try_take(self, cost: float) -> bool:
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def surcharge(self, cost: float) -> None:
+        self.tokens = max(-self.debt_limit, self.tokens - cost)
+
+    def us_until(self, level: float) -> int:
+        """Simulated us of refill needed to reach ``level`` tokens.
+
+        Rounded *up*: a client that honours the hint exactly must find
+        the bucket refilled, or the hint would teach it to busy-retry.
+        """
+        deficit = level - self.tokens
+        if deficit <= 0:
+            return 1
+        return max(1, math.ceil(deficit * 1_000_000.0 / self.rate_per_s))
+
+
+class AdmissionController:
+    """Admission decisions for every ECall entering the store."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        telemetry,
+        *,
+        rate_per_s: float,
+        burst: float | None = None,
+        global_rate_per_s: float | None = None,
+        global_burst: float | None = None,
+        proof_bytes_per_token: int = 4096,
+        recover_tokens: float | None = None,
+        structural_rate_per_s: float | None = None,
+        structural_burst: float | None = None,
+        on_overload: Callable[[str], None] | None = None,
+        on_recover: Callable[[], None] | None = None,
+    ) -> None:
+        self.clock = clock
+        self.rate_per_s = rate_per_s
+        self.burst = burst if burst is not None else max(1.0, rate_per_s / 10.0)
+        self.global_rate_per_s = (
+            global_rate_per_s if global_rate_per_s is not None else 4.0 * rate_per_s
+        )
+        gburst = (
+            global_burst
+            if global_burst is not None
+            else max(1.0, self.global_rate_per_s / 10.0)
+        )
+        if proof_bytes_per_token <= 0:
+            raise ValueError("proof_bytes_per_token must be positive")
+        self.proof_bytes_per_token = proof_bytes_per_token
+        self.on_overload = on_overload
+        self.on_recover = on_recover
+        self._global = _TokenBucket(self.global_rate_per_s, gburst)
+        #: Overload clears once the global bucket refills to this level
+        #: — the hysteresis between shedding and resuming service.
+        self._recover_tokens = (
+            recover_tokens if recover_tokens is not None else gburst / 2.0
+        )
+        self._buckets: dict[str, _TokenBucket] = {}
+        #: Optional per-client budget for *structural* operations —
+        #: writes whose cost is dominated by future lifecycle work
+        #: (tombstones: flush, then an authenticated merge through every
+        #: level before dying at the bottom).  Token price alone cannot
+        #: bound them: any price affordable to honest deletes refills
+        #: too fast for an attacker sweeping the key range, so structural
+        #: ops carry a second, much slower budget on top of the ordinary
+        #: one.
+        self.structural_rate_per_s = structural_rate_per_s
+        self.structural_burst = (
+            structural_burst
+            if structural_burst is not None
+            else (
+                max(1.0, structural_rate_per_s / 100.0)
+                if structural_rate_per_s is not None
+                else None
+            )
+        )
+        self._structural: dict[str, _TokenBucket] = {}
+        self.overloaded = False
+        self._m_requests = telemetry.counter(
+            "admission.requests",
+            "ECall admission decisions",
+            labels=("decision",),
+        )
+        self._m_surcharge_tokens = telemetry.counter(
+            "admission.surcharge.tokens",
+            "tokens surcharged to client budgets after the fact, by kind "
+            "(proof work, negative-lookup penalty)",
+            labels=("kind",),
+        )
+
+    def _bucket(self, client: str) -> _TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = _TokenBucket(self.rate_per_s, self.burst)
+            self._buckets[client] = bucket
+        return bucket
+
+    def admit(
+        self, client: str, op: str, cost: float = 1.0, structural: bool = False
+    ) -> None:
+        """Admit one operation or raise :class:`AdmissionShedError`.
+
+        ``cost`` prices the operation in tokens; ordinary requests cost
+        1, while ops whose expense is front-loaded (tombstone writes,
+        writes extending an oversized version group) are charged more at
+        the door.  ``structural`` ops additionally pay one token from
+        the client's slow structural budget, when one is configured.
+        """
+        now = self.clock.now_us
+        self._global.refill(now)
+        bucket = self._bucket(client)
+        bucket.refill(now)
+        if self.overloaded and self._global.tokens >= self._recover_tokens:
+            self.overloaded = False
+            if self.on_recover is not None:
+                self.on_recover()
+        if self.overloaded:
+            self._shed(client, op, self._global.us_until(self._recover_tokens))
+        sbucket = None
+        if structural and self.structural_rate_per_s is not None:
+            sbucket = self._structural.get(client)
+            if sbucket is None:
+                sbucket = _TokenBucket(
+                    self.structural_rate_per_s, self.structural_burst
+                )
+                self._structural[client] = sbucket
+            sbucket.refill(now)
+            if not sbucket.try_take(1.0):
+                self._shed(client, op, sbucket.us_until(1.0))
+        if not bucket.try_take(cost):
+            if sbucket is not None:
+                sbucket.tokens += 1.0  # refund: the op never ran
+            self._shed(client, op, bucket.us_until(cost))
+        if not self._global.try_take(cost):
+            bucket.tokens += cost  # refund: the op never ran
+            if sbucket is not None:
+                sbucket.tokens += 1.0
+            self.overloaded = True
+            if self.on_overload is not None:
+                self.on_overload(f"admission budget exhausted ({op} from {client})")
+            self._shed(client, op, self._global.us_until(self._recover_tokens))
+        self._m_requests.inc(decision="admitted")
+
+    def _shed(self, client: str, op: str, retry_after_us: int) -> None:
+        self._m_requests.inc(decision="shed")
+        raise AdmissionShedError(
+            f"admission control shed {op} from {client}; "
+            f"retry after ~{retry_after_us}us",
+            retry_after_us=retry_after_us,
+        )
+
+    def surcharge(
+        self, client: str, tokens: float, kind: str, global_too: bool = True
+    ) -> None:
+        """Debit a client (and optionally the global budget) after the
+        fact.
+
+        Surcharges are how the controller prices the *asymmetry* between
+        a request's size and what it cost the enclave; a client may go
+        into bounded debt and pays it off at the refill rate before new
+        requests admit.  Behavioural *penalties* (as opposed to real
+        work performed) charge only the offending client: letting them
+        drain the shared budget would hand the attacker a new
+        amplification lever — provoke penalties, deny everyone.
+        """
+        if tokens <= 0:
+            return
+        self._bucket(client).surcharge(tokens)
+        if global_too:
+            self._global.surcharge(tokens)
+        self._m_surcharge_tokens.inc(tokens, kind=kind)
+
+    def charge_negative(self, client: str, tokens: float) -> None:
+        """Surcharge a read that resolved to *absent* (negative lookup).
+
+        Honest clients overwhelmingly ask for keys that exist; streams
+        dominated by absent-key reads are exactly what filter-saturation
+        and always-miss attacks monetise, so negative results carry a
+        penalty that drains such a client's budget ahead of its request
+        rate.
+        """
+        self.surcharge(client, tokens, "negative", global_too=False)
+
+    def charge_proof_work(self, client: str, proof_bytes: int) -> None:
+        """Surcharge an admitted operation by the proof work it caused —
+        real enclave work, so the global budget pays too."""
+        if proof_bytes <= 0:
+            return
+        self.surcharge(
+            client, proof_bytes / self.proof_bytes_per_token, "proof"
+        )
+
+    def snapshot(self) -> dict:
+        """Operational snapshot for ``report()``."""
+        return {
+            "overloaded": self.overloaded,
+            "global_tokens": round(self._global.tokens, 3),
+            "clients": {
+                name: round(bucket.tokens, 3)
+                for name, bucket in sorted(self._buckets.items())
+            },
+        }

@@ -22,6 +22,7 @@ import threading
 
 from dataclasses import dataclass
 
+from repro.core.admission import AdmissionController
 from repro.core.auth_compaction import AuthCompactionListener
 from repro.core.digest import DigestRegistry
 from repro.core.encryption import MODE_PLAIN, KeyValueCodec
@@ -31,11 +32,12 @@ from repro.core.proofs import (
     BatchGetProof,
     GetProof,
     LevelMembership,
+    LevelNonMembership,
     LevelSkipped,
     ScanProof,
 )
 from repro.core.verifier import Verifier
-from repro.cryptoprim.hashing import constant_time_eq
+from repro.cryptoprim.hashing import FILTER_SALT_LEN, constant_time_eq
 from repro.lsm.db import LSMConfig, LSMStore
 from repro.lsm.records import Record
 from repro.sgx.counter import BufferedCounterAnchor, TrustedMonotonicCounter
@@ -106,6 +108,10 @@ class ELSMP2Store:
         block_bytes: int = 4096,
         bloom_bits_per_key: int = 10,
         use_bloom: bool = True,
+        salted_bloom: bool = True,
+        admission_rate_per_s: float | None = None,
+        admission_burst: float | None = None,
+        admission_proof_bytes_per_token: int = 4096,
         compaction: bool = True,
         keep_versions: bool = True,
         compression: bool = False,
@@ -157,6 +163,20 @@ class ELSMP2Store:
             "proof.verify.hash_invocations",
             "trusted hashes spent verifying query proofs",
         )
+        # Shared with LSMStore (get-or-create by name): the P2 proof
+        # path consults filters through _trusted_absence, not through
+        # db.get_with_level, so it keeps the same books itself.
+        self._m_bloom_checks = self.telemetry.counter(
+            "lsm.bloom.checks", "per-level filter consultations on reads"
+        )
+        self._m_bloom_negatives = self.telemetry.counter(
+            "lsm.bloom.negatives",
+            "trusted-negative filter hits (level skipped, no proof needed)",
+        )
+        self._m_bloom_fp = self.telemetry.counter(
+            "lsm.bloom.false_positives",
+            "filter said maybe but the level had no group for the key",
+        )
 
         if proof_mode not in ("embedded", "on_demand"):
             raise ValueError(f"unknown proof_mode: {proof_mode}")
@@ -169,6 +189,15 @@ class ELSMP2Store:
             encryption_mode, secret, key_width=encryption_key_width
         )
 
+        # Keyed Bloom hashing: the master salt comes from enclave
+        # randomness, so the attacker outside cannot precompute
+        # filter-saturating keys.  A reopened store overwrites this with
+        # the *sealed* salt in load_trusted_state before the manifest
+        # (and hence every filter) is rebuilt.
+        self.salted_bloom = salted_bloom
+        bloom_salt = (
+            self.enclave.random_bytes(FILTER_SALT_LEN) if salted_bloom else b""
+        )
         lsm_config = LSMConfig(
             write_buffer_bytes=write_buffer_bytes
             or max(self.scale.scale_bytes(4 * MB), 8 * 1024),
@@ -189,6 +218,7 @@ class ELSMP2Store:
             compaction_enabled=compaction,
             keep_versions=keep_versions,
             wal_sync_every=wal_sync_every,
+            bloom_salt=bloom_salt,
         )
         self.db = LSMStore(
             self.env,
@@ -197,6 +227,16 @@ class ELSMP2Store:
             name_prefix=name_prefix,
             reopen=reopen,
         )
+        # Token-bucket admission control at the ECall boundary (off by
+        # default; the adversarial defense stack turns it on).
+        self.admission: AdmissionController | None = None
+        if admission_rate_per_s is not None:
+            self.enable_admission(
+                admission_rate_per_s,
+                burst=admission_burst,
+                proof_bytes_per_token=admission_proof_bytes_per_token,
+            )
+        self._client = "default"
         prover_cls = Prover if proof_mode == "embedded" else OnDemandProver
         self.prover = prover_cls(self.db)
         self.early_stop = early_stop
@@ -253,6 +293,109 @@ class ELSMP2Store:
         return self._ts
 
     # ------------------------------------------------------------------
+    # Admission control (ECall boundary)
+    # ------------------------------------------------------------------
+    def set_client(self, name: str) -> None:
+        """Name the client whose budget subsequent operations charge.
+
+        The simulation is single-threaded per store, so the identity is
+        ambient state rather than a per-call argument; workload drivers
+        switch it when interleaving honest and adversarial traffic.
+        """
+        self._client = name
+
+    def enable_admission(
+        self,
+        rate_per_s: float,
+        *,
+        burst: float | None = None,
+        global_rate_per_s: float | None = None,
+        global_burst: float | None = None,
+        proof_bytes_per_token: int = 4096,
+        recover_tokens: float | None = None,
+        structural_rate_per_s: float | None = None,
+        structural_burst: float | None = None,
+    ) -> AdmissionController:
+        """Arm admission control, e.g. after an operator bulk load.
+
+        Bulk loading through an armed controller would shed the
+        operator's own writes, so benches load first and arm second.
+        """
+        self.admission = AdmissionController(
+            self.clock,
+            self.telemetry,
+            rate_per_s=rate_per_s,
+            burst=burst,
+            global_rate_per_s=global_rate_per_s,
+            global_burst=global_burst,
+            proof_bytes_per_token=proof_bytes_per_token,
+            recover_tokens=recover_tokens,
+            structural_rate_per_s=structural_rate_per_s,
+            structural_burst=structural_burst,
+            on_overload=self.db.enter_overload,
+            on_recover=self.db.exit_overload,
+        )
+        return self.admission
+
+    def health(self) -> dict:
+        """Graded health (``ok`` / ``overloaded`` / ``degraded``)."""
+        return self.db.health()
+
+    #: Per-level admission price of a tombstone write.  A delete is
+    #: nearly free to issue but its lifecycle is all debt: a WAL append
+    #: and fsync, a flush, and an authenticated merge at every level it
+    #: must sink through before dying at the bottom — so its door price
+    #: scales with the tree it has to traverse.  Honest YCSB mixes have
+    #: no deletes, so the price never touches them.
+    TOMBSTONE_LEVEL_COST = 8.0
+
+    #: Version-group size past which further writes to the same key get
+    #: quadratically more expensive at the admission door.  Every extra
+    #: version makes reads of that key haul a longer hash chain and
+    #: compactions merge a bigger group — damage that outlives the
+    #: write — so the enclave publishes the current price and admission
+    #: collects it *before* the ECall.  Pricing at the door (rather than
+    #: surcharging after the fact) means a flood is cut off outright
+    #: once the price exceeds any bucket's burst, and the global budget
+    #: only ever drains for work actually accepted.  The hint leaks the
+    #: group's magnitude, which on-disk file sizes leak anyway.
+    HOT_GROUP_THRESHOLD = 4
+
+    def _admit(
+        self, op: str, cost: float = 1.0, structural: bool = False
+    ) -> None:
+        """Admission check as the ECall enters; sheds with a retryable
+        error when the current client or the store is out of budget."""
+        if self.admission is not None:
+            self.admission.admit(
+                self._client, op, cost=cost, structural=structural
+            )
+
+    def _hot_write_cost(self, stored_key: bytes) -> float:
+        """Door price of one more version of ``stored_key``."""
+        group = len(self.db.memtable.versions(stored_key))
+        if group <= self.HOT_GROUP_THRESHOLD:
+            return 1.0
+        over = (group - self.HOT_GROUP_THRESHOLD) / self.HOT_GROUP_THRESHOLD
+        return 1.0 + over * over
+
+    def _charge_proof_work(self, proof_bytes: int) -> None:
+        if self.admission is not None:
+            self.admission.charge_proof_work(self._client, proof_bytes)
+
+    #: Extra admission tokens a read that resolves to *absent* costs its
+    #: client.  Honest YCSB mixes essentially never read missing keys,
+    #: while filter-saturation and always-miss floods are nothing but
+    #: negative lookups — the penalty drains those budgets fast.
+    NEGATIVE_READ_COST = 2.0
+
+    def _charge_negative(self, count: int = 1) -> None:
+        if self.admission is not None and count > 0:
+            self.admission.charge_negative(
+                self._client, count * self.NEGATIVE_READ_COST
+            )
+
+    # ------------------------------------------------------------------
     # Write path (w1-w3)
     # ------------------------------------------------------------------
     def put(self, key: bytes, value: bytes) -> int:
@@ -261,17 +404,17 @@ class ELSMP2Store:
         The span opens *outside* the ECall so the boundary-crossing
         charge lands in ``elsm.put``'s ledger, not its parent's.
         """
-        with self._op_lock, self.telemetry.span("elsm.put"), self.env.op_call(
-            "put", in_bytes=len(key) + len(value)
-        ):
-            ts = self._next_ts()
+        with self._op_lock, self.telemetry.span("elsm.put"):
             stored_key = self.codec.encode_key(key)
-            stored_value = self.codec.encode_value(value)
-            if self.codec.mode != MODE_PLAIN:
-                self.env.trusted_cipher(len(key) + len(value))
-            self.db.put(stored_key, stored_value, ts)
-            self._maybe_anchor()
-            return ts
+            self._admit("put", cost=self._hot_write_cost(stored_key))
+            with self.env.op_call("put", in_bytes=len(key) + len(value)):
+                ts = self._next_ts()
+                stored_value = self.codec.encode_value(value)
+                if self.codec.mode != MODE_PLAIN:
+                    self.env.trusted_cipher(len(key) + len(value))
+                self.db.put(stored_key, stored_value, ts)
+                self._maybe_anchor()
+                return ts
 
     def write_batch(self, pairs, deletes=()) -> list[int]:
         """Atomic multi-write: one ECall, one lock, consecutive stamps."""
@@ -285,7 +428,12 @@ class ELSMP2Store:
         for key in deletes:
             batch.delete(self.codec.encode_key(key))
             total_bytes += len(key)
-        with self._op_lock, self.env.op_call("write_batch", in_bytes=total_bytes):
+        with self._op_lock:
+            self._admit("write_batch")
+            return self._write_batch_admitted(batch, total_bytes)
+
+    def _write_batch_admitted(self, batch, total_bytes: int) -> list[int]:
+        with self.env.op_call("write_batch", in_bytes=total_bytes):
             if self.codec.mode != MODE_PLAIN:
                 self.env.trusted_cipher(total_bytes)
             stamps = self.db.write_batch(batch)
@@ -296,11 +444,18 @@ class ELSMP2Store:
 
     def delete(self, key: bytes) -> int:
         """DELETE(k): writes a tombstone."""
-        with self._op_lock, self.env.op_call("delete", in_bytes=len(key)):
-            ts = self._next_ts()
-            self.db.delete(self.codec.encode_key(key), ts)
-            self._maybe_anchor()
-            return ts
+        with self._op_lock:
+            self._admit(
+                "delete",
+                cost=self.TOMBSTONE_LEVEL_COST
+                * (len(self.registry.nonempty_levels()) + 1),
+                structural=True,
+            )
+            with self.env.op_call("delete", in_bytes=len(key)):
+                ts = self._next_ts()
+                self.db.delete(self.codec.encode_key(key), ts)
+                self._maybe_anchor()
+                return ts
 
     def _maybe_anchor(self) -> None:
         if self.rollback_protection:
@@ -321,9 +476,16 @@ class ELSMP2Store:
     def get_verified(self, key: bytes, ts_query: int | None = None) -> VerifiedGet:
         """GET with the full verified proof exposed (stored-form record)."""
         # The span wraps the ECall so boundary charges land in its ledger.
-        with self._op_lock, self.telemetry.span(
-            "elsm.get"
-        ) as span, self.env.op_call("get", in_bytes=len(key)):
+        with self._op_lock, self.telemetry.span("elsm.get") as span:
+            # Admission runs in the untrusted dispatch layer, before the
+            # enclave transition: a shed request must not cost an ECall.
+            self._admit("get")
+            return self._get_verified_admitted(key, ts_query, span)
+
+    def _get_verified_admitted(
+        self, key: bytes, ts_query: int | None, span
+    ) -> VerifiedGet:
+        with self.env.op_call("get", in_bytes=len(key)):
             tsq = self._ts if ts_query is None else ts_query
             stored_key = self.codec.encode_key(key)
             # Level L0 (the MemTable) is inside the enclave: trusted.
@@ -354,6 +516,9 @@ class ELSMP2Store:
             )
             self.total_proof_bytes += proof_bytes
             self.telemetry.charge_resource("proof.bytes", proof_bytes)
+            self._charge_proof_work(proof_bytes)
+            if record is None:
+                self._charge_negative()
             self._m_proof_get_bytes.observe(proof_bytes)
             stop_level = max(
                 (entry.level for entry in proof.levels), default="none"
@@ -393,6 +558,9 @@ class ELSMP2Store:
         with self._op_lock, self.telemetry.span("elsm.multi_get") as span:
             tsq = self._ts if ts_query is None else ts_query
             stored = [self.codec.encode_key(key) for key in keys]
+            # Admission runs before the enclave transition: a shed
+            # request must not cost an ECall.
+            self._admit("multi_get")
             with self.env.op_call(
                 "multi_get", in_bytes=sum(len(k) for k in keys)
             ):
@@ -439,6 +607,10 @@ class ELSMP2Store:
                         )
                         for stored_key in ask:
                             entry = answers[stored_key]
+                            if self.db.config.use_bloom and isinstance(
+                                entry, LevelNonMembership
+                            ):
+                                self._m_bloom_fp.inc()
                             per_key_entries[stored_key].append(entry)
                             if (
                                 self.early_stop
@@ -469,6 +641,10 @@ class ELSMP2Store:
                 records = [by_key.get(sk) for sk in stored]
                 self.total_proof_bytes += proof_bytes
                 self.telemetry.charge_resource("proof.bytes", proof_bytes)
+                self._charge_proof_work(proof_bytes)
+                self._charge_negative(
+                    sum(1 for record in verified if record is None)
+                )
                 self._m_proof_multiget_bytes.observe(proof_bytes)
                 span.set(batch_size=len(keys), proof_bytes=proof_bytes)
                 return VerifiedMultiGet(
@@ -488,6 +664,10 @@ class ELSMP2Store:
                 proof.levels.append(LevelSkipped(level, "trusted-metadata"))
                 continue
             entry = self.prover.level_get_proof(level, stored_key, tsq)
+            if self.db.config.use_bloom and isinstance(entry, LevelNonMembership):
+                # The filter said "maybe" but the level had nothing: the
+                # false positive cost a full non-membership proof.
+                self._m_bloom_fp.inc()
             proof.levels.append(entry)
             if (
                 self.early_stop
@@ -498,21 +678,39 @@ class ELSMP2Store:
         return proof
 
     def _trusted_absence(self, level: int, stored_key: bytes) -> bool:
-        """Bloom/key-range check over trusted in-enclave metadata."""
+        """Bloom/key-range check over trusted in-enclave metadata.
+
+        A negative here is a sound non-membership witness (filters have
+        no false negatives), so the level is skipped without a Merkle
+        proof — which is exactly why a *false positive* is expensive: it
+        forces a full non-membership proof for the level, the asymmetry
+        the filter-saturation adversary mines for.
+        """
         run = self.db.level_run(level)
         if run is None or run.is_empty:
             return True
         if not self.db.config.use_bloom:
             return False
-        return not run.may_contain(stored_key)
+        self._m_bloom_checks.inc()
+        if run.may_contain(stored_key):
+            return False
+        self._m_bloom_negatives.inc()
+        return True
 
     def scan(
         self, lo: bytes, hi: bytes, ts_query: int | None = None
     ) -> list[tuple[bytes, bytes]]:
         """SCAN(k1, k2, tsq): verified-complete range result."""
-        with self._op_lock, self.telemetry.span("elsm.scan") as span, self.env.op_call(
-            "scan", in_bytes=len(lo) + len(hi)
-        ):
+        with self._op_lock, self.telemetry.span("elsm.scan") as span:
+            # Admission runs before the enclave transition: a shed
+            # request must not cost an ECall.
+            self._admit("scan")
+            return self._scan_admitted(lo, hi, ts_query, span)
+
+    def _scan_admitted(
+        self, lo: bytes, hi: bytes, ts_query: int | None, span
+    ) -> list[tuple[bytes, bytes]]:
+        with self.env.op_call("scan", in_bytes=len(lo) + len(hi)):
             if not self.codec.supports_range:
                 raise ValueError(
                     "deterministic key encryption cannot serve range queries; "
@@ -537,6 +735,7 @@ class ELSMP2Store:
             self._m_proof_scan_bytes.observe(scan_proof_bytes)
             self.total_proof_bytes += scan_proof_bytes
             self.telemetry.charge_resource("proof.bytes", scan_proof_bytes)
+            self._charge_proof_work(scan_proof_bytes)
             span.set(result_count=len(records), proof_bytes=scan_proof_bytes)
             return [
                 (self.codec.decode_key(r.key), self.codec.decode_value(r.value))
@@ -652,6 +851,10 @@ class ELSMP2Store:
             "cost_breakdown_us": self.clock.breakdown(),
             "spans_dropped": self.telemetry.tracer.dropped,
             "events_dropped": self.telemetry.events.dropped,
+            "salted_bloom": bool(self.db.config.bloom_salt),
+            "admission": (
+                self.admission.snapshot() if self.admission is not None else None
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -674,6 +877,10 @@ class ELSMP2Store:
             "dataset": dataset.hex(),
             "manifest_seq": self.db.manifest_seq,
             "wal_epoch": self.db.wal.epoch if self.db.wal is not None else 0,
+            # The Bloom master salt travels only inside the sealed blob:
+            # recovery must rebuild the *same* keyed filters, and the
+            # untrusted disk must never learn the key.
+            "bloom_salt": self.db.config.bloom_salt.hex(),
         }
         return seal(self.enclave, payload)
 
@@ -736,6 +943,11 @@ class ELSMP2Store:
         self.registry.load_payload(payload["registry"])
         self.listener.wal_digest = bytes.fromhex(payload["wal_digest"])
         self._ts = payload["ts"]
+        # Restore the sealed Bloom salt *before* the manifest reload
+        # that follows in recover_from_seal: every filter rebuilt from
+        # file bytes must be keyed exactly as the original was.  Seals
+        # from before the keyed-filter feature carry no salt (unkeyed).
+        self.db.config.bloom_salt = bytes.fromhex(payload.get("bloom_salt", ""))
         self.anchor.restore(payload["counter"], bytes.fromhex(payload["dataset"]))
 
     def recover_from_seal(self, blob: SealedBlob) -> int:

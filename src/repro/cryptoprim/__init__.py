@@ -10,8 +10,10 @@ crypto strength.
 """
 
 from repro.cryptoprim.hashing import (
+    FILTER_SALT_LEN,
     HASH_LEN,
     constant_time_eq,
+    derive_filter_salt,
     hash_chain_node,
     hash_internal,
     hash_leaf,
@@ -23,8 +25,10 @@ from repro.cryptoprim.ope import OrderPreservingEncoder
 from repro.cryptoprim.value_encrypt import ValueCipher
 
 __all__ = [
+    "FILTER_SALT_LEN",
     "HASH_LEN",
     "constant_time_eq",
+    "derive_filter_salt",
     "sha256",
     "tagged_hash",
     "hash_leaf",

@@ -19,6 +19,9 @@ HASH_LEN = 32
 _TAG_LEAF = b"elsm/leaf"
 _TAG_INTERNAL = b"elsm/node"
 _TAG_CHAIN = b"elsm/chain"
+_TAG_FILTER_SALT = b"elsm/filter-salt"
+
+FILTER_SALT_LEN = 16
 
 
 def sha256(data: bytes) -> bytes:
@@ -68,3 +71,19 @@ def hash_chain_node(record_bytes: bytes, older_digest: bytes | None) -> bytes:
     oldest record).
     """
     return tagged_hash(_TAG_CHAIN, record_bytes, older_digest or b"")
+
+
+def derive_filter_salt(master_salt: bytes, file_no: int) -> bytes:
+    """Per-SSTable Bloom salt from the store's sealed master salt.
+
+    A single master salt lives in the sealed trusted state; each table's
+    filter is keyed with a domain-separated derivation over its file
+    number, so tables do not share bit positions and only one secret ever
+    needs sealing.  An empty master salt yields an empty per-table salt
+    (legacy unkeyed filters).
+    """
+    if not master_salt:
+        return b""
+    return tagged_hash(
+        _TAG_FILTER_SALT, master_salt, struct.pack("<Q", file_no)
+    )[:FILTER_SALT_LEN]

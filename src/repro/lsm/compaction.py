@@ -18,7 +18,7 @@ events eLSM's authenticated COMPACTION hangs off.  Guarantees:
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.lsm.events import CompactionContext, EventListener
 from repro.lsm.records import Record
@@ -39,6 +39,7 @@ class Compactor:
         keep_versions: bool = True,
         protect_files: bool = False,
         compression: bool = False,
+        bloom_salt_provider: Callable[[], bytes] | None = None,
     ) -> None:
         self.env = env
         self.listeners = listeners
@@ -48,6 +49,9 @@ class Compactor:
         self.keep_versions = keep_versions
         self.protect_files = protect_files
         self.compression = compression
+        # Read lazily so a salt restored after construction (seal
+        # recovery) reaches every file this compactor builds.
+        self.bloom_salt_provider = bloom_salt_provider or (lambda: b"")
 
     def run(
         self,
@@ -148,6 +152,7 @@ class Compactor:
             bloom_bits_per_key=self.bloom_bits_per_key,
             protect=self.protect_files,
             compress=self.compression,
+            bloom_salt=self.bloom_salt_provider(),
         )
         for record, aux in entries:
             builder.add(record, aux)

@@ -40,7 +40,9 @@ class StoreDegradedError(RuntimeError):
 
     Raised by write operations once :meth:`LSMStore.health` has flipped
     to degraded; reads continue to be served from the intact in-memory
-    and on-disk state.
+    and on-disk state.  Degradation is *terminal* for the process —
+    contrast with the retryable ``overloaded`` state (see
+    :class:`repro.core.admission.AdmissionShedError`), which recovers.
     """
 
 
@@ -64,6 +66,11 @@ class LSMConfig:
     keep_versions: bool = True
     wal_enabled: bool = True
     wal_sync_every: int | None = None  # None -> DEFAULT_WAL_SYNC_EVERY
+    #: Master salt keying every SSTable Bloom filter (b"" = legacy
+    #: unkeyed hashing).  eLSM draws it from enclave randomness and
+    #: seals it with the trusted state; it must never be persisted to
+    #: the untrusted disk.
+    bloom_salt: bytes = b""
 
 
 class WriteBatch:
@@ -158,6 +165,22 @@ class LSMStore:
             "lsm.degraded.events",
             "times the store flipped to read-only on storage failure",
         )
+        self._m_overload = self.telemetry.counter(
+            "lsm.overload.transitions",
+            "overload state transitions (entered / recovered)",
+            labels=("state",),
+        )
+        self._m_bloom_checks = self.telemetry.counter(
+            "lsm.bloom.checks", "per-level filter consultations on reads"
+        )
+        self._m_bloom_negatives = self.telemetry.counter(
+            "lsm.bloom.negatives",
+            "trusted-negative filter hits (level skipped, no proof needed)",
+        )
+        self._m_bloom_fp = self.telemetry.counter(
+            "lsm.bloom.false_positives",
+            "filter said maybe but the level had no group for the key",
+        )
 
         env.meta_region(_MEMTABLE_REGION)
         env.meta_region(_TABLE_META_REGION)
@@ -196,6 +219,7 @@ class LSMStore:
             keep_versions=self.config.keep_versions,
             protect_files=self.config.protect_files,
             compression=self.config.compression,
+            bloom_salt_provider=lambda: self.config.bloom_salt,
         )
         self._levels: dict[int, LevelRun] = {}
         self._file_no = 0
@@ -207,6 +231,7 @@ class LSMStore:
         self._flushed_ts = 0
         self._health = "ok"
         self._degraded_reason: str | None = None
+        self._overload_reason: str | None = None
         #: Called with a reason ("flush", "compaction", "wal_sync") at
         #: every commit point; eLSM-P2 persists its sealed state here so
         #: the on-disk seal always names the newest manifest/WAL epoch.
@@ -273,15 +298,52 @@ class LSMStore:
     # Health
     # ------------------------------------------------------------------
     def health(self) -> dict:
-        """Operational status: ``ok`` or ``degraded`` (read-only)."""
+        """Operational status, graded:
+
+        * ``ok`` — normal service;
+        * ``overloaded`` — load is being shed with retryable errors at
+          the admission layer; admitted operations still succeed, and
+          the store returns to ``ok`` once pressure subsides;
+        * ``degraded`` — read-only after a persistent storage failure
+          (terminal for the process).
+        """
+        if self._health == "degraded":
+            reason = self._degraded_reason
+        else:
+            reason = self._overload_reason
         return {
             "status": self._health,
-            "read_only": self._health != "ok",
-            "reason": self._degraded_reason,
+            "read_only": self._health == "degraded",
+            "reason": reason,
         }
 
+    def enter_overload(self, reason: str) -> None:
+        """Flip ``ok`` -> ``overloaded`` (no-op from any other state).
+
+        Called by the admission controller when its global budget is
+        exhausted; unlike :meth:`_degrade` this is recoverable and does
+        not make the store read-only.
+        """
+        with self._lock:
+            if self._health != "ok":
+                return
+            self._health = "overloaded"
+            self._overload_reason = reason
+            self._m_overload.inc(state="entered")
+            self.telemetry.emit("lsm.overloaded", reason=reason)
+
+    def exit_overload(self) -> None:
+        """Flip ``overloaded`` back to ``ok`` (no-op otherwise)."""
+        with self._lock:
+            if self._health != "overloaded":
+                return
+            self._health = "ok"
+            reason, self._overload_reason = self._overload_reason, None
+            self._m_overload.inc(state="recovered")
+            self.telemetry.emit("lsm.overload.recovered", reason=reason or "")
+
     def _guard_write(self) -> None:
-        if self._health != "ok":
+        if self._health == "degraded":
             raise StoreDegradedError(
                 f"store is read-only (degraded: {self._degraded_reason})"
             )
@@ -319,9 +381,14 @@ class LSMStore:
                 self.env.clock.charge(
                     "compute", self.env.costs.cpu_block_scan_us
                 )
-                if self.config.use_bloom and not run.may_contain(key):
-                    continue
+                if self.config.use_bloom:
+                    self._m_bloom_checks.inc()
+                    if not run.may_contain(key):
+                        self._m_bloom_negatives.inc()
+                        continue
                 group = run.get_group(self.fetcher, key)
+                if not group and self.config.use_bloom:
+                    self._m_bloom_fp.inc()
                 for candidate, _aux in group:
                     if ts_query is None or candidate.ts <= ts_query:
                         self._m_get_level.inc(level=str(level))
@@ -369,11 +436,17 @@ class LSMStore:
                     self.env.clock.charge(
                         "compute", self.env.costs.cpu_block_scan_us
                     )
-                    if self.config.use_bloom and not run.may_contain(key):
-                        still_pending.append(key)
-                        continue
+                    if self.config.use_bloom:
+                        self._m_bloom_checks.inc()
+                        if not run.may_contain(key):
+                            self._m_bloom_negatives.inc()
+                            still_pending.append(key)
+                            continue
                     found = None
-                    for candidate, _aux in run.get_group(scoped, key):
+                    group = run.get_group(scoped, key)
+                    if not group and self.config.use_bloom:
+                        self._m_bloom_fp.inc()
+                    for candidate, _aux in group:
                         if ts_query is None or candidate.ts <= ts_query:
                             found = candidate
                             break
@@ -873,6 +946,7 @@ class LSMStore:
                             bloom_bits_per_key=self.config.bloom_bits_per_key,
                             protect=self.config.protect_files,
                             compress=self.config.compression,
+                            bloom_salt=self.config.bloom_salt,
                         )
                         for entry in files
                     ]

@@ -24,6 +24,7 @@ import zlib
 from bisect import bisect_left
 from dataclasses import dataclass
 
+from repro.cryptoprim.hashing import derive_filter_salt
 from repro.lsm.bloom import BloomFilter
 from repro.lsm.cache import Block, ReadBuffer
 from repro.lsm.records import Record
@@ -123,6 +124,7 @@ class SSTableBuilder:
         bloom_bits_per_key: int = 10,
         protect: bool = False,
         compress: bool = False,
+        bloom_salt: bytes = b"",
     ) -> None:
         self.env = env
         self.name = name
@@ -132,6 +134,9 @@ class SSTableBuilder:
         self.bloom_bits_per_key = bloom_bits_per_key
         self.protect = protect
         self.compress = compress
+        # Master Bloom salt; the per-table salt is derived from it and the
+        # file number so the secret never varies per call site.
+        self.bloom_salt = bloom_salt
         self._pending = bytearray()  # raw bytes of the open block
         self._buf = bytearray()
         self._block_start = 0
@@ -197,7 +202,11 @@ class SSTableBuilder:
         data = bytes(self._buf)
         self.env.file_write(self.name, data)
         self.env.file_fsync(self.name)  # a level's files must be durable
-        bloom = BloomFilter.build(self._keys, self.bloom_bits_per_key)
+        bloom = BloomFilter.build(
+            self._keys,
+            self.bloom_bits_per_key,
+            salt=derive_filter_salt(self.bloom_salt, self.file_no),
+        )
         return SSTableMeta(
             name=self.name,
             level=self.level,
@@ -221,6 +230,7 @@ def rebuild_meta(
     bloom_bits_per_key: int = 10,
     protect: bool = False,
     compress: bool = False,
+    bloom_salt: bytes = b"",
 ) -> SSTableMeta:
     """Reconstruct an SSTable's in-memory metadata from its file bytes.
 
@@ -289,7 +299,9 @@ def rebuild_meta(
         level=level,
         file_no=file_no,
         handles=handles,
-        bloom=BloomFilter.build(keys, bloom_bits_per_key),
+        bloom=BloomFilter.build(
+            keys, bloom_bits_per_key, salt=derive_filter_salt(bloom_salt, file_no)
+        ),
         min_key=handles[0].first_key,
         max_key=handles[-1].last_key,
         record_count=record_count,

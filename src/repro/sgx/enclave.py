@@ -44,6 +44,9 @@ class Enclave:
         # Keys a real enclave derives from the CPU's fused secrets.
         self.measurement = hashlib.sha256(code_identity).digest()
         self.sealing_key = hashlib.sha256(b"seal" + self.measurement).digest()
+        # Counter-mode DRBG state backing random_bytes().
+        self._rng_key = hashlib.sha256(b"rng" + self.measurement).digest()
+        self._rng_counter = 0
 
     # ------------------------------------------------------------------
     # Region management
@@ -92,6 +95,28 @@ class Enclave:
     def over_epc(self) -> bool:
         """True when the enclave's virtual footprint exceeds the EPC."""
         return self.total_bytes() > self.epc_bytes
+
+    # ------------------------------------------------------------------
+    # Trusted randomness
+    # ------------------------------------------------------------------
+    def random_bytes(self, nbytes: int) -> bytes:
+        """Enclave-internal randomness (stand-in for ``sgx_read_rand``).
+
+        A counter-mode DRBG seeded from the enclave measurement: the
+        simulation stays exactly reproducible run to run, while the
+        output remains unpredictable to anything outside the enclave —
+        the property the keyed Bloom-filter defense relies on.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        out = bytearray()
+        while len(out) < nbytes:
+            self._rng_counter += 1
+            out += hashlib.sha256(
+                self._rng_key + self._rng_counter.to_bytes(8, "little")
+            ).digest()
+        self.compute_hash(nbytes)
+        return bytes(out[:nbytes])
 
     # ------------------------------------------------------------------
     # Memory access accounting

@@ -73,6 +73,29 @@ class ZipfianGenerator:
     def _zeta(n: int, theta: float) -> float:
         return sum(1.0 / (i ** theta) for i in range(1, n + 1))
 
+    def extend_to(self, item_count: int) -> None:
+        """Grow the domain to ``item_count`` in O(delta).
+
+        Extends ``zeta(n)`` incrementally by the new terms instead of
+        recomputing it from scratch, then re-derives the dependent
+        constants — afterwards the generator is state-identical (up to
+        float rounding of the partial sums) to a freshly constructed
+        ``ZipfianGenerator(item_count)``.  Callers that need a shrunken
+        domain must build a fresh generator; zeta has no cheap inverse.
+        """
+        if item_count <= self.item_count:
+            raise ValueError(
+                f"can only extend: {item_count} <= current {self.item_count}"
+            )
+        self.zetan += sum(
+            1.0 / (i ** self.theta)
+            for i in range(self.item_count + 1, item_count + 1)
+        )
+        self.item_count = item_count
+        self.eta = (1 - (2.0 / item_count) ** (1 - self.theta)) / (
+            1 - self.zeta2 / self.zetan
+        )
+
     def next(self) -> int:
         """Next zipf-distributed rank (0 = most popular)."""
         u = self._rng.random()
@@ -113,17 +136,11 @@ class LatestGenerator:
         """Next key index, skewed towards the most recent inserts."""
         count = max(1, int(self._insert_count()))
         if self._zipf_cache is None or self._zipf_n != count:
-            # Re-deriving zeta(n) incrementally keeps this O(delta).
             if self._zipf_cache is not None and count > self._zipf_n:
-                extra = sum(
-                    1.0 / (i ** self._zipf_cache.theta)
-                    for i in range(self._zipf_n + 1, count + 1)
-                )
-                self._zipf_cache.zetan += extra
-                self._zipf_cache.item_count = count
-                self._zipf_cache.eta = (
-                    1 - (2.0 / count) ** (1 - self._zipf_cache.theta)
-                ) / (1 - self._zipf_cache.zeta2 / self._zipf_cache.zetan)
+                # The generator owns its incremental O(delta) extension;
+                # reaching into its zeta state from here would leave it
+                # free to drift from a freshly built one.
+                self._zipf_cache.extend_to(count)
             else:
                 self._zipf_cache = ZipfianGenerator(
                     count, seed=self._rng.randrange(1 << 30)

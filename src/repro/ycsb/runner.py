@@ -12,8 +12,10 @@ from __future__ import annotations
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from repro.core.admission import AdmissionShedError
 from repro.ycsb.stats import LatencyStats
 from repro.ycsb.workload import (
+    OP_DELETE,
     OP_INSERT,
     OP_READ,
     OP_RMW,
@@ -32,6 +34,10 @@ class RunResult:
     duration_us: float
     per_op: dict[str, LatencyStats] = field(default_factory=dict)
     overall: LatencyStats = field(default_factory=LatencyStats)
+    #: Operations rejected (retryably) by admission control.  They still
+    #: count toward ``operations`` — the client issued them — but a
+    #: caller judging *goodput* should subtract them.
+    shed_ops: int = 0
 
     @property
     def mean_latency_us(self) -> float:
@@ -42,6 +48,12 @@ class RunResult:
         if self.duration_us == 0:
             return 0.0
         return self.operations / (self.duration_us / 1e6) / 1e3
+
+    def goodput_kops(self) -> float:
+        """Throughput counting only operations that were not shed."""
+        if self.duration_us == 0:
+            return 0.0
+        return (self.operations - self.shed_ops) / (self.duration_us / 1e6) / 1e3
 
 
 def _telemetry(store):
@@ -122,7 +134,10 @@ def run_phase(
         if not pending_reads:
             return
         before = clock.now_us
-        store.multi_get(list(pending_reads))
+        try:
+            store.multi_get(list(pending_reads))
+        except AdmissionShedError:
+            result.shed_ops += len(pending_reads)
         per_key = clock.lap(before) / len(pending_reads)
         for _ in pending_reads:
             _record(OP_READ, per_key)
@@ -142,22 +157,30 @@ def run_phase(
             if use_multiget:
                 _flush_reads()
             before = clock.now_us
-            if op.kind == OP_READ:
-                store.get(key)
-            elif op.kind == OP_UPDATE:
-                store.put(key, workload.value(op.key_index, version))
-                version += 1
-            elif op.kind == OP_INSERT:
-                store.put(key, workload.value(op.key_index))
-            elif op.kind == OP_SCAN:
-                hi = workload.key(op.key_index + op.scan_length)
-                store.scan(key, hi)
-            elif op.kind == OP_RMW:
-                store.get(key)
-                store.put(key, workload.value(op.key_index, version))
-                version += 1
-            else:  # pragma: no cover - spec validation prevents this
-                raise ValueError(f"unknown op kind {op.kind}")
+            try:
+                if op.kind == OP_READ:
+                    store.get(key)
+                elif op.kind == OP_UPDATE:
+                    store.put(key, workload.value(op.key_index, version))
+                    version += 1
+                elif op.kind == OP_INSERT:
+                    store.put(key, workload.value(op.key_index))
+                elif op.kind == OP_SCAN:
+                    hi = workload.key(op.key_index + op.scan_length)
+                    store.scan(key, hi)
+                elif op.kind == OP_RMW:
+                    store.get(key)
+                    store.put(key, workload.value(op.key_index, version))
+                    version += 1
+                elif op.kind == OP_DELETE:
+                    store.delete(key)
+                else:  # pragma: no cover - spec validation prevents this
+                    raise ValueError(f"unknown op kind {op.kind}")
+            except AdmissionShedError:
+                # Retryable back-pressure: the client observed a fast
+                # rejection, which is still a completed request from the
+                # runner's point of view.
+                result.shed_ops += 1
             _record(op.kind, clock.lap(before))
         if use_multiget:
             _flush_reads()

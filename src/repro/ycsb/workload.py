@@ -41,6 +41,10 @@ OP_UPDATE = "update"
 OP_INSERT = "insert"
 OP_SCAN = "scan"
 OP_RMW = "readmodifywrite"
+#: Not part of the classic YCSB mixes; used by adversarial workloads
+#: (tombstone bombs) and handled by the runner for any store exposing
+#: ``delete``.
+OP_DELETE = "delete"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,105 @@
+"""Adversarial bench plumbing: acceptance bars and history integration.
+
+The full experiment triples run in CI (`ycsb --adversary`) and for the
+committed baseline; here we pin the *harness* logic — the acceptance
+bars, the profile row shape, and how adv-* rows ride the perf-trajectory
+history — against synthetic rows, which keeps this file fast.
+"""
+
+from repro.bench.adversarial import (
+    ATTACK_FILTER_SATURATION,
+    ATTACK_HOT_KEY_FLOOD,
+    MIN_DEGRADATION_PCT,
+    MIN_RECOVERY_PCT,
+    acceptance_problems,
+    format_result,
+)
+from repro.bench.history import flag_records, history_record
+
+
+def _row(attack=ATTACK_HOT_KEY_FLOOD, **overrides):
+    row = {
+        "profile": f"adv-{attack}",
+        "attack": attack,
+        "quick": True,
+        "records": 800,
+        "honest_ops": 200,
+        "attack_ratio": 4,
+        "honest_kops": 50.0,
+        "undefended_kops": 10.0,
+        "defended_kops": 40.0,
+        "degradation_pct": 80.0,
+        "recovery_pct": 75.0,
+        "honest_fp_rate": 0.001,
+        "undefended_fp_rate": 0.5,
+        "defended_fp_rate": 0.001,
+        "defended_us": 5_000.0,
+        "runs": {
+            "honest": {},
+            "undefended": {},
+            "defended": {
+                "overload_entered": 3,
+                "overload_recovered": 3,
+                "final_health": "ok",
+                "attacker_shed": 700,
+                "attacker_done": 100,
+            },
+        },
+    }
+    row.update(overrides)
+    return row
+
+
+def test_passing_row_has_no_problems():
+    assert acceptance_problems(_row()) == []
+
+
+def test_weak_attack_and_weak_defense_both_flagged():
+    row = _row(
+        degradation_pct=MIN_DEGRADATION_PCT - 1,
+        recovery_pct=MIN_RECOVERY_PCT - 1,
+    )
+    problems = acceptance_problems(row)
+    assert any("does not bite" in p for p in problems)
+    assert any("recover only" in p for p in problems)
+
+
+def test_flood_must_enter_overload_and_return_to_ok():
+    row = _row()
+    row["runs"]["defended"]["overload_entered"] = 0
+    row["runs"]["defended"]["final_health"] = "overloaded"
+    problems = acceptance_problems(row)
+    assert any("never pushed" in p for p in problems)
+    assert any("did not recover" in p for p in problems)
+
+
+def test_saturation_fp_blowup_flagged():
+    row = _row(
+        attack=ATTACK_FILTER_SATURATION,
+        honest_fp_rate=0.01,
+        defended_fp_rate=0.5,
+    )
+    assert any("FP rate" in p for p in acceptance_problems(row))
+
+
+def test_format_result_mentions_the_headlines():
+    text = format_result(_row())
+    assert "recovered 75.0%" in text
+    assert "final health ok" in text
+    assert "attacker ops shed: 700/800" in text
+
+
+def test_adv_rows_ride_the_history_on_defended_us():
+    # Adversarial rows have no batch_us; the trajectory must key their
+    # regression flags on defended_us instead (higher = worse).
+    records = [
+        history_record(_row(), timestamp="t0", commit="aaaa"),
+        history_record(
+            _row(defended_us=9_000.0), timestamp="t1", commit="bbbb"
+        ),
+    ]
+    for record in records:
+        assert "batch_us" not in record
+        assert record["profile"] == "adv-hot-key-flood"
+    flags = [r["flag"] for r in flag_records(records)]
+    assert flags == ["baseline", "REGRESSION"]

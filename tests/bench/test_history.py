@@ -3,10 +3,12 @@
 import pytest
 
 from repro.bench.history import (
+    ADVERSARIAL_FIELDS,
     HISTORY_SCHEMA,
     RECORD_FIELDS,
     append_history,
     flag_records,
+    headline_us,
     history_record,
     load_history,
     regression_summary,
@@ -146,11 +148,16 @@ def test_committed_history_parses_and_matches_committed_baseline():
     assert records, "committed history must carry at least one record"
     for record in records:
         assert record["schema"] == HISTORY_SCHEMA
-        for field in RECORD_FIELDS:
+        fields = (
+            ADVERSARIAL_FIELDS
+            if record["profile"].startswith("adv-")
+            else RECORD_FIELDS
+        )
+        for field in fields:
             assert field in record
     with open(baseline_path) as fh:
         baseline = json.load(fh)
     last_by_profile = {r["profile"]: r for r in records}
     for profile, snapshot in baseline["profiles"].items():
         assert profile in last_by_profile, f"profile {profile} not in history"
-        assert last_by_profile[profile]["batch_us"] == snapshot["batch_us"]
+        assert headline_us(last_by_profile[profile]) == headline_us(snapshot)

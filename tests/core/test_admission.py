@@ -1,0 +1,245 @@
+"""Admission controller: token buckets, surcharges, overload transitions.
+
+The controller runs entirely on the simulated clock, so every test can
+exhaust, refill, and surcharge budgets deterministically by charging
+idle time.
+"""
+
+import pytest
+
+from repro.core.admission import AdmissionController, AdmissionShedError
+from repro.lsm.db import StoreDegradedError
+from repro.sim.clock import SimClock
+from repro.telemetry import Telemetry
+
+
+def make_controller(**overrides):
+    clock = SimClock()
+    defaults = dict(
+        rate_per_s=10_000.0,
+        burst=4.0,
+        global_rate_per_s=40_000.0,
+        global_burst=100.0,
+    )
+    defaults.update(overrides)
+    telemetry = Telemetry(clock=lambda: clock.now_us)
+    return clock, AdmissionController(clock, telemetry, **defaults)
+
+
+def drain(controller, client, n, op="get"):
+    admitted = 0
+    for _ in range(n):
+        try:
+            controller.admit(client, op)
+            admitted += 1
+        except AdmissionShedError:
+            pass
+    return admitted
+
+
+# ----------------------------------------------------------------------
+# Per-client bucket behaviour
+# ----------------------------------------------------------------------
+def test_burst_then_shed_with_retry_hint():
+    clock, controller = make_controller()
+    for _ in range(4):
+        controller.admit("alice", "get")
+    with pytest.raises(AdmissionShedError) as excinfo:
+        controller.admit("alice", "get")
+    assert excinfo.value.retry_after_us >= 1
+
+
+def test_bucket_refills_on_the_simulated_clock():
+    clock, controller = make_controller()
+    assert drain(controller, "alice", 10) == 4
+    # 10_000 tokens/s == one token per 100us.
+    clock.charge("idle", 250.0)
+    assert drain(controller, "alice", 10) == 2
+
+
+def test_clients_have_independent_buckets():
+    clock, controller = make_controller()
+    assert drain(controller, "alice", 10) == 4
+    assert drain(controller, "bob", 10) == 4
+
+
+def test_shed_error_is_not_a_degradation_error():
+    # Callers must be able to tell transient back-pressure (retry) from
+    # the terminal read-only state (give up) by exception type alone.
+    assert not issubclass(AdmissionShedError, StoreDegradedError)
+    assert not issubclass(StoreDegradedError, AdmissionShedError)
+
+
+def test_cost_prices_expensive_ops_at_the_door():
+    clock, controller = make_controller()
+    controller.admit("alice", "delete", cost=3.0)
+    # 1 token left of the 4-burst: a second cost-3 op must shed.
+    with pytest.raises(AdmissionShedError):
+        controller.admit("alice", "delete", cost=3.0)
+    controller.admit("alice", "get")  # ...but a cost-1 op still fits
+
+
+# ----------------------------------------------------------------------
+# Surcharges
+# ----------------------------------------------------------------------
+def test_proof_work_surcharge_drives_client_into_debt():
+    clock, controller = make_controller(proof_bytes_per_token=1024)
+    controller.admit("alice", "get")
+    controller.charge_proof_work("alice", 8 * 1024)  # 8 tokens of debt
+    with pytest.raises(AdmissionShedError) as excinfo:
+        controller.admit("alice", "get")
+    # Debt must be paid down before a fresh token is available: the
+    # retry hint covers the deficit, not just one token.
+    assert excinfo.value.retry_after_us > 100
+
+
+def test_debt_is_bounded_by_the_debt_limit():
+    clock, controller = make_controller(proof_bytes_per_token=1)
+    controller.admit("alice", "get")
+    controller.charge_proof_work("alice", 10_000_000)
+    bucket = controller._buckets["alice"]
+    assert bucket.tokens == -bucket.debt_limit
+
+
+def test_negative_lookup_penalty_is_client_only():
+    clock, controller = make_controller()
+    before = controller._global.tokens
+    controller.charge_negative("alice", 2.0)
+    assert controller._global.tokens == before  # behavioural penalty
+    assert controller._buckets["alice"].tokens < controller.burst
+
+
+def test_proof_work_charges_the_global_budget_too():
+    clock, controller = make_controller(proof_bytes_per_token=1024)
+    controller.admit("alice", "get")
+    before = controller._global.tokens
+    controller.charge_proof_work("alice", 4 * 1024)
+    assert controller._global.tokens == before - 4.0
+
+
+# ----------------------------------------------------------------------
+# Structural (tombstone) budget
+# ----------------------------------------------------------------------
+def test_structural_budget_rate_limits_deletes_independently():
+    clock, controller = make_controller(
+        structural_rate_per_s=1_000.0, structural_burst=2.0
+    )
+    assert drain(controller, "alice", 4, op="delete") == 4  # no flag: normal
+    admitted = 0
+    for _ in range(4):
+        try:
+            controller.admit("bob", "delete", structural=True)
+            admitted += 1
+        except AdmissionShedError:
+            pass
+    assert admitted == 2  # structural burst, not the ordinary burst of 4
+
+
+def test_structural_budget_refills_slowly():
+    clock, controller = make_controller(
+        structural_rate_per_s=1_000.0, structural_burst=2.0
+    )
+    for _ in range(2):
+        controller.admit("alice", "delete", structural=True)
+    clock.charge("idle", 1_000.0)  # 1ms == 1 structural token
+    assert (
+        sum(
+            1
+            for _ in range(3)
+            if not _shed(controller, "alice", "delete", structural=True)
+        )
+        == 1
+    )
+
+
+def _shed(controller, client, op, **kwargs):
+    try:
+        controller.admit(client, op, **kwargs)
+        return False
+    except AdmissionShedError:
+        return True
+
+
+def test_structural_token_refunded_when_main_bucket_sheds():
+    clock, controller = make_controller(
+        burst=1.0, structural_rate_per_s=1_000.0, structural_burst=2.0
+    )
+    controller.admit("alice", "delete", structural=True)
+    assert _shed(controller, "alice", "delete", structural=True)  # main dry
+    # The shed op must not have consumed the structural budget.
+    assert controller._structural["alice"].tokens == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Overload: enter, shed-all, recover
+# ----------------------------------------------------------------------
+def test_global_exhaustion_enters_overload_and_fires_callback():
+    events = []
+    clock, controller = make_controller(
+        burst=1_000.0,
+        global_rate_per_s=10_000.0,
+        global_burst=5.0,
+        on_overload=events.append,
+        on_recover=lambda: events.append("recovered"),
+    )
+    assert drain(controller, "alice", 10) == 5
+    assert controller.overloaded
+    assert len(events) == 1 and "alice" in events[0]
+    # While overloaded, *other* clients are shed too (load shedding is
+    # global), and their failed requests do not consume budget.
+    assert drain(controller, "bob", 3) == 0
+    # Refill past the recovery level: service resumes, callback fires.
+    clock.charge("idle", 1_000.0)
+    controller.admit("bob", "get")
+    assert not controller.overloaded
+    assert events[-1] == "recovered"
+
+
+def test_recover_tokens_sets_the_hysteresis():
+    clock, controller = make_controller(
+        burst=1_000.0,
+        global_rate_per_s=10_000.0,
+        global_burst=5.0,
+        recover_tokens=4.0,
+    )
+    drain(controller, "alice", 10)
+    assert controller.overloaded
+    clock.charge("idle", 150.0)  # 1.5 tokens: below the 4-token bar
+    assert _shed(controller, "alice", "get")
+    assert controller.overloaded
+    clock.charge("idle", 300.0)  # past the bar
+    controller.admit("alice", "get")
+    assert not controller.overloaded
+
+
+def test_failed_global_take_refunds_the_client_bucket():
+    clock, controller = make_controller(
+        burst=10.0, global_rate_per_s=10_000.0, global_burst=2.0
+    )
+    drain(controller, "alice", 2)
+    tokens_before = controller._buckets["alice"].tokens
+    assert _shed(controller, "alice", "get")
+    assert controller._buckets["alice"].tokens == pytest.approx(tokens_before)
+
+
+def test_admission_metrics_count_decisions():
+    clock = SimClock()
+    telemetry = Telemetry(clock=lambda: clock.now_us)
+    controller = AdmissionController(
+        clock, telemetry, rate_per_s=10_000.0, burst=4.0
+    )
+    drain(controller, "alice", 6)
+    series = telemetry.metrics.snapshot()["admission.requests"]["series"]
+    by_decision = {s["labels"]["decision"]: s["value"] for s in series}
+    assert by_decision == {"admitted": 4, "shed": 2}
+
+
+def test_rejects_nonpositive_parameters():
+    clock = SimClock()
+    telemetry = Telemetry(clock=lambda: clock.now_us)
+    with pytest.raises(ValueError):
+        AdmissionController(clock, telemetry, rate_per_s=0.0)
+    with pytest.raises(ValueError):
+        AdmissionController(
+            clock, telemetry, rate_per_s=100.0, proof_bytes_per_token=0
+        )

@@ -61,3 +61,79 @@ def test_size_scales_with_keys():
     small = BloomFilter.build([b"k%d" % i for i in range(10)])
     large = BloomFilter.build([b"k%d" % i for i in range(10_000)])
     assert large.size_bytes > small.size_bytes
+
+
+# ----------------------------------------------------------------------
+# Parameter validation (no silent clamping)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bits_per_key", [0, -1, -10])
+def test_build_rejects_nonpositive_bits_per_key(bits_per_key):
+    with pytest.raises(ValueError, match="bits_per_key"):
+        BloomFilter.build([b"k"], bits_per_key=bits_per_key)
+
+
+@pytest.mark.parametrize("bits_per_key", [2.5, "10", None])
+def test_build_rejects_non_integer_bits_per_key(bits_per_key):
+    with pytest.raises(ValueError, match="bits_per_key"):
+        BloomFilter.build([b"k"], bits_per_key=bits_per_key)
+
+
+@pytest.mark.parametrize("num_hashes", [0, -1])
+def test_constructor_rejects_nonpositive_num_hashes(num_hashes):
+    with pytest.raises(ValueError, match="num_hashes"):
+        BloomFilter(bytearray(8), num_hashes)
+
+
+def test_constructor_rejects_excessive_num_hashes():
+    from repro.lsm.bloom import MAX_NUM_HASHES
+
+    with pytest.raises(ValueError, match="num_hashes"):
+        BloomFilter(bytearray(8), MAX_NUM_HASHES + 1)
+    BloomFilter(bytearray(8), MAX_NUM_HASHES)  # boundary is valid
+
+
+def test_constructor_rejects_empty_bits():
+    with pytest.raises(ValueError, match="empty"):
+        BloomFilter(bytearray(), 1)
+
+
+# ----------------------------------------------------------------------
+# Keyed (salted) mode
+# ----------------------------------------------------------------------
+def test_salt_changes_bit_positions():
+    keys = [b"key-%d" % i for i in range(200)]
+    unkeyed = BloomFilter.build(keys)
+    salted = BloomFilter.build(keys, salt=b"\x13" * 16)
+    assert unkeyed.serialize() != salted.serialize()
+    # Both still honour the no-false-negative contract.
+    assert all(unkeyed.may_contain(k) for k in keys)
+    assert all(salted.may_contain(k) for k in keys)
+
+
+def test_keys_mined_against_unkeyed_filter_miss_the_salted_one():
+    keys = [b"key-%d" % i for i in range(500)]
+    unkeyed = BloomFilter.build(keys, bits_per_key=10)
+    salted = BloomFilter.build(keys, bits_per_key=10, salt=b"\x37" * 16)
+    mined = [
+        b"mined-%d" % i
+        for i in range(200_000)
+        if unkeyed.may_contain(b"mined-%d" % i)
+    ][:64]
+    assert len(mined) == 64  # unkeyed filters are minable
+    # Against the salted filter the same keys behave like random probes.
+    hits = sum(salted.may_contain(k) for k in mined)
+    assert hits <= 8
+
+
+def test_serialize_omits_the_salt():
+    keys = [b"key-%d" % i for i in range(50)]
+    salt = b"\x77" * 16
+    salted = BloomFilter.build(keys, salt=salt)
+    blob = salted.serialize()
+    assert salt not in bytes(blob)
+    # Deserialising with the right salt restores behaviour exactly...
+    restored = BloomFilter.deserialize(blob, salt=salt)
+    assert all(restored.may_contain(k) for k in keys)
+    # ...without it, membership answers diverge (wrong positions).
+    unsalted_view = BloomFilter.deserialize(blob)
+    assert any(not unsalted_view.may_contain(k) for k in keys)

@@ -84,3 +84,58 @@ def test_fnv64_is_deterministic_and_spreads():
     assert fnv64(1) != fnv64(2)
     values = {fnv64(i) % 97 for i in range(1000)}
     assert len(values) == 97
+
+
+# ----------------------------------------------------------------------
+# Incremental zeta extension (ZipfianGenerator.extend_to)
+# ----------------------------------------------------------------------
+def test_extend_to_matches_fresh_generator_state():
+    for start, end in [(1, 10), (10, 1000), (500, 501), (100, 100_000)]:
+        extended = ZipfianGenerator(start, seed=1)
+        extended.extend_to(end)
+        fresh = ZipfianGenerator(end, seed=1)
+        assert extended.item_count == fresh.item_count
+        assert extended.zetan == pytest.approx(fresh.zetan, rel=1e-12)
+        assert extended.eta == pytest.approx(fresh.eta, rel=1e-12)
+        assert extended.alpha == fresh.alpha
+        assert extended.zeta2 == fresh.zeta2
+
+
+def test_extend_to_rejects_shrinking():
+    gen = ZipfianGenerator(100)
+    with pytest.raises(ValueError, match="extend"):
+        gen.extend_to(100)
+    with pytest.raises(ValueError, match="extend"):
+        gen.extend_to(50)
+
+
+def test_extended_generator_draws_the_fresh_distribution():
+    # Property behind LatestGenerator's cache: growing N -> M in steps
+    # must sample the same distribution as a generator built at M.
+    extended = ZipfianGenerator(100, seed=3)
+    for n in (1_000, 5_000, 10_000):
+        extended.extend_to(n)
+    fresh = ZipfianGenerator(10_000, seed=4)
+    a = draws(extended, 20_000)
+    b = draws(fresh, 20_000)
+    assert all(0 <= v < 10_000 for v in a)
+    # Compare the head mass (where zipf concentrates) bucket by bucket.
+    for bucket in [(0, 1), (1, 10), (10, 100), (100, 1_000)]:
+        lo, hi = bucket
+        mass_a = sum(lo <= v < hi for v in a) / len(a)
+        mass_b = sum(lo <= v < hi for v in b) / len(b)
+        assert abs(mass_a - mass_b) < 0.02, bucket
+
+
+def test_latest_generator_growth_matches_fresh_zipfian():
+    # The in-place cache extension must not drift: after growing, the
+    # cached generator is state-identical to one built at final size.
+    state = {"count": 50}
+    gen = LatestGenerator(lambda: state["count"], seed=8)
+    gen.next()
+    for count in (200, 2_000, 7_777):
+        state["count"] = count
+        gen.next()
+    fresh = ZipfianGenerator(7_777)
+    assert gen._zipf_cache.zetan == pytest.approx(fresh.zetan, rel=1e-12)
+    assert gen._zipf_cache.eta == pytest.approx(fresh.eta, rel=1e-12)
