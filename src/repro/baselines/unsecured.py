@@ -112,6 +112,28 @@ class UnsecuredLSMStore:
             tsq = self._ts if ts_query is None else ts_query
             return [(r.key, r.value) for r in self.db.scan(lo, hi, tsq)]
 
+    def group_commit(self, ops) -> list[int]:
+        """Group commit: one call, one WAL write, one fsync (unverified)."""
+        from repro.lsm.records import KIND_DELETE, KIND_PUT
+
+        encoded: list[tuple[int, bytes, bytes]] = []
+        total_bytes = 0
+        for op in ops:
+            if op[0] in ("put", KIND_PUT):
+                _, key, value = op
+                encoded.append((KIND_PUT, key, value))
+                total_bytes += len(key) + len(value)
+            elif op[0] in ("delete", KIND_DELETE):
+                encoded.append((KIND_DELETE, op[1], b""))
+                total_bytes += len(op[1])
+            else:
+                raise ValueError(f"unknown group-commit op: {op[0]!r}")
+        with self._op_lock, self.env.op_call(
+            "group_commit", in_bytes=total_bytes
+        ):
+            stamps = [self._next_ts() for _ in encoded]
+            return self.db.commit_group(encoded, stamps=stamps)
+
     def flush(self) -> None:
         """Flush the MemTable into level 1."""
         self.db.flush()

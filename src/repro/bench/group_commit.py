@@ -1,0 +1,164 @@
+"""The group-commit perf profile: sequential vs pipelined write path.
+
+Builds two identical eLSM-P2 stores on identical simulated hardware and
+pushes the same deterministic write sequence through both:
+
+* **sequential** — one :meth:`put` per record: every write pays its own
+  ECall, WAL disk write, fsync share, and (autoseal) seal;
+* **pipelined** — the same records through a
+  :class:`~repro.core.group_commit.GroupCommitQueue` at group size 64
+  over a store with an immutable-MemTable queue: one ECall + one WAL
+  write + one fsync + one seal *per group*, and MemTable flushes run off
+  the foreground path on a parallel clock track (charged as max, not
+  sum).
+
+The profile's acceptance bar is the tentpole claim: the pipelined side
+must spend at least ``MIN_SPEEDUP_X`` times fewer simulated
+microseconds per PUT.  Everything runs on the simulated clock, so the
+numbers are exactly reproducible; the ``group-commit`` profile row in
+``BENCH_perf.json`` is the committed baseline CI regresses against.
+
+The profile deliberately ignores the ``--quick`` flag: one fixed,
+deterministic size keeps the committed row and every CI run comparable.
+"""
+
+from __future__ import annotations
+
+from repro.sim.scale import ScaleConfig
+from repro.ycsb.distributions import ScrambledZipfianGenerator
+
+GROUP_SIZE = 64
+#: Pipelined us/PUT must beat sequential us/PUT by at least this factor.
+MIN_SPEEDUP_X = 3.0
+
+GC_PARAMS = {"records": 2000, "distinct_keys": 600}
+
+
+def _build_store(pipelined: bool):
+    from repro.core.store_p2 import ELSMP2Store
+
+    return ELSMP2Store(
+        scale=ScaleConfig(factor=1 / 4096),
+        write_buffer_bytes=8192,
+        level1_max_bytes=16384,
+        file_max_bytes=16384,
+        block_bytes=1024,
+        autoseal=True,
+        # Four queued immutables smooth write bursts across background
+        # flushes (RocksDB's max_write_buffer_number plays the same role).
+        max_immutable_memtables=4 if pipelined else 0,
+    )
+
+
+def _write_sequence(records: int, distinct_keys: int):
+    gen = ScrambledZipfianGenerator(distinct_keys, seed=31)
+    for i in range(records):
+        idx = gen.next()
+        yield b"user%06d" % idx, b"value-%06d-%06d" % (idx, i)
+
+
+def run_group_commit_baseline(quick: bool = False) -> dict:
+    """Run the group-commit profile; returns its result row.
+
+    ``quick`` is accepted for CLI symmetry but has no effect (see module
+    docstring).
+    """
+    del quick
+    records = GC_PARAMS["records"]
+    distinct_keys = GC_PARAMS["distinct_keys"]
+
+    seq_store = _build_store(pipelined=False)
+    start = seq_store.clock.now_us
+    for key, value in _write_sequence(records, distinct_keys):
+        seq_store.put(key, value)
+    sequential_us = seq_store.clock.now_us - start
+
+    pipe_store = _build_store(pipelined=True)
+    from repro.core.group_commit import GroupCommitQueue
+
+    queue = GroupCommitQueue(pipe_store, group_size=GROUP_SIZE)
+    start = pipe_store.clock.now_us
+    for key, value in _write_sequence(records, distinct_keys):
+        queue.put(key, value)
+    queue.flush()  # the tail group's durability point is inside the timing
+    batch_us = pipe_store.clock.now_us - start
+
+    # Equivalence: both stores must answer every written key identically
+    # (verified reads, after the measurement window).
+    probe = ScrambledZipfianGenerator(distinct_keys, seed=47)
+    probe_keys = sorted({b"user%06d" % probe.next() for _ in range(256)})
+    identical = all(
+        seq_store.get(key) == pipe_store.get(key) for key in probe_keys
+    )
+
+    seq_metrics = seq_store.telemetry.metrics
+    pipe_metrics = pipe_store.telemetry.metrics
+    speedup = round(sequential_us / batch_us, 2) if batch_us > 0 else 0.0
+    return {
+        "profile": "group-commit",
+        "records": records,
+        "distinct_keys": distinct_keys,
+        "group_size": GROUP_SIZE,
+        "levels": pipe_store.db.level_indices(),
+        "sequential_us": round(sequential_us, 1),
+        "batch_us": round(batch_us, 1),
+        "sequential_us_per_put": round(sequential_us / records, 2),
+        "batch_us_per_put": round(batch_us / records, 2),
+        "us_saved_pct": _saved_pct(sequential_us, batch_us),
+        "speedup_x": speedup,
+        "identical_results": identical,
+        "groups_submitted": queue.groups_submitted,
+        "sequential_fsyncs": int(seq_metrics.counter("wal.syncs").total()),
+        "grouped_fsyncs": int(pipe_metrics.counter("wal.syncs").total()),
+        "memtable_rotations": int(
+            pipe_metrics.counter("lsm.memtable.rotations").total()
+        ),
+        "background_flush_us": round(
+            pipe_metrics.counter("lsm.flush.background_us").total(), 1
+        ),
+    }
+
+
+def _saved_pct(sequential: float, batch: float) -> float:
+    if sequential <= 0:
+        return 0.0
+    return round(100.0 * (sequential - batch) / sequential, 1)
+
+
+def acceptance_problems(result: dict) -> list[str]:
+    """Violations of the pipelined write path's acceptance bars."""
+    problems = []
+    if not result["identical_results"]:
+        problems.append(
+            "pipelined store answers differ from the sequential store"
+        )
+    if result["speedup_x"] < MIN_SPEEDUP_X:
+        problems.append(
+            f"speedup {result['speedup_x']}x at group size "
+            f"{result['group_size']} is below the {MIN_SPEEDUP_X}x bar"
+        )
+    return problems
+
+
+def format_result(result: dict) -> str:
+    """Human-readable summary of the group-commit profile run."""
+    return "\n".join(
+        [
+            f"profile {result['profile']}: {result['records']} writes over "
+            f"{result['distinct_keys']} keys, group size "
+            f"{result['group_size']}, levels {result['levels']}",
+            f"  sequential: {result['sequential_us']:>12.1f} us  "
+            f"({result['sequential_us_per_put']:.2f} us/put, "
+            f"{result['sequential_fsyncs']} fsyncs)",
+            f"  pipelined:  {result['batch_us']:>12.1f} us  "
+            f"({result['batch_us_per_put']:.2f} us/put, "
+            f"{result['grouped_fsyncs']} fsyncs, "
+            f"{result['groups_submitted']} groups)",
+            f"  speedup:    {result['speedup_x']:>11.2f}x  "
+            f"(saved {result['us_saved_pct']}%)",
+            f"  rotations: {result['memtable_rotations']}, background "
+            f"flush work {result['background_flush_us']} us "
+            f"(overlapped, charged as max not sum)",
+            f"  identical results: {result['identical_results']}",
+        ]
+    )

@@ -34,6 +34,9 @@ RECORD_FIELDS = (
     "batch_proof_bytes",
     "sequential_proof_bytes",
     "proof_bytes_saved_pct",
+    # Write-path (group-commit) profile columns.
+    "group_size",
+    "speedup_x",
 )
 
 #: Extra columns carried by adversarial profiles (``adv-*``), which have

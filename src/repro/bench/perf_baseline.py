@@ -100,7 +100,18 @@ def _saved_pct(sequential: float, batch: float) -> float:
 
 
 def acceptance_problems(result: dict) -> list[str]:
-    """Violations of the batch pipeline's standing acceptance bars."""
+    """Violations of a profile's standing acceptance bars.
+
+    Dispatches on the profile: the ``group-commit`` write-path profile
+    has its own bars (speedup factor, store equivalence) and no proof
+    columns; every other classic profile uses the MULTIGET bars below.
+    """
+    if result.get("profile") == "group-commit":
+        from repro.bench.group_commit import (
+            acceptance_problems as group_commit_acceptance,
+        )
+
+        return group_commit_acceptance(result)
     problems = []
     if not result["identical_results"]:
         problems.append("batched results differ from sequential results")

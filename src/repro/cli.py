@@ -301,9 +301,18 @@ def cmd_ycsb(args) -> int:
     }
     scale = ScaleConfig(factor=args.factor)
     sync_every = args.wal_sync_every
+    # Group commit pairs with the immutable-MemTable queue: rotate
+    # instead of stop-the-world flushing, so writes never block on flush.
+    immutables = 2 if args.group_commit > 1 else 0
     systems = {
-        "p2": lambda: ELSMP2Store(scale=scale, wal_sync_every=sync_every),
-        "p1": lambda: ELSMP1Store(scale=scale, wal_sync_every=sync_every),
+        "p2": lambda: ELSMP2Store(
+            scale=scale, wal_sync_every=sync_every,
+            max_immutable_memtables=immutables,
+        ),
+        "p1": lambda: ELSMP1Store(
+            scale=scale, wal_sync_every=sync_every,
+            max_immutable_memtables=immutables,
+        ),
         "plain": lambda: UnsecuredLSMStore(scale=scale),
     }
     store = systems[args.system]()
@@ -311,11 +320,16 @@ def cmd_ycsb(args) -> int:
     if args.multiget > 1 and not hasattr(store, "multi_get"):
         print(f"system {args.system} has no multi_get; running sequentially",
               file=sys.stderr)
+    if args.group_commit > 1 and not hasattr(store, "group_commit"):
+        print(f"system {args.system} has no group_commit; writing "
+              f"sequentially", file=sys.stderr)
     print(f"loading {args.records} records into {args.system}...")
     load_phase(store, CoreWorkload(spec, args.records, seed=1))
     result = run_phase(
         store, CoreWorkload(spec, args.records, seed=7), args.ops,
         multiget=args.multiget,
+        group_commit=args.group_commit,
+        group_max_delay_us=args.group_max_delay_us,
     )
     print(f"workload {args.workload} on {args.system}: "
           f"{result.mean_latency_us:.1f} us/op mean, "
@@ -330,6 +344,7 @@ def cmd_ycsb(args) -> int:
             "records": args.records,
             "operations": result.operations,
             "multiget": args.multiget,
+            "group_commit": args.group_commit,
             "duration_us": round(result.duration_us, 1),
             "mean_latency_us": round(result.mean_latency_us, 2),
             "p95_us": round(result.overall.p95, 2),
@@ -376,10 +391,15 @@ def cmd_perf_baseline(args) -> int:
     from repro.telemetry import HUB
 
     # The baseline builds two stores internally; the hub merges them.
+    gc_result = None
     if _wants_outputs(args):
         HUB.activate()
     try:
         result = run_perf_baseline(quick=args.quick)
+        if args.group_commit:
+            from repro.bench import group_commit as gc_bench
+
+            gc_result = gc_bench.run_group_commit_baseline(quick=args.quick)
         _write_run_outputs(args, HUB)
     finally:
         if _wants_outputs(args):
@@ -391,6 +411,17 @@ def cmd_perf_baseline(args) -> int:
             args.check, result, tolerance=args.tolerance
         )
     results = [result]
+    if gc_result is not None:
+        from repro.bench import group_commit as gc_bench
+
+        print(gc_bench.format_result(gc_result))
+        if args.check:
+            problems.extend(regression_problems(
+                args.check, gc_result, tolerance=args.tolerance
+            ))
+        else:
+            problems.extend(gc_bench.acceptance_problems(gc_result))
+        results.append(gc_result)
     if args.adversarial:
         from repro.bench import adversarial
 
@@ -731,6 +762,16 @@ def build_parser() -> argparse.ArgumentParser:
     ycsb.add_argument("--multiget", type=int, default=1, metavar="N",
                       help="batch runs of consecutive READs into verified "
                            "MULTIGETs of up to N keys (default 1 = off)")
+    ycsb.add_argument("--group-commit", type=int, default=1, metavar="N",
+                      help="coalesce consecutive writes into commit groups "
+                           "of up to N ops — one ECall/WAL write/fsync per "
+                           "group (default 1 = off); also enables the "
+                           "immutable-MemTable queue")
+    ycsb.add_argument("--group-max-delay-us", type=float, default=None,
+                      metavar="US",
+                      help="with --group-commit: force the pending group "
+                           "out once its oldest write has waited this much "
+                           "simulated time")
     ycsb.add_argument("--json-out", default=None, metavar="PATH",
                       help="write a structured run summary (latencies, "
                            "proof bytes, boundary crossings) as JSON")
@@ -766,6 +807,9 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--adversarial", action="store_true",
                       help="also run the adversarial suite (adv-* profiles: "
                            "attack degradation vs defended recovery)")
+    perf.add_argument("--group-commit", action="store_true",
+                      help="also run the group-commit write-path profile "
+                           "(sequential PUTs vs pipelined groups of 64)")
     _add_output_flags(perf)
     perf.set_defaults(fn=cmd_perf_baseline)
 

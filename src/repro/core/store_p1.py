@@ -44,6 +44,7 @@ class ELSMP1Store:
         keep_versions: bool = True,
         compression: bool = False,
         wal_sync_every: int | None = None,
+        max_immutable_memtables: int = 0,
         reopen: bool = False,
         name_prefix: str = "p1",
     ) -> None:
@@ -78,6 +79,7 @@ class ELSMP1Store:
             compaction_enabled=compaction,
             keep_versions=keep_versions,
             wal_sync_every=wal_sync_every,
+            max_immutable_memtables=max_immutable_memtables,
         )
         self.db = LSMStore(
             self.env, lsm_config, name_prefix=name_prefix, reopen=reopen
@@ -110,6 +112,30 @@ class ELSMP1Store:
             ts = self._next_ts()
             self.db.delete(key, ts)
             return ts
+
+    def group_commit(self, ops) -> list[int]:
+        """Group commit: one ECall, one WAL write, one fsync for the
+        whole group of ``("put", key, value)`` / ``("delete", key)``
+        ops (same contract as eLSM-P2's)."""
+        from repro.lsm.records import KIND_DELETE, KIND_PUT
+
+        encoded: list[tuple[int, bytes, bytes]] = []
+        total_bytes = 0
+        for op in ops:
+            if op[0] in ("put", KIND_PUT):
+                _, key, value = op
+                encoded.append((KIND_PUT, key, value))
+                total_bytes += len(key) + len(value)
+            elif op[0] in ("delete", KIND_DELETE):
+                encoded.append((KIND_DELETE, op[1], b""))
+                total_bytes += len(op[1])
+            else:
+                raise ValueError(f"unknown group-commit op: {op[0]!r}")
+        with self._op_lock, self.telemetry.span(
+            "elsm.group_commit"
+        ), self.env.op_call("group_commit", in_bytes=total_bytes):
+            stamps = [self._next_ts() for _ in encoded]
+            return self.db.commit_group(encoded, stamps=stamps)
 
     def get(self, key: bytes, ts_query: int | None = None) -> bytes | None:
         """GET: hardware memory protection stands in for proofs."""
@@ -151,7 +177,8 @@ class ELSMP1Store:
                 }
                 for level in self.db.level_indices()
             },
-            "memtable_records": len(self.db.memtable),
+            "memtable_records": self.db.mem_records(),
+            "immutable_memtables": len(self.db.immutables),
             "enclave_bytes": self.enclave.total_bytes(),
             "epc_bytes": self.enclave.epc_bytes,
             "epc_faults": pager.fault_count,

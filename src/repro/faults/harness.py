@@ -58,6 +58,15 @@ class CrashConsistencyHarness:
     #: Fraction of workload ops that are puts / deletes (rest are gets).
     PUT_FRACTION = 0.75
     DELETE_FRACTION = 0.15
+    #: Fraction of workload steps that issue a whole commit *group*
+    #: (one WAL group write + one fsync), exercising the group-commit
+    #: crash sites; the rest are single mutations as before.
+    GROUP_FRACTION = 0.2
+    GROUP_MAX = 4
+    #: Checkpoint cadence: a full-drain ``flush()`` every this many
+    #: mutations, so the foreground flush + WAL-epoch crash sites keep
+    #: firing now that capacity overflow rotates instead of flushing.
+    FULL_FLUSH_EVERY = 30
 
     def __init__(
         self,
@@ -101,6 +110,9 @@ class CrashConsistencyHarness:
             counter_slack=1,  # a crash can split increment from seal write
             autoseal=True,
             wal_sync_every=self.sync_every,
+            # Pipelined write path on: rotation + background-flush crash
+            # sites must actually fire under the matrix.
+            max_immutable_memtables=2,
             name_prefix=self.name_prefix,
         )
 
@@ -122,15 +134,48 @@ class CrashConsistencyHarness:
 
         Returns ``(attempted, acked, durable_floor, crashed_at)`` where
         ``attempted[k]`` is the mutation that was (or would have been)
-        assigned timestamp ``k + 1`` — the store is the sole writer, so
+        assigned timestamp ``k + 1`` — the store is the sole writer and
+        ``group_commit`` stamps its ops in submission order, so
         timestamps are exactly mutation indices.
+
+        A seeded fraction of steps issues a commit *group* of 2..GROUP_MAX
+        mutations through :meth:`group_commit` — one WAL group write, one
+        fsync — so the ``wal.group.*`` and rotation/flush crash sites all
+        fire under the matrix.  A group acks all-or-nothing: a crash
+        mid-group loses the whole (unacknowledged) group, and the
+        trailing ``sync()`` means group ops never sit in the unsynced
+        tail, so the ``sync_every`` tail bound is unchanged.
         """
         attempted: list[tuple[str, bytes, bytes | None]] = []
         acked = 0
         floor = 0
         crashed: str | None = None
         try:
-            for i in range(self.ops):
+            i = 0
+            since_flush = 0
+            while i < self.ops:
+                if since_flush >= self.FULL_FLUSH_EVERY:
+                    store.flush()
+                    since_flush = 0
+                    floor = max(floor, store.durability_ts())
+                if rng.random() < self.GROUP_FRACTION:
+                    size = rng.randrange(2, self.GROUP_MAX + 1)
+                    group: list[tuple] = []
+                    for _ in range(size):
+                        gkey = self._key(rng.randrange(self.keyspace))
+                        if rng.random() < 0.8:
+                            value = self._value(i + len(group))
+                            group.append(("put", gkey, value))
+                            attempted.append(("put", gkey, value))
+                        else:
+                            group.append(("delete", gkey))
+                            attempted.append(("del", gkey, None))
+                    store.group_commit(group)
+                    acked += len(group)
+                    i += size
+                    since_flush += size
+                    floor = max(floor, store.durability_ts())
+                    continue
                 roll = rng.random()
                 key = self._key(rng.randrange(self.keyspace))
                 if roll < self.PUT_FRACTION:
@@ -144,6 +189,8 @@ class CrashConsistencyHarness:
                     acked += 1
                 else:
                     store.get(key)
+                i += 1
+                since_flush += 1
                 floor = max(floor, store.durability_ts())
         except SimulatedCrash as crash:
             crashed = crash.site

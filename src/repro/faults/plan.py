@@ -40,12 +40,16 @@ CRASH_SITES: tuple[str, ...] = (
     # write-ahead log (repro/lsm/wal.py)
     "wal.append.before_write",
     "wal.append.after_write",
+    "wal.group.before_write",
+    "wal.group.after_write",
     "wal.sync.before_fsync",
     "wal.sync.after_fsync",
     "wal.epoch.after_create",
     # flush / compaction commit protocol (repro/lsm/db.py)
     "flush.after_install",
     "flush.after_wal_epoch",
+    "memtable.rotate",
+    "flush.background.publish",
     "commit.before_hook",
     "commit.after_hook",
     "compaction.after_install",

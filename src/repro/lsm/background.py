@@ -1,26 +1,37 @@
-"""Background compaction thread (Section 5.5.2 concurrency).
+"""Background compaction & flush threads (Section 5.5.2 concurrency).
 
 LevelDB runs compaction on a background thread while foreground reads
 and writes continue; the paper's eLSM supports "concurrent COMPACTION
 with reads/writes" synchronised through in-enclave state.  In this
 codebase all trusted-state updates already happen under the store's
-in-enclave mutex, so a background compactor only needs to take the same
+in-enclave mutex, so a background worker only needs to take the same
 lock — readers either see the pre-compaction levels (and verify against
 the pre-compaction digests) or the post-compaction ones, never a mix.
 
 ``BackgroundCompactor`` polls the store and compacts any over-capacity
-level, off the writer's critical path.  Pair it with
-``compaction=False`` stores if you want *all* merging off the
-foreground, or with normal stores to absorb deep cascades early.
+level, off the writer's critical path.  ``BackgroundFlusher`` drains the
+immutable-MemTable queue the pipelined write path produces (see
+``LSMConfig.max_immutable_memtables``).  Worker errors do not die
+silently: each is recorded in a *bounded* ring, counted in the
+``lsm.background.errors`` metric, surfaced as a structured
+``lsm.background.error`` event, and reflected in :meth:`health`.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
+
+#: Retained per worker; older errors are evicted (the count survives in
+#: the ``lsm.background.errors`` metric, so nothing is lost silently).
+_MAX_RETAINED_ERRORS = 16
 
 
-class BackgroundCompactor:
-    """Runs level compactions on a daemon thread until stopped."""
+class _BackgroundWorker:
+    """Shared daemon-thread scaffolding with non-silent error handling."""
+
+    #: Subclasses set this: the worker kind reported in telemetry.
+    kind = "worker"
 
     def __init__(self, db, poll_interval_s: float = 0.005) -> None:
         self.db = db
@@ -28,11 +39,16 @@ class BackgroundCompactor:
         self._stop = threading.Event()
         self._wake = threading.Event()
         self._thread: threading.Thread | None = None
-        self.compactions_run = 0
-        self.errors: list[Exception] = []
+        self.errors: deque[Exception] = deque(maxlen=_MAX_RETAINED_ERRORS)
+        self.error_count = 0
+        self._m_errors = db.telemetry.counter(
+            "lsm.background.errors",
+            "errors raised by background workers, by kind",
+            labels=("kind",),
+        )
 
     # ------------------------------------------------------------------
-    def start(self) -> "BackgroundCompactor":
+    def start(self) -> "_BackgroundWorker":
         """Launch the daemon thread; returns self for chaining."""
         if self._thread is not None:
             raise RuntimeError("already started")
@@ -41,7 +57,7 @@ class BackgroundCompactor:
         return self
 
     def stop(self) -> None:
-        """Stop the thread, finishing any in-flight compaction."""
+        """Stop the thread, finishing any in-flight work item."""
         self._stop.set()
         self._wake.set()
         if self._thread is not None:
@@ -52,13 +68,63 @@ class BackgroundCompactor:
         """Wake the thread immediately (e.g. after a burst of writes)."""
         self._wake.set()
 
-    def __enter__(self) -> "BackgroundCompactor":
+    def __enter__(self) -> "_BackgroundWorker":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
-    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Operational status of this worker.
+
+        ``ok`` with no recorded errors; ``failed`` once an error stopped
+        the loop.  ``errors`` carries the retained tail (bounded), so a
+        long-running process cannot grow it without limit.
+        """
+        return {
+            "kind": self.kind,
+            "status": "failed" if self.error_count else "ok",
+            "running": self._thread is not None,
+            "error_count": self.error_count,
+            "errors": [repr(exc) for exc in self.errors],
+        }
+
+    def _record_error(self, exc: Exception) -> None:
+        self.errors.append(exc)
+        self.error_count += 1
+        self._m_errors.inc(kind=self.kind)
+        self.db.telemetry.emit(
+            "lsm.background.error",
+            worker=self.kind,
+            error=repr(exc),
+            error_count=self.error_count,
+        )
+
+    # Subclass hook: do one unit of work; return True if more may follow.
+    def _step(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                if self._step():
+                    continue  # keep draining without sleeping
+            except Exception as exc:  # noqa: BLE001 - surfaced via health()
+                self._record_error(exc)
+                break
+            self._wake.wait(self.poll_interval_s)
+            self._wake.clear()
+
+
+class BackgroundCompactor(_BackgroundWorker):
+    """Runs level compactions on a daemon thread until stopped."""
+
+    kind = "compactor"
+
+    def __init__(self, db, poll_interval_s: float = 0.005) -> None:
+        super().__init__(db, poll_interval_s)
+        self.compactions_run = 0
+
     def _over_capacity_level(self) -> int | None:
         for level in self.db.level_indices():
             run = self.db.level_run(level)
@@ -67,19 +133,13 @@ class BackgroundCompactor:
                     return level
         return None
 
-    def _run(self) -> None:
-        while not self._stop.is_set():
-            try:
-                level = self._over_capacity_level()
-                if level is not None:
-                    self.db.compact_level(level)
-                    self.compactions_run += 1
-                    continue  # keep draining without sleeping
-            except Exception as exc:  # noqa: BLE001 - surfaced via .errors
-                self.errors.append(exc)
-                break
-            self._wake.wait(self.poll_interval_s)
-            self._wake.clear()
+    def _step(self) -> bool:
+        level = self._over_capacity_level()
+        if level is None:
+            return False
+        self.db.compact_level(level)
+        self.compactions_run += 1
+        return True
 
     def drain(self) -> None:
         """Synchronously compact until no level is over capacity."""
@@ -89,3 +149,30 @@ class BackgroundCompactor:
                 return
             self.db.compact_level(level)
             self.compactions_run += 1
+
+
+class BackgroundFlusher(_BackgroundWorker):
+    """Drains the immutable-MemTable queue on a daemon thread.
+
+    Each step flushes the oldest queued immutable via
+    ``LSMStore.flush_oldest_immutable`` — the flush is charged to a
+    parallel clock track, so foreground writers only ever pay the gap to
+    the worker's completion instant (usually zero), never the flush
+    itself.
+    """
+
+    kind = "flusher"
+
+    def __init__(self, db, poll_interval_s: float = 0.005) -> None:
+        super().__init__(db, poll_interval_s)
+        self.flushes_run = 0
+
+    def _step(self) -> bool:
+        if not self.db.flush_oldest_immutable():
+            return False
+        self.flushes_run += 1
+        return True
+
+    def drain(self) -> None:
+        """Synchronously flush every queued immutable."""
+        self.flushes_run += self.db.drain_immutables()

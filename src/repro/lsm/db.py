@@ -10,10 +10,12 @@ hooks — eLSM-P2 is layered on top purely through those hooks.
 
 from __future__ import annotations
 
+import heapq
 import json
 import threading
+import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Iterator
 
 from repro.lsm.cache import LOCATION_UNTRUSTED, ReadBuffer
 from repro.lsm.compaction import Compactor
@@ -66,6 +68,12 @@ class LSMConfig:
     keep_versions: bool = True
     wal_enabled: bool = True
     wal_sync_every: int | None = None  # None -> DEFAULT_WAL_SYNC_EVERY
+    #: Pipelined write path: when > 0, a full write buffer *rotates* the
+    #: active MemTable into an immutable queue (bounded to this many
+    #: entries) instead of flushing synchronously, and queued tables are
+    #: flushed off the foreground path — overlapped with foreground work
+    #: on the simulated clock.  0 keeps the legacy stop-the-world flush.
+    max_immutable_memtables: int = 0
     #: Master salt keying every SSTable Bloom filter (b"" = legacy
     #: unkeyed hashing).  eLSM draws it from enclave randomness and
     #: seals it with the trusted state; it must never be persisted to
@@ -181,6 +189,22 @@ class LSMStore:
             "lsm.bloom.false_positives",
             "filter said maybe but the level had no group for the key",
         )
+        self._m_gc_groups = self.telemetry.counter(
+            "lsm.group_commit.groups",
+            "write groups committed (one WAL write + one fsync each)",
+        )
+        self._m_gc_records = self.telemetry.counter(
+            "lsm.group_commit.records",
+            "records committed through the group-commit path",
+        )
+        self._m_rotations = self.telemetry.counter(
+            "lsm.memtable.rotations",
+            "active MemTables rotated into the immutable queue",
+        )
+        self._m_bg_flush_us = self.telemetry.counter(
+            "lsm.flush.background_us",
+            "simulated microseconds of flush work run off the foreground path",
+        )
 
         env.meta_region(_MEMTABLE_REGION)
         env.meta_region(_TABLE_META_REGION)
@@ -188,6 +212,14 @@ class LSMStore:
         if self.config.wal_sync_every is None:
             self.config.wal_sync_every = DEFAULT_WAL_SYNC_EVERY
         self.memtable = SkipListMemTable()
+        #: Rotated (frozen) MemTables awaiting background flush, oldest
+        #: first.  Reads consult active + immutables + levels.
+        self.immutables: list[SkipListMemTable] = []
+        self._immutable_enqueued_us: list[float] = []
+        self._rotations = 0
+        #: Simulated instant at which the background flush worker frees
+        #: up — its single track serializes consecutive flushes.
+        self._bg_free_us = 0.0
         self.wal: WriteAheadLog | None = None
         if self.config.wal_enabled:
             self.wal = WriteAheadLog(
@@ -288,11 +320,60 @@ class LSMStore:
                     self.env.meta_grow(_MEMTABLE_REGION, nbytes)
                     self._touch_memtable(record.key, nbytes, write=True)
                 self.env.clock.charge("compute", self.env.costs.cpu_op_base_us)
-                if self.memtable.approximate_bytes >= self.config.write_buffer_bytes:
-                    self.flush()
+                self._maybe_flush()
             except StorageFailure as exc:
                 self._degrade("write_batch", exc)
             return stamps
+
+    def commit_group(
+        self,
+        ops: list[tuple[int, bytes, bytes]],
+        stamps: list[int] | None = None,
+    ) -> list[int]:
+        """Group commit: apply many writes with ONE WAL write and ONE
+        fsync (all-or-nothing durability for the group).
+
+        ``ops`` is a list of ``(kind, key, value)`` tuples as built by
+        :class:`WriteBatch`; ``stamps`` optionally pins the timestamps
+        (recovery/replication), otherwise consecutive timestamps are
+        assigned.  Returns the timestamps in op order.  Unlike
+        :meth:`write_batch` — which logs each record with its own disk
+        write under the WAL's fsync cadence — the whole group lands as a
+        single :meth:`~repro.lsm.wal.WriteAheadLog.append_group`, so the
+        per-operation cost of the fsync (and, in eLSM, of the enclave
+        transition and seal) is amortised across the group.
+        """
+        with self._lock:
+            self._guard_write()
+            self._m_ops.inc(op="group_commit")
+            assigned: list[int] = []
+            records: list[Record] = []
+            try:
+                for i, (kind, key, value) in enumerate(ops):
+                    ts = self._resolve_ts(stamps[i] if stamps else None)
+                    assigned.append(ts)
+                    records.append(Record(key=key, ts=ts, kind=kind, value=value))
+                if not records:
+                    return assigned
+                if self.wal is not None:
+                    for record in records:
+                        for listener in self.listeners:
+                            listener.on_wal_append(record)
+                    self.wal.append_group(records)
+                for record in records:
+                    self.memtable.add(record)
+                    nbytes = record.approximate_bytes()
+                    self.stats.user_bytes_written += nbytes
+                    self._m_user_bytes.inc(nbytes)
+                    self.env.meta_grow(_MEMTABLE_REGION, nbytes)
+                    self._touch_memtable(record.key, nbytes, write=True)
+                self.env.clock.charge("compute", self.env.costs.cpu_op_base_us)
+                self._m_gc_groups.inc()
+                self._m_gc_records.inc(len(records))
+                self._maybe_flush()
+            except StorageFailure as exc:
+                self._degrade("group_commit", exc)
+            return assigned
 
     # ------------------------------------------------------------------
     # Health
@@ -371,7 +452,7 @@ class LSMStore:
         with self._lock:
             self._m_ops.inc(op="get")
             self.env.clock.charge("compute", self.env.costs.cpu_op_base_us)
-            record = self.memtable.get(key, ts_query)
+            record = self.mem_lookup(key, ts_query)
             if record is not None:
                 self._touch_memtable(key, record.approximate_bytes())
                 self._m_get_level.inc(level="0")
@@ -419,7 +500,7 @@ class LSMStore:
                 if key in seen:
                     continue
                 seen.add(key)
-                record = self.memtable.get(key, ts_query)
+                record = self.mem_lookup(key, ts_query)
                 if record is not None:
                     self._touch_memtable(key, record.approximate_bytes())
                     results[key] = record
@@ -481,7 +562,7 @@ class LSMStore:
                 if incumbent is None or record.ts > incumbent.ts:
                     best[record.key] = record
 
-            for record in self.memtable.range(lo, hi):
+            for record in self.mem_range(lo, hi):
                 consider(record)
             for level in self.level_indices():
                 run = self._levels[level]
@@ -519,6 +600,18 @@ class LSMStore:
         wal_ts = self.wal.durable_ts if self.wal is not None else 0
         return max(self._flushed_ts, wal_ts)
 
+    @property
+    def flushed_ts(self) -> int:
+        """Largest timestamp covered by a committed flush.  With the
+        immutable queue this is the time-cut boundary below which WAL
+        records are already in SSTables — recovery must not replay
+        them (they would duplicate into the rebuilt memory state)."""
+        return self._flushed_ts
+
+    def restore_flushed_ts(self, ts: int) -> None:
+        """Adopt a sealed ``flushed_ts`` during authenticated recovery."""
+        self._flushed_ts = max(self._flushed_ts, ts)
+
     def level_indices(self) -> list[int]:
         """Non-empty level ids, shallowest (newest) first."""
         return sorted(i for i, run in self._levels.items() if not run.is_empty)
@@ -530,7 +623,7 @@ class LSMStore:
     def total_data_bytes(self) -> int:
         """Bytes across all levels plus the MemTable."""
         return sum(run.total_bytes for run in self._levels.values()) + (
-            self.memtable.approximate_bytes
+            self.mem_bytes()
         )
 
     def resize_read_buffer(self, capacity_bytes: int) -> None:
@@ -581,19 +674,101 @@ class LSMStore:
         self.env.meta_grow(_MEMTABLE_REGION, nbytes)
         self._touch_memtable(record.key, nbytes, write=True)
         self.env.clock.charge("compute", self.env.costs.cpu_op_base_us)
-        if (
-            not self._recovering
-            and self.memtable.approximate_bytes >= self.config.write_buffer_bytes
-        ):
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        """Handle a full write buffer: rotate (pipelined mode) or flush.
+
+        In pipelined mode (``max_immutable_memtables > 0``) the active
+        MemTable is frozen and queued and the writer returns immediately;
+        flush work happens off the foreground path.  Only when the queue
+        exceeds its bound does the writer wait — and then only for the
+        *gap* until the background worker's simulated completion instant,
+        which is usually zero because that work overlapped foreground
+        time (charge-as-max, not sum).
+        """
+        if self._recovering:
+            return
+        if self.memtable.approximate_bytes < self.config.write_buffer_bytes:
+            return
+        if self.config.max_immutable_memtables <= 0:
             self.flush()
+            return
+        self._rotate_memtable()
+        while len(self.immutables) > self.config.max_immutable_memtables:
+            self.flush_oldest_immutable(wait=True)
+
+    def _rotate_memtable(self) -> None:
+        """Freeze the active MemTable into the immutable queue and start
+        a fresh one; O(1), no IO — the foreground write path never waits
+        on a flush here."""
+        self.env.crash_point("memtable.rotate")
+        self.memtable.freeze()
+        self.immutables.append(self.memtable)
+        self._immutable_enqueued_us.append(self.env.clock.now_us)
+        self._rotations += 1
+        self._m_rotations.inc()
+        self.memtable = SkipListMemTable(
+            seed=self.stats.flushes + self._rotations
+        )
 
     def _touch_memtable(self, key: bytes, nbytes: int, write: bool = False) -> None:
-        """Approximate the skip list's enclave page accesses."""
+        """Approximate the skip list's enclave page accesses.
+
+        The offset hash must not depend on ``PYTHONHASHSEED``: paging
+        costs feed the simulated clock, and the perf baselines promise
+        bit-identical numbers across processes.
+        """
         if self.env.enclave is None:
             return
         region_bytes = max(1, self.env.enclave.region_bytes(_MEMTABLE_REGION))
-        offset = hash(key) % region_bytes
+        offset = zlib.crc32(key) % region_bytes
         self.env.meta_touch(_MEMTABLE_REGION, offset, nbytes, write=write)
+
+    # ------------------------------------------------------------------
+    # In-memory tables (active + immutable queue)
+    # ------------------------------------------------------------------
+    def memtables(self) -> list[SkipListMemTable]:
+        """All in-memory tables, newest first (active, then immutables
+        newest to oldest).  Rotations are sequential time cuts, so the
+        first table holding a key's record holds its newest version."""
+        return [self.memtable, *reversed(self.immutables)]
+
+    def mem_lookup(self, key: bytes, ts_query: int | None = None) -> Record | None:
+        """Newest in-memory record of ``key`` with ts <= ``ts_query``,
+        searching the active table then the immutable queue."""
+        for table in self.memtables():
+            record = table.get(key, ts_query)
+            if record is not None:
+                return record
+        return None
+
+    def mem_versions(self, key: bytes) -> list[Record]:
+        """All in-memory versions of ``key``, newest first."""
+        out: list[Record] = []
+        for table in self.memtables():
+            out.extend(table.versions(key))
+        return out
+
+    def mem_range(self, lo: bytes, hi: bytes) -> Iterator[Record]:
+        """In-memory records with lo <= key <= hi in (key, -ts) order,
+        merged across the active table and the immutable queue."""
+        tables = [t for t in self.memtables() if len(t)]
+        if not tables:
+            return iter(())
+        if len(tables) == 1:
+            return tables[0].range(lo, hi)
+        return heapq.merge(
+            *(t.range(lo, hi) for t in tables), key=lambda r: r.sort_key()
+        )
+
+    def mem_records(self) -> int:
+        """Records buffered in memory (active + immutables)."""
+        return sum(len(t) for t in self.memtables())
+
+    def mem_bytes(self) -> int:
+        """Payload bytes buffered in memory (active + immutables)."""
+        return sum(t.approximate_bytes for t in self.memtables())
 
     def recover(self, records: list[Record] | None = None) -> int:
         """Replay the WAL into the MemTable; returns records recovered.
@@ -637,9 +812,14 @@ class LSMStore:
         A crash before step 3 recovers from the previous seal with the
         previous manifest + WAL epoch still intact; a crash after it
         recovers the new state.
+
+        In pipelined mode this is a *full drain*: the active table and
+        every queued immutable are merged (as one level-0 source) into
+        the flush, so callers that need an empty memory state — epoch
+        advance, digest reset, benchmarks — get it in one commit.
         """
         with self._lock:
-            if len(self.memtable) == 0:
+            if len(self.memtable) == 0 and not self.immutables:
                 return
             self._guard_write()
             try:
@@ -650,8 +830,8 @@ class LSMStore:
     def _flush_locked(self) -> None:
         with self._tracer.span(
             "lsm.flush",
-            records=len(self.memtable),
-            memtable_bytes=self.memtable.approximate_bytes,
+            records=self.mem_records(),
+            memtable_bytes=self.mem_bytes(),
         ):
             flushed_ts = self._auto_ts
             if self.config.compaction_enabled:
@@ -660,6 +840,8 @@ class LSMStore:
                 self._flush_stacking()
             self.env.crash_point("flush.after_install")
             self.memtable = SkipListMemTable(seed=self.stats.flushes)
+            self.immutables.clear()
+            self._immutable_enqueued_us.clear()
             self.env.meta_reset(_MEMTABLE_REGION)
             if self.wal is not None:
                 self._pending_deletes.append(self.wal.advance_epoch())
@@ -683,13 +865,109 @@ class LSMStore:
             if self.env.file_exists(name):
                 self.env.file_delete(name)
 
-    def _memtable_source(self) -> list[Entry]:
-        return [(record, b"") for record in self.memtable]
+    def flush_oldest_immutable(self, wait: bool = False) -> bool:
+        """Flush the oldest queued immutable off the foreground path.
 
-    def _flush_merging(self) -> None:
+        The flush (merge into L1, manifest, commit, cascading
+        compactions) runs on a :meth:`~repro.sim.clock.SimClock.parallel_track`
+        forked at the instant the background worker could have started —
+        the later of when the table was queued and when the previous
+        background flush finished — so its cost overlaps foreground time
+        instead of adding to it.  With ``wait=True`` the caller then
+        joins on the track's completion instant, charging only the
+        remaining gap (usually zero).  Returns False if the queue was
+        empty.
+
+        Durability note: the WAL epoch does NOT advance here.  One log
+        and one enclave digest cover the active table and the whole
+        queue; the seal's ``flushed_ts`` records the time-cut boundary,
+        and recovery replays only records newer than it (see
+        ``ELSMP2Store.recover_from_seal``).
+        """
+        with self._lock:
+            if not self.immutables:
+                return False
+            self._guard_write()
+            try:
+                self._background_flush_locked(wait=wait)
+            except StorageFailure as exc:
+                self._degrade("background_flush", exc)
+            return True
+
+    def _background_flush_locked(self, wait: bool) -> None:
+        imm = self.immutables[0]
+        fork_us = max(self._immutable_enqueued_us[0], self._bg_free_us)
+        clock = self.env.clock
+        with clock.parallel_track(start_us=fork_us) as track:
+            with self._tracer.span(
+                "lsm.flush.background",
+                records=len(imm),
+                queued=len(self.immutables),
+            ):
+                boundary_ts = imm.max_ts
+                source = [(record, b"") for record in imm]
+                if self.config.compaction_enabled:
+                    self._flush_merging(source)
+                else:
+                    self._flush_stacking(source)
+                self.env.crash_point("flush.background.publish")
+                self.immutables.pop(0)
+                self._immutable_enqueued_us.pop(0)
+                if self.env.enclave is not None:
+                    self.env.enclave.shrink(
+                        _MEMTABLE_REGION, imm.approximate_bytes
+                    )
+                self.stats.flushes += 1
+                # The epoch does not advance, so the commit seal's digest
+                # covers every WAL record appended so far — sync first,
+                # or a crash right after sealing could truncate records
+                # the digest vouches for and recovery would refuse.
+                if self.wal is not None and self.wal.has_unsynced:
+                    self.wal.sync()
+                # Advance the time-cut BEFORE sealing: the seal that
+                # publishes this flush must carry the new boundary, or
+                # recovery would replay records the SSTable already holds.
+                self._flushed_ts = max(self._flushed_ts, boundary_ts)
+                self._commit("background_flush")
+            if self.config.compaction_enabled:
+                self._maybe_compact()
+        self._bg_free_us = max(self._bg_free_us, track.end_us)
+        self._m_bg_flush_us.inc(track.elapsed_us)
+        if wait:
+            clock.wait_until(track.end_us)
+
+    def drain_immutables(self) -> int:
+        """Background-flush every queued immutable (oldest first);
+        returns how many were flushed.  Used by the background flusher
+        thread and by tests."""
+        drained = 0
+        while self.flush_oldest_immutable():
+            drained += 1
+        return drained
+
+    def _memtable_source(self) -> list[Entry]:
+        """The in-memory state as ONE sorted level-0 source: the active
+        table and every queued immutable merged by (key, -ts) — a single
+        trusted source, so the authenticated-compaction listener treats
+        the whole in-memory state uniformly."""
+        tables = [t for t in self.memtables() if len(t)]
+        if not tables:
+            return []
+        if len(tables) == 1:
+            return [(record, b"") for record in tables[0]]
+        return [
+            (record, b"")
+            for record in heapq.merge(
+                *(iter(t) for t in tables), key=lambda r: r.sort_key()
+            )
+        ]
+
+    def _flush_merging(self, source: list[Entry] | None = None) -> None:
         """Merge the MemTable with the existing L1 run (leveled flush)."""
         existing = self._levels.get(1)
-        sources: list[tuple[int, Iterable[Entry]]] = [(0, self._memtable_source())]
+        if source is None:
+            source = self._memtable_source()
+        sources: list[tuple[int, Iterable[Entry]]] = [(0, source)]
         input_levels = [0]
         if existing is not None and not existing.is_empty:
             sources.append((1, existing.iter_entries(self.env)))
@@ -706,8 +984,10 @@ class LSMStore:
         self._m_flush_bytes.inc(flushed)
         self._install_run(1, metas, replaced=[1] if existing else [])
 
-    def _flush_stacking(self) -> None:
+    def _flush_stacking(self, source: list[Entry] | None = None) -> None:
         """No-compaction mode: stack the flush as a brand-new level 1."""
+        if source is None:
+            source = self._memtable_source()
         ctx = CompactionContext(
             kind="flush",
             input_levels=[0],
@@ -719,7 +999,7 @@ class LSMStore:
             self._levels[level + 1] = self._levels.pop(level)
         for listener in self.listeners:
             listener.on_level_inserted(1)
-        metas = self._compactor.run(ctx, [(0, self._memtable_source())], self._next_file)
+        metas = self._compactor.run(ctx, [(0, source)], self._next_file)
         flushed = sum(m.size_bytes for m in metas)
         self.stats.bytes_flushed += flushed
         self._m_flush_bytes.inc(flushed)

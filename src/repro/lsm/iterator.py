@@ -60,7 +60,9 @@ def store_snapshot(store, ts_query: int | None = None) -> Iterator[Record]:
     ``store`` is an :class:`~repro.lsm.db.LSMStore`; the iteration is a
     consistent snapshot if the store is quiesced (no concurrent writes).
     """
-    sources: list[Iterable[Record]] = [iter(store.memtable)]
+    sources: list[Iterable[Record]] = [
+        iter(table) for table in store.memtables()
+    ]
     for level in store.level_indices():
         run = store.level_run(level)
         sources.append(

@@ -34,6 +34,8 @@ class SkipListMemTable:
         self._height = 1
         self._count = 0
         self._bytes = 0
+        self._max_ts = 0
+        self._frozen = False
 
     def __len__(self) -> int:
         return self._count
@@ -42,6 +44,25 @@ class SkipListMemTable:
     def approximate_bytes(self) -> int:
         """Bytes of record payload buffered (flush trigger input)."""
         return self._bytes
+
+    @property
+    def max_ts(self) -> int:
+        """Largest timestamp ever inserted (0 when empty).
+
+        A rotated (frozen) table's ``max_ts`` is the time-cut boundary
+        between it and every younger table: all of its records are <=
+        this, all later writes are >.
+        """
+        return self._max_ts
+
+    @property
+    def frozen(self) -> bool:
+        """True once the table has been rotated into the immutable queue."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Make the table immutable; further :meth:`add` calls raise."""
+        self._frozen = True
 
     def _random_height(self) -> int:
         height = 1
@@ -55,6 +76,8 @@ class SkipListMemTable:
 
     def add(self, record: Record) -> None:
         """Insert a record; (key, ts) pairs must be unique."""
+        if self._frozen:
+            raise RuntimeError("memtable is frozen (rotated immutable)")
         target = self._order(record)
         update: list[_Node] = [self._head] * _MAX_HEIGHT
         node = self._head
@@ -76,6 +99,7 @@ class SkipListMemTable:
             update[level].nexts[level] = new_node
         self._count += 1
         self._bytes += record.approximate_bytes()
+        self._max_ts = max(self._max_ts, record.ts)
 
     def _seek(self, key: bytes) -> _Node | None:
         """First node with key >= ``key`` (any timestamp)."""

@@ -98,6 +98,11 @@ class WriteAheadLog:
         """Largest record timestamp covered by a completed fsync."""
         return self._durable_ts
 
+    @property
+    def has_unsynced(self) -> bool:
+        """Records appended since the last completed fsync exist."""
+        return self._appends_since_sync > 0
+
     def advance_epoch(self) -> str:
         """Open epoch N+1 and switch appends to it; returns the *old*
         epoch's file name, which the caller deletes only after its
@@ -159,6 +164,36 @@ class WriteAheadLog:
         self._appends_since_sync += 1
         if self._appends_since_sync >= self.sync_every:
             self.sync()
+
+    def append_group(self, records: list[Record]) -> None:
+        """Group commit: append many records as ONE disk write, then
+        fsync once.
+
+        Each record keeps its own length+CRC frame, so :meth:`replay`
+        needs no group awareness — a torn group simply replays as a
+        shorter prefix of intact frames (and authenticated recovery then
+        discards any unsealed tail).  Completion of the trailing
+        :meth:`sync` is the whole group's durability boundary: a group
+        is acknowledged all-or-nothing.
+        """
+        if not records:
+            return
+        chunks = []
+        for record in records:
+            payload = encode_record(record)
+            crc = zlib.crc32(payload) & 0xFFFFFFFF
+            chunks.append(_ENTRY_HEADER.pack(len(payload), crc) + payload)
+        entry = b"".join(chunks)
+        self._m_appends.inc(len(records))
+        self._m_bytes.inc(len(entry))
+        self.env.crash_point("wal.group.before_write")
+        self.env.file_append(self.path, entry)
+        self.env.crash_point("wal.group.after_write")
+        self._appended_ts = max(
+            self._appended_ts, max(record.ts for record in records)
+        )
+        self._appends_since_sync += len(records)
+        self.sync()
 
     def sync(self) -> None:
         """fsync the log now and reset the cadence counter.

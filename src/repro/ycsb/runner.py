@@ -87,7 +87,12 @@ def load_phase(store, workload: CoreWorkload, prefetch: bool = True) -> None:
 
 
 def run_phase(
-    store, workload: CoreWorkload, operations: int, multiget: int = 1
+    store,
+    workload: CoreWorkload,
+    operations: int,
+    multiget: int = 1,
+    group_commit: int = 1,
+    group_max_delay_us: float | None = None,
 ) -> RunResult:
     """Drive ``operations`` requests and collect simulated latencies.
 
@@ -101,6 +106,14 @@ def run_phase(
     that many keys; the batch's lap is attributed evenly across its keys
     so per-op statistics stay comparable with the sequential mode.  Any
     other op kind flushes the pending batch first, preserving order.
+
+    With ``group_commit > 1`` (and a store exposing ``group_commit``),
+    consecutive INSERT/UPDATE/DELETE ops are coalesced into commit
+    groups of up to that many writes — one ECall, one WAL write, one
+    fsync per group — the group's lap attributed evenly.  Reads, scans,
+    and RMWs submit the pending group first, so read-your-writes holds;
+    ``group_max_delay_us`` bounds (in simulated time) how long the
+    oldest queued write may wait before the group is forced out.
     """
     clock = store.clock
     telemetry = _telemetry(store)
@@ -122,7 +135,11 @@ def run_phase(
         else nullcontext()
     )
     use_multiget = multiget > 1 and hasattr(store, "multi_get")
+    use_groups = group_commit > 1 and hasattr(store, "group_commit")
     pending_reads: list[bytes] = []
+    #: (ycsb op kind, store op tuple) pairs awaiting one commit group.
+    pending_writes: list[tuple[str, tuple]] = []
+    first_queued_us = 0.0
 
     def _record(kind: str, elapsed: float) -> None:
         result.per_op.setdefault(kind, LatencyStats()).add(elapsed)
@@ -130,9 +147,25 @@ def run_phase(
         if latency_hist is not None:
             latency_hist.observe(elapsed, op=kind)
 
+    def _flush_writes() -> None:
+        if not pending_writes:
+            return
+        before = clock.now_us
+        try:
+            store.group_commit([op for _kind, op in pending_writes])
+        except AdmissionShedError:
+            result.shed_ops += len(pending_writes)
+        per_op = clock.lap(before) / len(pending_writes)
+        for kind, _op in pending_writes:
+            _record(kind, per_op)
+        pending_writes.clear()
+
     def _flush_reads() -> None:
         if not pending_reads:
             return
+        # Read-your-writes: queued writes become durable and visible
+        # before the batch reads execute.
+        _flush_writes()
         before = clock.now_us
         try:
             store.multi_get(list(pending_reads))
@@ -149,6 +182,13 @@ def run_phase(
         for _ in range(operations):
             op = workload.next_op()
             key = workload.key(op.key_index)
+            if (
+                use_groups
+                and pending_writes
+                and group_max_delay_us is not None
+                and clock.now_us - first_queued_us >= group_max_delay_us
+            ):
+                _flush_writes()
             if use_multiget and op.kind == OP_READ:
                 pending_reads.append(key)
                 if len(pending_reads) >= multiget:
@@ -156,6 +196,26 @@ def run_phase(
                 continue
             if use_multiget:
                 _flush_reads()
+            if use_groups and op.kind in (OP_INSERT, OP_UPDATE, OP_DELETE):
+                if not pending_writes:
+                    first_queued_us = clock.now_us
+                if op.kind == OP_UPDATE:
+                    pending_writes.append(
+                        (op.kind, ("put", key, workload.value(op.key_index, version)))
+                    )
+                    version += 1
+                elif op.kind == OP_INSERT:
+                    pending_writes.append(
+                        (op.kind, ("put", key, workload.value(op.key_index)))
+                    )
+                else:
+                    pending_writes.append((op.kind, ("delete", key)))
+                if len(pending_writes) >= group_commit:
+                    _flush_writes()
+                continue
+            if use_groups:
+                # READ/SCAN/RMW: preserve read-your-writes.
+                _flush_writes()
             before = clock.now_us
             try:
                 if op.kind == OP_READ:
@@ -184,5 +244,7 @@ def run_phase(
             _record(op.kind, clock.lap(before))
         if use_multiget:
             _flush_reads()
+        if use_groups:
+            _flush_writes()
         result.duration_us = clock.now_us - start
     return result

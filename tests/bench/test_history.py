@@ -42,9 +42,19 @@ def test_history_record_carries_schema_stamp_and_fields():
     assert record["schema"] == HISTORY_SCHEMA
     assert record["timestamp"] == "2026-01-01T00:00:00Z"
     assert record["commit"] == "abc1234"
-    for field in RECORD_FIELDS:
-        assert field in record
+    # Profiles carry column *subsets* of the trajectory schema: every
+    # result field that is a trajectory column must land in the record.
+    for field in _result():
+        if field in RECORD_FIELDS:
+            assert field in record
     assert record["batch_us"] == 100.0
+
+
+def test_history_record_carries_group_commit_columns():
+    result = _result(profile="group-commit", group_size=64, speedup_x=3.3)
+    record = history_record(result, timestamp="t", commit="c")
+    assert record["group_size"] == 64
+    assert record["speedup_x"] == 3.3
 
 
 def test_append_and_load_roundtrip(tmp_path):
@@ -148,13 +158,13 @@ def test_committed_history_parses_and_matches_committed_baseline():
     assert records, "committed history must carry at least one record"
     for record in records:
         assert record["schema"] == HISTORY_SCHEMA
-        fields = (
-            ADVERSARIAL_FIELDS
-            if record["profile"].startswith("adv-")
-            else RECORD_FIELDS
-        )
-        for field in fields:
-            assert field in record
+        # Every profile writes its own column subset; the headline
+        # batch_us must be present on every non-adversarial record.
+        if record["profile"].startswith("adv-"):
+            for field in ADVERSARIAL_FIELDS:
+                assert field in record
+        else:
+            assert "batch_us" in record
     with open(baseline_path) as fh:
         baseline = json.load(fh)
     last_by_profile = {r["profile"]: r for r in records}

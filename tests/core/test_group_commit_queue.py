@@ -1,0 +1,98 @@
+"""GroupCommitQueue semantics and the cross-store group_commit API."""
+
+import pytest
+
+from repro.core.group_commit import GroupCommitQueue
+from tests.conftest import kv, make_p1_store, make_p2_store
+
+
+def test_group_submits_at_size():
+    store = make_p2_store(max_immutable_memtables=2)
+    queue = GroupCommitQueue(store, group_size=4)
+    for i in range(3):
+        assert queue.put(*kv(i)) is None
+    assert queue.pending == 3
+    stamps = queue.put(*kv(3))  # fourth op trips the size trigger
+    assert stamps is not None and len(stamps) == 4
+    assert queue.pending == 0
+    assert queue.groups_submitted == 1
+    assert queue.ops_submitted == 4
+
+
+def test_max_delay_forces_submission():
+    store = make_p2_store(max_immutable_memtables=2)
+    queue = GroupCommitQueue(store, group_size=100, max_delay_us=50.0)
+    assert queue.put(*kv(0)) is None
+    store.clock.charge("compute", 100.0)  # the oldest op has now waited 100us
+    stamps = queue.put(*kv(1))
+    assert stamps is not None and len(stamps) == 2
+    assert queue.pending == 0
+
+
+def test_flush_is_the_durability_point():
+    store = make_p2_store(max_immutable_memtables=2, autoseal=True)
+    queue = GroupCommitQueue(store, group_size=64)
+    queue.put(*kv(0))
+    queue.delete(kv(1)[0])
+    assert store.get(kv(0)[0]) is None  # queued, not yet committed
+    stamps = queue.flush()
+    assert len(stamps) == 2
+    assert store.get(kv(0)[0]) == kv(0)[1]
+    assert store.durability_ts() >= stamps[-1]
+    assert queue.flush() == []  # idempotent when empty
+
+
+def test_context_manager_flushes_on_clean_exit():
+    store = make_p2_store(max_immutable_memtables=2)
+    with GroupCommitQueue(store, group_size=64) as queue:
+        queue.put(*kv(0))
+    assert store.get(kv(0)[0]) == kv(0)[1]
+
+
+def test_context_manager_does_not_flush_on_error():
+    store = make_p2_store(max_immutable_memtables=2)
+    with pytest.raises(ValueError):
+        with GroupCommitQueue(store, group_size=64) as queue:
+            queue.put(*kv(0))
+            raise ValueError("client bug")
+    assert store.get(kv(0)[0]) is None  # unacknowledged writes stay unwritten
+
+
+def test_invalid_arguments_rejected():
+    store = make_p2_store()
+    with pytest.raises(ValueError):
+        GroupCommitQueue(store, group_size=0)
+    with pytest.raises(ValueError):
+        GroupCommitQueue(store, group_size=4, max_delay_us=-1.0)
+
+
+def test_p1_store_group_commit():
+    store = make_p1_store(max_immutable_memtables=2)
+    stamps = store.group_commit(
+        [("put", *kv(0)), ("put", *kv(1)), ("delete", kv(0)[0])]
+    )
+    assert len(stamps) == 3
+    assert store.get(kv(0)[0]) is None
+    assert store.get(kv(1)[0]) == kv(1)[1]
+
+
+def test_unsecured_store_group_commit():
+    from repro.baselines.unsecured import UnsecuredLSMStore
+    from tests.conftest import TEST_SCALE
+
+    store = UnsecuredLSMStore(scale=TEST_SCALE)
+    stamps = store.group_commit([("put", *kv(i)) for i in range(5)])
+    assert len(stamps) == 5
+    for i in range(5):
+        assert store.get(kv(i)[0]) == kv(i)[1]
+
+
+def test_report_carries_write_path_counters():
+    store = make_p2_store(max_immutable_memtables=2)
+    store.group_commit([("put", *kv(i)) for i in range(6)])
+    report = store.report()
+    assert report["group_commits"] == 1
+    assert report["memtable_records"] == 6
+    assert report["immutable_memtables"] == 0
+    assert "memtable_rotations" in report
+    assert "background_flush_us" in report

@@ -2,7 +2,7 @@
 
 import time
 
-from repro.lsm.background import BackgroundCompactor
+from repro.lsm.background import BackgroundCompactor, BackgroundFlusher
 from tests.conftest import kv, make_p2_store
 
 
@@ -74,3 +74,120 @@ def test_stop_is_idempotent():
     compactor = BackgroundCompactor(store.db).start()
     compactor.stop()
     compactor.stop()  # no error
+
+
+# ---------------------------------------------------------------------------
+# Error surfacing (satellite: no silently swallowed worker failures)
+# ---------------------------------------------------------------------------
+
+
+class _FailingCompactor(BackgroundCompactor):
+    def _step(self) -> bool:
+        raise RuntimeError("simulated compaction fault")
+
+
+def _wait_for(predicate, timeout_s=5.0):
+    deadline = time.time() + timeout_s
+    while not predicate():
+        assert time.time() < deadline, "condition never became true"
+        time.sleep(0.002)
+
+
+def test_worker_error_surfaces_in_health_metric_and_event():
+    store = make_p2_store()
+    worker = _FailingCompactor(store.db, poll_interval_s=0.001).start()
+    try:
+        _wait_for(lambda: worker.error_count >= 1)
+    finally:
+        worker.stop()
+    health = worker.health()
+    assert health["status"] == "failed"
+    assert health["kind"] == "compactor"
+    assert health["error_count"] == 1
+    assert "simulated compaction fault" in health["errors"][0]
+    errors = store.telemetry.metrics.counter("lsm.background.errors")
+    assert errors.value(kind="compactor") == 1
+    events = [
+        event
+        for event in store.telemetry.events.export()
+        if event["kind"] == "lsm.background.error"
+    ]
+    assert len(events) == 1
+    assert events[0]["worker"] == "compactor"
+    assert "simulated compaction fault" in events[0]["error"]
+    assert events[0]["error_count"] == 1
+
+
+def test_error_ring_is_bounded_but_count_is_not():
+    store = make_p2_store()
+    worker = BackgroundCompactor(store.db)
+    for i in range(40):
+        worker._record_error(RuntimeError("fault %d" % i))
+    assert worker.error_count == 40
+    assert len(worker.errors) == 16  # ring evicts, metric keeps the truth
+    assert "fault 39" in repr(worker.errors[-1])
+    errors = store.telemetry.metrics.counter("lsm.background.errors")
+    assert errors.value(kind="compactor") == 40
+    assert worker.health()["status"] == "failed"
+
+
+def test_healthy_worker_reports_ok():
+    store = make_p2_store()
+    worker = BackgroundCompactor(store.db)
+    health = worker.health()
+    assert health["status"] == "ok"
+    assert health["running"] is False
+    assert health["error_count"] == 0
+    assert health["errors"] == []
+
+
+# ---------------------------------------------------------------------------
+# BackgroundFlusher: drains the pipelined immutable queue
+# ---------------------------------------------------------------------------
+
+
+def _pipelined_store():
+    return make_p2_store(max_immutable_memtables=4, write_buffer_bytes=1024)
+
+
+def _fill_until_rotation(store, limit=400):
+    i = 0
+    while not store.db.immutables and i < limit:
+        store.put(*kv(i))
+        i += 1
+    assert store.db.immutables, "write buffer never overflowed"
+    return i
+
+
+def test_flusher_drain_empties_immutable_queue():
+    store = _pipelined_store()
+    written = _fill_until_rotation(store)
+    flusher = BackgroundFlusher(store.db)
+    flusher.drain()
+    assert not store.db.immutables
+    assert flusher.flushes_run >= 1
+    for i in range(0, written, 13):
+        assert store.get(kv(i)[0]) == kv(i)[1]
+    assert store.audit().clean
+
+
+def test_flusher_thread_drains_while_writers_continue():
+    store = _pipelined_store()
+    with BackgroundFlusher(store.db, poll_interval_s=0.001) as flusher:
+        for i in range(400):
+            store.put(*kv(i))
+            if i % 60 == 0:
+                flusher.nudge()
+        _wait_for(lambda: not store.db.immutables)
+    assert flusher.flushes_run >= 1
+    assert not flusher.errors
+    assert flusher.health()["status"] == "ok"
+    for i in range(0, 400, 29):
+        assert store.get(kv(i)[0]) == kv(i)[1]
+
+
+def test_flusher_step_is_noop_when_queue_empty():
+    store = _pipelined_store()
+    flusher = BackgroundFlusher(store.db)
+    assert flusher._step() is False
+    assert flusher.flushes_run == 0

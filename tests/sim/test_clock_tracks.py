@@ -1,0 +1,97 @@
+"""Parallel work tracks: the charge-concurrent-work-as-max primitive."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+def test_track_charges_accrue_to_track_not_foreground():
+    clock = SimClock()
+    clock.charge("compute", 10.0)
+    with clock.parallel_track() as track:
+        clock.charge("disk_write", 30.0)
+        clock.charge("hash", 5.0)
+    assert track.elapsed_us == 35.0
+    assert track.start_us == 10.0
+    assert track.end_us == 45.0
+    assert clock._now_us == 10.0  # foreground untouched
+
+
+def test_now_us_is_virtual_inside_a_track():
+    clock = SimClock()
+    clock.charge("compute", 10.0)
+    with clock.parallel_track() as track:
+        assert clock.now_us == 10.0
+        clock.charge("compute", 7.0)
+        assert clock.now_us == 17.0  # the track's virtual now
+    assert clock.now_us == 10.0
+    assert track.closed
+
+
+def test_category_breakdown_sees_track_charges():
+    """CPU accounting stays exact: total CPU time may exceed wall time."""
+    clock = SimClock()
+    with clock.parallel_track():
+        clock.charge("disk_write", 30.0)
+    assert clock.breakdown()["disk_write"] == 30.0
+    assert clock.event_count("disk_write") == 1
+
+
+def test_wait_until_charges_only_the_gap():
+    clock = SimClock()
+    with clock.parallel_track() as track:
+        clock.charge("disk_write", 100.0)
+    clock.charge("compute", 60.0)  # foreground overlaps 60 of the 100
+    waited = clock.wait_until(track.end_us)
+    assert waited == 40.0
+    assert clock.now_us == 100.0  # max(foreground, background), not 160
+
+
+def test_wait_until_past_instant_is_free():
+    clock = SimClock()
+    clock.charge("compute", 50.0)
+    assert clock.wait_until(10.0) == 0.0
+    assert clock.now_us == 50.0
+
+
+def test_backdated_fork_point():
+    """Deferred background work forks at its *schedule* instant: by the
+    time the foreground joins, the cost has already overlapped."""
+    clock = SimClock()
+    clock.charge("compute", 100.0)  # enqueue happened at t=20, say
+    with clock.parallel_track(start_us=20.0) as track:
+        clock.charge("disk_write", 50.0)
+    assert track.end_us == 70.0
+    assert clock.wait_until(track.end_us) == 0.0  # already in the past
+
+
+def test_tracks_do_not_nest():
+    clock = SimClock()
+    with clock.parallel_track():
+        with pytest.raises(RuntimeError):
+            with clock.parallel_track():
+                pass  # pragma: no cover
+
+
+def test_attribution_hook_sees_track_charges():
+    clock = SimClock()
+    seen = []
+    clock.set_attribution(lambda cat, us: seen.append((cat, us)))
+    with clock.parallel_track():
+        clock.charge("hash", 3.0)
+    assert seen == [("hash", 3.0)]
+
+
+def test_serialized_worker_pattern():
+    """Two deferred flushes: the second forks where the first ended."""
+    clock = SimClock()
+    clock.charge("compute", 200.0)
+    free_us = 0.0
+    ends = []
+    for enqueue_us in (40.0, 60.0):
+        with clock.parallel_track(start_us=max(enqueue_us, free_us)) as t:
+            clock.charge("disk_write", 80.0)
+        free_us = max(free_us, t.end_us)
+        ends.append(t.end_us)
+    assert ends == [120.0, 200.0]  # second queued behind the first
+    assert clock.now_us == 200.0  # all of it overlapped the foreground
