@@ -402,3 +402,13 @@ def _chain_of(node: ast.expr) -> list[str]:
         parts.reverse()
         return parts
     return []
+
+
+def get_callgraph(index) -> "CallGraph":
+    """One shared :class:`CallGraph` per index (taint, EL6xx and EL7xx
+    all need it; building it three times would triple lint wall time)."""
+    graph = getattr(index, "_callgraph", None)
+    if graph is None:
+        graph = CallGraph.build(index)
+        index._callgraph = graph
+    return graph

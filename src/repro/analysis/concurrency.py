@@ -1,0 +1,988 @@
+"""EL6xx — concurrency analysis for the pipelined write path.
+
+PR 8 made the store multi-threaded: daemon ``_BackgroundWorker`` threads
+(flusher, compactor) mutate ``LSMStore`` state while foreground ops read
+it.  This family checks every attribute reachable from both a background
+thread entry and a foreground op against the declarative ownership
+policy in the ``[concurrency]`` section of ``analysis/zones.toml``:
+
+* **EL601** — an access to a shared attribute that violates its declared
+  ownership (``lock:<name>`` access outside the lock, a write to a
+  ``single-writer`` attribute from the wrong side), or a shared
+  read-write pair on an attribute with *no* declared ownership at all.
+* **EL602** — mutation of frozen/published structures: writes to
+  ``frozen-after-publish`` attributes outside construction, element
+  mutators called on values drawn from a published container (a queued
+  immutable memtable must never be written again), and freeze-then-
+  mutate within one function body.
+* **EL603** — ``parallel_track`` misuse: nesting (lexically or through
+  a call that opens another track), letting the track object escape the
+  function, an unguarded (non-monotone) fork point, and ``wait_until``
+  on the foreground clock from inside a track body.
+* **EL604** — a background thread entry whose exceptions can escape the
+  bounded error ring instead of being recorded.
+
+Thread entries are discovered from ``threading.Thread(target=...)``
+call sites and the policy's ``background_entries`` patterns; functions
+opening a ``parallel_track`` count as background for reachability (the
+work they charge models another core).  Reachability runs over the
+PR 5 interprocedural call graph, widened for virtual dispatch (a call
+resolving to a base-class method also reaches every same-named
+override, so ``_BackgroundWorker._step`` reaches each worker's step).
+
+Lock identity is *name-based*: ``lock:_lock`` accepts any ``with
+x._lock:`` block and any function all of whose reachable call chains
+pass through one ("always-held", a greatest fixpoint over the call
+graph).  Two distinct locks sharing an attribute name would alias; the
+codebase has one store lock, and the policy file is the reviewed place
+to keep that true.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import CallGraph, _chain_of, get_callgraph
+from repro.analysis.engine import ProjectIndex
+from repro.analysis.model import Finding, Severity
+from repro.analysis.zones import ConcurrencyConfig
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Method names that mutate their receiver in place.  Telemetry verbs
+#: (``inc``/``observe``/``emit``/``set``) are deliberately absent: metric
+#: objects are internally synchronised (GIL-atomic counter bumps) and
+#: flagging every counter increment would drown the real races.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "pop",
+        "popleft",
+        "clear",
+        "extend",
+        "insert",
+        "remove",
+        "add",
+        "update",
+        "setdefault",
+        "discard",
+        "freeze",
+    }
+)
+
+
+@dataclass
+class _Access:
+    """One attribute access on a shared-class receiver."""
+
+    key: str  # canonical "<class qualname>.<attr>"
+    attr: str
+    func: str  # enclosing function qualname
+    line: int
+    is_write: bool
+    node_id: int  # id() of the ast.Attribute, for lock-scope lookup
+
+
+@dataclass
+class _FnFacts:
+    """Per-function syntactic facts needed by several checks."""
+
+    locked_nodes: dict[str, set[int]] = field(default_factory=dict)
+    #: (call node, resolved target or None) in source order.
+    calls: list[tuple[ast.Call, str | None]] = field(default_factory=list)
+
+
+class ConcurrencyAnalysis:
+    def __init__(self, index: ProjectIndex, graph: CallGraph) -> None:
+        self.index = index
+        self.graph = graph
+        self.cfg: ConcurrencyConfig = index.config.concurrency
+        self.findings: list[Finding] = []
+        self._overrides = self._build_overrides()
+        self._fn_facts: dict[str, _FnFacts] = {}
+        self._lock_names = {
+            token.split(":", 1)[1]
+            for token in self.cfg.ownership.values()
+            if token.startswith("lock:")
+        }
+
+    # ------------------------------------------------------------------
+    # Entry discovery & reachability
+    # ------------------------------------------------------------------
+    def _build_overrides(self) -> dict[str, set[str]]:
+        """Base-class method qualname -> same-named subclass overrides."""
+        overrides: dict[str, set[str]] = {}
+        for cnode in self.graph.classes.values():
+            ancestors = self._ancestors(cnode.qualname)
+            for name, fqual in cnode.methods.items():
+                for anc in ancestors:
+                    anode = self.graph.classes.get(anc)
+                    if anode and name in anode.methods:
+                        target = anode.methods[name]
+                        if target != fqual:
+                            overrides.setdefault(target, set()).add(fqual)
+        return overrides
+
+    def _ancestors(self, classqual: str) -> list[str]:
+        out: list[str] = []
+        stack = list(self.graph.classes[classqual].bases)
+        while stack:
+            qual = stack.pop(0)
+            if qual in out:
+                continue
+            out.append(qual)
+            cnode = self.graph.classes.get(qual)
+            if cnode:
+                stack.extend(cnode.bases)
+        return out
+
+    def _matches(self, qual: str, patterns: list[str]) -> bool:
+        return any(fnmatch.fnmatchcase(qual, p) for p in patterns)
+
+    def _facts(self, fqual: str) -> _FnFacts:
+        facts = self._fn_facts.get(fqual)
+        if facts is not None:
+            return facts
+        fn = self.graph.functions[fqual]
+        facts = _FnFacts()
+        for lock in self._lock_names:
+            facts.locked_nodes[lock] = _nodes_under_lock(fn.node, lock)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                site = self.graph.calls.get(id(node))
+                facts.calls.append((node, site.target if site else None))
+        self._fn_facts[fqual] = facts
+        return facts
+
+    def _thread_targets(self) -> set[str]:
+        """Functions passed as ``threading.Thread(target=...)``."""
+        targets: set[str] = set()
+        for fqual, fn in self.graph.functions.items():
+            for call, _ in self._facts(fqual).calls:
+                chain = _chain_of(call.func)
+                if not chain or chain[-1] != "Thread":
+                    continue
+                for kw in call.keywords:
+                    if kw.arg != "target":
+                        continue
+                    tchain = _chain_of(kw.value)
+                    resolved: str | None = None
+                    if len(tchain) == 2 and tchain[0] in ("self", "cls") and fn.cls:
+                        resolved = self.graph._lookup_method(fn.cls, tchain[1])
+                    elif len(tchain) == 1:
+                        binding = self.graph._bindings.get(fn.module, {}).get(
+                            tchain[0]
+                        )
+                        if binding and binding[0] == "func":
+                            resolved = binding[1]
+                    if resolved:
+                        targets.add(resolved)
+        return targets
+
+    def _opens_track(self, fqual: str) -> bool:
+        fn = self.graph.functions[fqual]
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    if _is_track_call(item.context_expr):
+                        return True
+        return False
+
+    def _reach(self, entries: set[str]) -> set[str]:
+        seen = set(entries)
+        queue = list(entries)
+        while queue:
+            fqual = queue.pop()
+            if fqual not in self.graph.functions:
+                seen.discard(fqual)
+                continue
+            for _, target in self._facts(fqual).calls:
+                if target is None:
+                    continue
+                for widened in (target, *self._overrides.get(target, ())):
+                    if widened in self.graph.functions and widened not in seen:
+                        seen.add(widened)
+                        queue.append(widened)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Main driver
+    # ------------------------------------------------------------------
+    def run(self) -> list[Finding]:
+        if not self.cfg.enabled:
+            return []
+        thread_targets = {
+            t for t in self._thread_targets() if t in self.graph.functions
+        }
+        policy_bg = {
+            q
+            for q in self.graph.functions
+            if self._matches(q, self.cfg.background_entries)
+        }
+        track_openers = {
+            q for q in self.graph.functions if self._opens_track(q)
+        }
+        bg_entries = thread_targets | policy_bg | track_openers
+        fg_entries = {
+            q
+            for q in self.graph.functions
+            if self._matches(q, self.cfg.foreground_entries)
+        }
+        bg_reach = self._reach(bg_entries)
+        fg_reach = self._reach(fg_entries)
+        reachable = bg_reach | fg_reach
+
+        # Track openers count as background *reachability* roots (the
+        # track body is charged to simulated background time) but they
+        # run on the calling thread, so any lock the caller holds is
+        # still held inside the track — they are not lock-free entries.
+        lock_entries = thread_targets | policy_bg | fg_entries
+        always_held = self._always_held_fixpoint(reachable, lock_entries)
+        accesses = self._collect_accesses(reachable)
+        self._check_ownership(accesses, bg_reach, fg_reach, always_held)
+        self._check_published(reachable)
+        for fqual in sorted(self.graph.functions):
+            self._check_freeze_then_mutate(fqual)
+            self._check_tracks(fqual)
+        self._check_error_ring(thread_targets | policy_bg)
+        return self.findings
+
+    # ------------------------------------------------------------------
+    # Lock inference
+    # ------------------------------------------------------------------
+    def _always_held_fixpoint(
+        self, reachable: set[str], entries: set[str]
+    ) -> dict[str, dict[str, bool]]:
+        """``fqual -> lock name -> True`` iff every reachable call chain
+        into the function lexically passes through ``with ...<lock>:``.
+
+        Greatest fixpoint: start from "held everywhere except entries"
+        and strip functions with an unprotected incoming edge until
+        stable.  Entries are where threads start, so nothing is held.
+        """
+        held = {
+            lock: {q: q not in entries for q in reachable}
+            for lock in self._lock_names
+        }
+        edges: dict[str, list[tuple[str, int]]] = {}
+        for caller in reachable:
+            facts = self._facts(caller)
+            for call, target in facts.calls:
+                if target is None:
+                    continue
+                for widened in (target, *self._overrides.get(target, ())):
+                    if widened in reachable:
+                        edges.setdefault(widened, []).append((caller, id(call)))
+        for lock in self._lock_names:
+            changed = True
+            while changed:
+                changed = False
+                for callee in reachable:
+                    if callee in entries or not held[lock][callee]:
+                        continue
+                    incoming = edges.get(callee, [])
+                    ok = bool(incoming) and all(
+                        call_id in self._facts(caller).locked_nodes[lock]
+                        or held[lock][caller]
+                        for caller, call_id in incoming
+                    )
+                    if not ok:
+                        held[lock][callee] = False
+                        changed = True
+        return {
+            q: {lock: held[lock][q] for lock in self._lock_names}
+            for q in reachable
+        }
+
+    # ------------------------------------------------------------------
+    # Attribute access collection
+    # ------------------------------------------------------------------
+    def _shared_class_of(self, classqual: str | None) -> list[str]:
+        """Candidate owner classes for a receiver type, self-first."""
+        if classqual is None or classqual not in self.graph.classes:
+            return []
+        shared = self.cfg.shared_classes()
+        return [
+            qual
+            for qual in (classqual, *self._ancestors(classqual))
+            if qual in shared
+        ]
+
+    def _canonical_key(self, candidates: list[str], attr: str) -> str | None:
+        """Declared key if any candidate declares the attr, else the
+        topmost shared ancestor (groups undeclared reports per family)."""
+        for qual in candidates:
+            key = f"{qual}.{attr}"
+            if (
+                self.cfg.ownership_of(key) is not None
+                or self.cfg.published_mutators(key) is not None
+            ):
+                return key
+        return f"{candidates[-1]}.{attr}" if candidates else None
+
+    def _collect_accesses(self, reachable: set[str]) -> list[_Access]:
+        accesses: list[_Access] = []
+        for fqual in sorted(reachable):
+            fn = self.graph.functions[fqual]
+            local_types = self.graph._local_types(fn)
+            written_through = _written_through(fn.node)
+            # A mutator-named call that resolves to a project method
+            # (``self.wal.append(...)`` -> WriteAheadLog.append) is a
+            # method call on a collaborator, not an in-place container
+            # mutation of the attribute binding; the collaborator's own
+            # attribute policy covers what that method touches.
+            for call in ast.walk(fn.node):
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and id(call.func.value) in written_through
+                ):
+                    site = self.graph.calls.get(id(call))
+                    if site is not None and site.target is not None:
+                        written_through.discard(id(call.func.value))
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                chain = _chain_of(node)
+                if len(chain) < 2:
+                    continue
+                recv_type: str | None = local_types.get(chain[0])
+                for part in chain[1:-1]:
+                    recv_type = (
+                        self.graph._attr_type(recv_type, part)
+                        if recv_type
+                        else None
+                    )
+                candidates = self._shared_class_of(recv_type)
+                if not candidates:
+                    continue
+                # Construction is single-threaded: skip accesses inside
+                # the receiver class family's own __init__.
+                if fn.name == "__init__" and fn.cls and (
+                    fn.cls == recv_type
+                    or recv_type in (fn.cls, *self._ancestors(fn.cls))
+                ):
+                    continue
+                key = self._canonical_key(candidates, chain[-1])
+                if key is None:
+                    continue
+                is_write = (
+                    isinstance(node.ctx, (ast.Store, ast.Del))
+                    or id(node) in written_through
+                )
+                accesses.append(
+                    _Access(
+                        key=key,
+                        attr=chain[-1],
+                        func=fqual,
+                        line=node.lineno,
+                        is_write=is_write,
+                        node_id=id(node),
+                    )
+                )
+        return accesses
+
+    # ------------------------------------------------------------------
+    # EL601 / EL602 ownership checks
+    # ------------------------------------------------------------------
+    def _emit(self, rule: str, fqual: str, line: int, message: str) -> None:
+        fn = self.graph.functions[fqual]
+        module = self.index.modules[fn.module]
+        severity = Severity.WARNING if rule == "EL603" else Severity.ERROR
+        self.findings.append(
+            Finding(
+                rule=rule,
+                severity=severity,
+                path=module.relpath,
+                line=line,
+                message=message,
+            )
+        )
+
+    def _check_ownership(
+        self,
+        accesses: list[_Access],
+        bg_reach: set[str],
+        fg_reach: set[str],
+        always_held: dict[str, dict[str, bool]],
+    ) -> None:
+        by_key: dict[str, list[_Access]] = {}
+        for access in accesses:
+            by_key.setdefault(access.key, []).append(access)
+        for key, sites in sorted(by_key.items()):
+            ownership = self.cfg.ownership_of(key)
+            if ownership is None:
+                if self.cfg.published_mutators(key) is not None:
+                    continue  # element policy handled by _check_published
+                self._check_undeclared(key, sites, bg_reach, fg_reach)
+                continue
+            if ownership == "event-handoff":
+                continue
+            if ownership.startswith("lock:"):
+                lock = ownership.split(":", 1)[1]
+                for access in sites:
+                    locked = (
+                        access.node_id
+                        in self._facts(access.func).locked_nodes.get(lock, ())
+                        or always_held.get(access.func, {}).get(lock, False)
+                    )
+                    if not locked:
+                        self._emit(
+                            "EL601",
+                            access.func,
+                            access.line,
+                            f"shared attribute {key} is declared "
+                            f"lock:{lock} but {access.func} "
+                            f"{'writes' if access.is_write else 'reads'} it "
+                            f"without holding the lock",
+                        )
+            elif ownership.startswith("single-writer:"):
+                owner = ownership.split(":", 1)[1]
+                owner_reach = bg_reach if owner == "background" else fg_reach
+                other_reach = fg_reach if owner == "background" else bg_reach
+                for access in sites:
+                    if not access.is_write:
+                        continue
+                    if access.func in other_reach:
+                        self._emit(
+                            "EL601",
+                            access.func,
+                            access.line,
+                            f"shared attribute {key} is declared "
+                            f"single-writer:{owner} but {access.func} "
+                            f"(reachable from the "
+                            f"{'foreground' if owner == 'background' else 'background'}"
+                            f" side) writes it",
+                        )
+                    elif access.func not in owner_reach:
+                        self._emit(
+                            "EL601",
+                            access.func,
+                            access.line,
+                            f"shared attribute {key} is declared "
+                            f"single-writer:{owner} but {access.func} is not "
+                            f"reachable from that side",
+                        )
+            elif ownership == "frozen-after-publish":
+                for access in sites:
+                    if access.is_write:
+                        self._emit(
+                            "EL602",
+                            access.func,
+                            access.line,
+                            f"{key} is declared frozen-after-publish but "
+                            f"{access.func} writes it after construction",
+                        )
+
+    def _check_undeclared(
+        self,
+        key: str,
+        sites: list[_Access],
+        bg_reach: set[str],
+        fg_reach: set[str],
+    ) -> None:
+        bg_sites = [a for a in sites if a.func in bg_reach]
+        fg_sites = [a for a in sites if a.func in fg_reach]
+        if not bg_sites or not fg_sites:
+            return
+        if not any(a.is_write for a in sites):
+            return
+        writer = next(a for a in sites if a.is_write)
+        self._emit(
+            "EL601",
+            writer.func,
+            writer.line,
+            f"attribute {key} is written and shared between background "
+            f"({bg_sites[0].func}) and foreground ({fg_sites[0].func}) "
+            f"but declares no ownership in [concurrency].shared",
+        )
+
+    # ------------------------------------------------------------------
+    # EL602: published containers & freeze-then-mutate
+    # ------------------------------------------------------------------
+    def _published_key_of(self, node: ast.expr, fn, local_types) -> str | None:
+        """Resolve an expression to a published-container key, if any."""
+        if not isinstance(node, ast.Attribute):
+            return None
+        chain = _chain_of(node)
+        if len(chain) < 2:
+            return None
+        recv_type = local_types.get(chain[0])
+        for part in chain[1:-1]:
+            recv_type = self.graph._attr_type(recv_type, part) if recv_type else None
+        candidates = self._shared_class_of(recv_type)
+        for qual in candidates:
+            key = f"{qual}.{chain[-1]}"
+            if self.cfg.published_mutators(key) is not None:
+                return key
+        return None
+
+    def _check_published(self, reachable: set[str]) -> None:
+        if not self.cfg.published:
+            return
+        for fqual in sorted(reachable):
+            fn = self.graph.functions[fqual]
+            local_types = self.graph._local_types(fn)
+            aliases: dict[str, str] = {}
+            for node in ast.walk(fn.node):
+                # x = self.immutables[0]  /  x = self.immutables.popleft()
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                    if not isinstance(target, ast.Name):
+                        continue
+                    source = value
+                    if isinstance(source, ast.Subscript):
+                        source = source.value
+                    elif isinstance(source, ast.Call) and isinstance(
+                        source.func, ast.Attribute
+                    ):
+                        source = source.func.value
+                    key = self._published_key_of(source, fn, local_types)
+                    if key:
+                        aliases[target.id] = key
+                elif isinstance(node, ast.For) and isinstance(
+                    node.target, ast.Name
+                ):
+                    iter_expr = node.iter
+                    if isinstance(iter_expr, ast.Call) and iter_expr.args:
+                        iter_expr = iter_expr.args[0]  # list(self.immutables)
+                    key = self._published_key_of(iter_expr, fn, local_types)
+                    if key:
+                        aliases[node.target.id] = key
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call) or not isinstance(
+                    node.func, ast.Attribute
+                ):
+                    continue
+                mutator = node.func.attr
+                recv = node.func.value
+                key: str | None = None
+                if isinstance(recv, ast.Subscript):
+                    key = self._published_key_of(recv.value, fn, local_types)
+                elif isinstance(recv, ast.Name):
+                    key = aliases.get(recv.id)
+                if key is None:
+                    continue
+                forbidden = self.cfg.published_mutators(key) or []
+                if mutator in forbidden:
+                    self._emit(
+                        "EL602",
+                        fqual,
+                        node.lineno,
+                        f"element of published container {key} mutated via "
+                        f".{mutator}() in {fqual}; queued structures are "
+                        f"immutable once published",
+                    )
+
+    def _check_freeze_then_mutate(self, fqual: str) -> None:
+        fn = self.graph.functions[fqual]
+        freeze_methods = set(self.cfg.freeze_methods)
+        frozen_mutators = set(self.cfg.frozen_mutators)
+
+        def key_of(expr: ast.expr) -> str | None:
+            chain = _chain_of(expr)
+            return ".".join(chain) if chain else None
+
+        def apply_simple(stmt: ast.stmt, frozen: set[str]) -> None:
+            """Check mutators against ``frozen``, then record freezes
+            and un-freeze reassigned keys, within one simple statement."""
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    key = key_of(node.func.value)
+                    if (
+                        key is not None
+                        and node.func.attr in frozen_mutators
+                        and key in frozen
+                    ):
+                        self._emit(
+                            "EL602",
+                            fqual,
+                            node.lineno,
+                            f"{key} is frozen earlier in {fqual} and then "
+                            f"mutated via .{node.func.attr}()",
+                        )
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in freeze_methods
+                ):
+                    key = key_of(node.func.value)
+                    if key:
+                        frozen.add(key)
+                elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        key = key_of(target)
+                        if key:
+                            frozen.discard(key)
+
+        def scan(stmts: list[ast.stmt], frozen: set[str]) -> set[str]:
+            for stmt in stmts:
+                if isinstance(stmt, ast.If):
+                    body_frozen = scan(stmt.body, set(frozen))
+                    else_frozen = scan(stmt.orelse, set(frozen))
+                    frozen = body_frozen & else_frozen
+                elif isinstance(stmt, (ast.For, ast.While)):
+                    frozen = frozen & scan(stmt.body, set(frozen))
+                elif isinstance(stmt, ast.Try):
+                    frozen = scan(stmt.body, set(frozen))
+                    for handler in stmt.handlers:
+                        frozen = frozen & scan(handler.body, set(frozen))
+                    frozen = scan(stmt.orelse, frozen)
+                    frozen = scan(stmt.finalbody, frozen)
+                elif isinstance(stmt, ast.With):
+                    frozen = scan(stmt.body, frozen)
+                elif isinstance(stmt, _FuncDef):
+                    pass  # nested defs get their own top-level scan
+                else:
+                    apply_simple(stmt, frozen)
+            return frozen
+
+        scan(fn.node.body, set())
+
+    # ------------------------------------------------------------------
+    # EL603: parallel_track discipline
+    # ------------------------------------------------------------------
+    def _closure(self, direct: set[str]) -> set[str]:
+        """Functions that (transitively) call into ``direct``."""
+        out = set(direct)
+        changed = True
+        while changed:
+            changed = False
+            for fqual in self.graph.functions:
+                if fqual in out:
+                    continue
+                for _, target in self._facts(fqual).calls:
+                    if target is None:
+                        continue
+                    widened = (target, *self._overrides.get(target, ()))
+                    if any(w in out for w in widened):
+                        out.add(fqual)
+                        changed = True
+                        break
+        return out
+
+    def _check_tracks(self, fqual: str) -> None:
+        fn = self.graph.functions[fqual]
+        track_withs: list[ast.With] = []
+        with_items: set[int] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    with_items.add(id(item.context_expr))
+                    if _is_track_call(item.context_expr):
+                        track_withs.append(node)
+        for call, _ in self._facts(fqual).calls:
+            if _is_track_call(call) and id(call) not in with_items:
+                self._emit(
+                    "EL603",
+                    fqual,
+                    call.lineno,
+                    f"parallel_track in {fqual} is not used as a "
+                    f"with-statement context manager; the track would "
+                    f"never be closed",
+                )
+        if not track_withs:
+            return
+        openers = {
+            q for q in self.graph.functions if q != fqual and self._opens_track(q)
+        }
+        opens_closure = self._closure(openers) if openers else set()
+        waiters = {
+            q
+            for q in self.graph.functions
+            if q != fqual and _calls_wait_until(self.graph.functions[q].node)
+        }
+        waits_closure = self._closure(waiters) if waiters else set()
+        for with_node in track_withs:
+            body_nodes = {
+                id(n) for stmt in with_node.body for n in ast.walk(stmt)
+            }
+            track_name: str | None = None
+            for item in with_node.items:
+                if _is_track_call(item.context_expr) and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    track_name = item.optional_vars.id
+            for node in ast.walk(with_node):
+                if id(node) not in body_nodes:
+                    continue
+                if isinstance(node, ast.With) and node is not with_node:
+                    for item in node.items:
+                        if _is_track_call(item.context_expr):
+                            self._emit(
+                                "EL603",
+                                fqual,
+                                node.lineno,
+                                f"nested parallel_track in {fqual}; "
+                                f"tracks do not nest (SimClock raises at "
+                                f"runtime)",
+                            )
+                if isinstance(node, ast.Call):
+                    chain = _chain_of(node.func)
+                    if chain and chain[-1] == "wait_until":
+                        self._emit(
+                            "EL603",
+                            fqual,
+                            node.lineno,
+                            f"wait_until inside a parallel_track body in "
+                            f"{fqual}; joining the foreground clock from a "
+                            f"track is incoherent",
+                        )
+                        continue
+                    site = self.graph.calls.get(id(node))
+                    target = site.target if site else None
+                    if target is None:
+                        continue
+                    widened = (target, *self._overrides.get(target, ()))
+                    if any(w in opens_closure for w in widened):
+                        self._emit(
+                            "EL603",
+                            fqual,
+                            node.lineno,
+                            f"{fqual} calls {target.rsplit('.', 1)[-1]} "
+                            f"inside a parallel_track body and that call "
+                            f"opens another track; tracks do not nest",
+                        )
+                    elif any(w in waits_closure for w in widened):
+                        self._emit(
+                            "EL603",
+                            fqual,
+                            node.lineno,
+                            f"{fqual} calls {target.rsplit('.', 1)[-1]} "
+                            f"inside a parallel_track body and that call "
+                            f"joins the foreground clock via wait_until",
+                        )
+            for item in with_node.items:
+                if _is_track_call(item.context_expr):
+                    self._check_fork_point(fqual, item.context_expr, fn)
+            if track_name:
+                self._check_track_escape(fqual, fn, track_name)
+
+    def _check_fork_point(self, fqual: str, call: ast.Call, fn) -> None:
+        start: ast.expr | None = None
+        for kw in call.keywords:
+            if kw.arg == "start_us":
+                start = kw.value
+        if start is None and call.args:
+            start = call.args[0]
+        if start is None:
+            return  # fork at now: always monotone
+        if _is_monotone_fork(start, fn.node):
+            return
+        self._emit(
+            "EL603",
+            fqual,
+            call.lineno,
+            f"parallel_track fork point in {fqual} is not visibly "
+            f"monotone; backdate via max(schedule instant, previous track "
+            f"end) or clock.now_us so a join can never precede the fork",
+        )
+
+    def _check_track_escape(self, fqual: str, fn, track_name: str) -> None:
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and _is_name(node.value, track_name):
+                self._emit(
+                    "EL603",
+                    fqual,
+                    node.lineno,
+                    f"track object escapes {fqual} via return; a closed "
+                    f"track must not outlive its with-scope as a live "
+                    f"handle",
+                )
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)) and _is_name(
+                getattr(node, "value", None), track_name
+            ):
+                self._emit(
+                    "EL603",
+                    fqual,
+                    node.lineno,
+                    f"track object escapes {fqual} via yield; a closed "
+                    f"track must not outlive its with-scope as a live "
+                    f"handle",
+                )
+            elif isinstance(node, ast.Assign) and _is_name(node.value, track_name):
+                for target in node.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        self._emit(
+                            "EL603",
+                            fqual,
+                            node.lineno,
+                            f"track object escapes {fqual} into shared "
+                            f"state; a closed track must not outlive its "
+                            f"with-scope as a live handle",
+                        )
+
+    # ------------------------------------------------------------------
+    # EL604: bounded error ring
+    # ------------------------------------------------------------------
+    def _check_error_ring(self, entries: set[str]) -> None:
+        recorders = set(self.cfg.error_recorders)
+        if not recorders:
+            return
+        for fqual in sorted(entries):
+            fn = self.graph.functions[fqual]
+            recording_handlers = 0
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not _catches_exception(node):
+                    continue
+                calls_recorder = any(
+                    isinstance(sub, ast.Call)
+                    and (chain := _chain_of(sub.func))
+                    and chain[-1] in recorders
+                    for stmt in node.body
+                    for sub in ast.walk(stmt)
+                )
+                if calls_recorder:
+                    recording_handlers += 1
+                else:
+                    self._emit(
+                        "EL604",
+                        fqual,
+                        node.lineno,
+                        f"except handler in thread entry {fqual} catches "
+                        f"Exception without recording it in the bounded "
+                        f"error ring ({', '.join(sorted(recorders))})",
+                    )
+            if recording_handlers == 0:
+                self._emit(
+                    "EL604",
+                    fqual,
+                    fn.node.lineno,
+                    f"thread entry {fqual} has no except-Exception handler "
+                    f"routing errors into the bounded error ring "
+                    f"({', '.join(sorted(recorders))}); an escaped "
+                    f"exception kills the worker silently",
+                )
+
+
+# ----------------------------------------------------------------------
+# Syntactic helpers
+# ----------------------------------------------------------------------
+def _nodes_under_lock(fn_node: ast.AST, lockname: str) -> set[int]:
+    """ids of every node lexically inside ``with ...<lockname>:``."""
+    out: set[int] = set()
+    for node in ast.walk(fn_node):
+        if not isinstance(node, ast.With):
+            continue
+        for item in node.items:
+            chain = _chain_of(item.context_expr)
+            if not chain and isinstance(item.context_expr, ast.Call):
+                chain = _chain_of(item.context_expr.func)
+            if chain and chain[-1] == lockname:
+                for stmt in node.body:
+                    out.update(id(n) for n in ast.walk(stmt))
+    return out
+
+
+def _written_through(fn_node: ast.AST) -> set[int]:
+    """ids of Attribute nodes mutated *through*: interior stores
+    (``self.stats.x = 1`` writes ``stats``), subscript stores
+    (``self._levels[i] = run``), and in-place mutator calls
+    (``self.immutables.append(m)``)."""
+    out: set[int] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            if isinstance(node.value, ast.Attribute):
+                out.add(id(node.value))
+        elif isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            if isinstance(node.value, ast.Attribute):
+                out.add(id(node.value))
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS and isinstance(
+                node.func.value, ast.Attribute
+            ):
+                out.add(id(node.func.value))
+    return out
+
+
+def _is_track_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    chain = _chain_of(node.func)
+    return bool(chain) and chain[-1] == "parallel_track"
+
+
+def _calls_wait_until(fn_node: ast.AST) -> bool:
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Call):
+            chain = _chain_of(node.func)
+            if chain and chain[-1] == "wait_until":
+                return True
+    return False
+
+
+def _is_name(node: ast.AST | None, name: str) -> bool:
+    return isinstance(node, ast.Name) and node.id == name
+
+
+def _catches_exception(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:``, ``except Exception``, ``except BaseException``
+    and tuple forms naming either."""
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        chain = _chain_of(node)
+        if chain and chain[-1] in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+def _is_monotone_fork(start: ast.expr, fn_node: ast.AST) -> bool:
+    """A fork point is visibly monotone when it is ``max(...)``, a name
+    bound to ``max(...)``, or a ``now_us`` read."""
+    if isinstance(start, ast.Call) and _is_name(start.func, "max"):
+        return True
+    chain = _chain_of(start)
+    if chain and chain[-1] == "now_us":
+        return True
+    if isinstance(start, ast.Name):
+        for node in ast.walk(fn_node):
+            if isinstance(node, ast.Assign) and any(
+                _is_name(t, start.id) for t in node.targets
+            ):
+                if isinstance(node.value, ast.Call) and _is_name(
+                    node.value.func, "max"
+                ):
+                    return True
+            elif isinstance(node, ast.AugAssign) and _is_name(
+                node.target, start.id
+            ):
+                return False
+    return False
+
+
+def run_concurrency(index: ProjectIndex) -> list[Finding]:
+    """Entry point: EL601–EL604 over the indexed project."""
+    if not index.config.concurrency.enabled:
+        return []
+    analysis = ConcurrencyAnalysis(index, get_callgraph(index))
+    findings = analysis.run()
+    # Deduplicate (loops/joins can visit a site twice) and sort.
+    unique = {
+        (f.rule, f.path, f.line, f.message): f for f in findings
+    }
+    return sorted(
+        unique.values(), key=lambda f: (f.path, f.line, f.rule, f.message)
+    )

@@ -272,6 +272,11 @@ def run_analysis(
             if name in index.modules
         }
     )
+    # An explicitly empty scope (e.g. --changed-only with no touched
+    # modules) means "nothing to report" — skip the rule passes rather
+    # than running them and filtering everything out.
+    if scoped_paths is not None and not scoped_paths:
+        return []
     findings = []
     for finding in run_rules(index):
         if wanted is not None and finding.rule not in wanted:
@@ -298,8 +303,35 @@ def _module_for_path(index: ProjectIndex, relpath: str):
 # ----------------------------------------------------------------------
 # --changed-only support: git-diff-aware dependency cones
 # ----------------------------------------------------------------------
+def _module_name_for_relpath(relpath: str) -> str | None:
+    """Dotted name a ``src/repro`` path maps to, derived from the path
+    alone.
+
+    Needed for *deleted* (and renamed-away) files: they are no longer
+    indexed or on disk, but their old dotted name must still seed the
+    dependency cone — every surviving importer of a deleted module is
+    exactly where new findings appear.
+    """
+    prefix = "src/repro/"
+    if relpath == "src/repro/__init__.py":
+        return "repro"
+    if not relpath.startswith(prefix) or not relpath.endswith(".py"):
+        return None
+    parts = relpath[len(prefix) : -len(".py")].split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts or not all(parts):
+        return None
+    return ".".join(["repro", *parts])
+
+
 def git_changed_modules(index: ProjectIndex) -> set[str] | None:
-    """Dotted names of indexed modules touched since HEAD (diff + untracked).
+    """Dotted names of modules touched since HEAD (diff + untracked).
+
+    Uses ``git diff --name-status -M`` so deletions and renames are
+    seen as such: a rename contributes *both* the old and the new
+    dotted name, and a deletion contributes the old name (resolved from
+    the path even though the module is gone from the index).
 
     Returns ``None`` when git is unavailable or the root is not a work
     tree — callers should fall back to a full run rather than guess.
@@ -307,9 +339,13 @@ def git_changed_modules(index: ProjectIndex) -> set[str] | None:
     import subprocess
 
     by_relpath = {m.relpath: m.name for m in index.modules.values()}
+
+    def resolve(relpath: str) -> str | None:
+        return by_relpath.get(relpath) or _module_name_for_relpath(relpath)
+
     try:
         diff = subprocess.run(
-            ["git", "diff", "--name-only", "HEAD"],
+            ["git", "diff", "--name-status", "-M", "HEAD"],
             cwd=index.root,
             capture_output=True,
             text=True,
@@ -327,8 +363,18 @@ def git_changed_modules(index: ProjectIndex) -> set[str] | None:
     except (OSError, subprocess.SubprocessError):
         return None
     changed: set[str] = set()
-    for line in diff.stdout.splitlines() + untracked.stdout.splitlines():
-        name = by_relpath.get(line.strip())
+    for line in diff.stdout.splitlines():
+        fields = line.rstrip("\n").split("\t")
+        if len(fields) < 2:
+            continue
+        # STATUS\told-path[\tnew-path]; rename/copy statuses carry a
+        # similarity score suffix (R100, C75) and two paths.
+        for relpath in fields[1:]:
+            name = resolve(relpath.strip())
+            if name is not None:
+                changed.add(name)
+    for line in untracked.stdout.splitlines():
+        name = resolve(line.strip())
         if name is not None:
             changed.add(name)
     return changed
@@ -341,13 +387,18 @@ def dependency_cone(index: ProjectIndex, changed: set[str]) -> set[str]:
     that imports it (new taint flows, changed summaries), so the cone
     follows reverse import edges to a fixpoint.
     """
+    # Keep edges to *unindexed* targets too: an import of a module that
+    # was just deleted or renamed away is precisely the edge the cone
+    # must follow to reach the importer left behind.
     importers: dict[str, set[str]] = {}
     for module in index.modules.values():
         for target, _line in module.imports:
-            if target in index.modules:
-                importers.setdefault(target, set()).add(module.name)
+            importers.setdefault(target, set()).add(module.name)
+    # Traversal seeds include names absent from the index (deleted or
+    # renamed-away modules): their surviving importers still belong in
+    # the cone even though the changed module itself cannot be scanned.
     cone = set(changed) & set(index.modules)
-    stack = list(cone)
+    stack = list(set(changed))
     while stack:
         name = stack.pop()
         for importer in importers.get(name, ()):

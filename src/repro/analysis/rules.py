@@ -56,6 +56,13 @@ ALL_RULES: dict[str, tuple[Severity, str]] = {
     "EL501": (Severity.ERROR, "unsanitized untrusted data reaches a trusted-state sink"),
     "EL502": (Severity.ERROR, "enclave secret flows to an untrusted/telemetry/log sink"),
     "EL503": (Severity.ERROR, "verification result computed but discarded"),
+    "EL601": (Severity.ERROR, "shared attribute accessed without its declared synchronization"),
+    "EL602": (Severity.ERROR, "frozen or published structure mutated after publication"),
+    "EL603": (Severity.WARNING, "parallel_track misuse (nesting, escape, non-monotone fork, join inside)"),
+    "EL604": (Severity.ERROR, "background thread exceptions can escape the bounded error ring"),
+    "EL701": (Severity.ERROR, "seal/commit without the required durability effect (fsync-before-seal)"),
+    "EL702": (Severity.ERROR, "seal after a flush install without advancing flushed_ts"),
+    "EL703": (Severity.ERROR, "path between two durable effects crosses no named crash point"),
 }
 
 #: Longer rationale per rule, tied to the paper's threat model.
@@ -154,6 +161,57 @@ RULE_DOCS: dict[str, str] = {
         "flow fails open - the caller proceeds identically whether "
         "verification passed or failed."
     ),
+    "EL601": (
+        "Background workers mutate LSMStore state while foreground ops "
+        "read it; every attribute reachable from both sides must declare "
+        "its synchronization in [concurrency].shared (lock:<name>, "
+        "single-writer:<side>, event-handoff, frozen-after-publish) and "
+        "every access site must honour the declaration. An unguarded "
+        "read-write pair is a data race the paper's security argument "
+        "silently assumes away."
+    ),
+    "EL602": (
+        "A frozen SkipListMemTable or a queued immutable is published to "
+        "concurrent readers on the promise it never changes again; any "
+        "later mutation (a write to a frozen-after-publish attribute, an "
+        "element mutator on a published container, freeze-then-mutate in "
+        "one body) invalidates digests already computed over it."
+    ),
+    "EL603": (
+        "SimClock.parallel_track models one background core: tracks do "
+        "not nest (runtime RuntimeError), the track handle must not "
+        "escape its with-scope, the fork point must be visibly monotone "
+        "(max of schedule instant and prior track end, or now_us) so a "
+        "join can never precede the fork, and wait_until inside a track "
+        "body would join the foreground clock from the background "
+        "timeline."
+    ),
+    "EL604": (
+        "Worker errors must not die silently: a thread entry without an "
+        "except-Exception handler that records into the bounded error "
+        "ring (and bumps lsm.background.errors) turns any bug into a "
+        "silently dead flusher/compactor - writes stall with no health "
+        "signal."
+    ),
+    "EL701": (
+        "A seal advertises WAL durability to every verifier; sealing "
+        "bytes that were appended but never fsynced (or epoch-rolled) "
+        "lets a crash roll back state the seal already promised - the "
+        "verifier then accepts a forked history. Appends reset fsync "
+        "state; append_group must sync before returning."
+    ),
+    "EL702": (
+        "The sealed snapshot carries flushed_ts and recovery trims WAL "
+        "replay by it; a seal taken after a flush install but before "
+        "the flushed_ts advance replays flushed records as phantom "
+        "writes (or, inverted, drops acknowledged ones) after a crash."
+    ),
+    "EL703": (
+        "Every path between two distinct durable effects must cross a "
+        "named crash_point, keeping the EL302/303 bijection honest: a "
+        "state transition the fault plan cannot crash into is a recovery "
+        "path the crash matrix never witnesses."
+    ),
 }
 
 
@@ -183,6 +241,8 @@ def run_rules(index: ProjectIndex) -> Iterator[Finding]:
     yield from _el30x_crash_sites(index)
     yield from _el4xx_telemetry(index)
     yield from _el5xx_taint(index)
+    yield from _el6xx_concurrency(index)
+    yield from _el7xx_protocol(index)
 
 
 # ----------------------------------------------------------------------
@@ -571,6 +631,27 @@ def _el4xx_telemetry(index: ProjectIndex) -> Iterator[Finding]:
 # ----------------------------------------------------------------------
 def _el5xx_taint(index: ProjectIndex) -> Iterator[Finding]:
     """Call-graph + fixpoint dataflow; see :mod:`repro.analysis.taint`."""
+    from repro.analysis.callgraph import get_callgraph
     from repro.analysis.taint import run_taint
 
-    yield from run_taint(index)
+    yield from run_taint(index, graph=get_callgraph(index))
+
+
+# ----------------------------------------------------------------------
+# EL6xx - concurrency: shared-state ownership & track discipline
+# ----------------------------------------------------------------------
+def _el6xx_concurrency(index: ProjectIndex) -> Iterator[Finding]:
+    """Reachability + ownership policy; see :mod:`repro.analysis.concurrency`."""
+    from repro.analysis.concurrency import run_concurrency
+
+    yield from run_concurrency(index)
+
+
+# ----------------------------------------------------------------------
+# EL7xx - commit-protocol effect ordering
+# ----------------------------------------------------------------------
+def _el7xx_protocol(index: ProjectIndex) -> Iterator[Finding]:
+    """Effect-order abstract walk; see :mod:`repro.analysis.protocol`."""
+    from repro.analysis.protocol import run_protocol
+
+    yield from run_protocol(index)

@@ -77,6 +77,186 @@ class TaintConfig:
     verifiers: list[str] = field(default_factory=list)
 
 
+#: Legal ownership tokens for ``[concurrency]`` ``shared`` entries.
+_OWNERSHIP = re.compile(
+    r"^(lock:[A-Za-z_]\w*"
+    r"|single-writer:(foreground|background)"
+    r"|event-handoff"
+    r"|frozen-after-publish)$"
+)
+
+#: ``ELnnn: B requires A1|A2 [when C] [reset-by R1|R2]``
+_ORDER_REQUIRES = re.compile(
+    r"^(?P<rule>EL\d{3}):\s*(?P<effect>[\w.]+)\s+requires\s+"
+    r"(?P<requires>[\w.]+(?:\s*\|\s*[\w.]+)*)"
+    r"(?:\s+when\s+(?P<when>[\w.]+))?"
+    r"(?:\s+reset-by\s+(?P<reset>[\w.]+(?:\s*\|\s*[\w.]+)*))?$"
+)
+
+#: ``ELnnn: A then B before-return in <fn-glob>``
+_ORDER_BEFORE_RETURN = re.compile(
+    r"^(?P<rule>EL\d{3}):\s*(?P<effect>[\w.]+)\s+then\s+(?P<then>[\w.]+)\s+"
+    r"before-return\s+in\s+(?P<scope>\S+)$"
+)
+
+
+def _parse_assignments(entries: list[str], where: str) -> dict[str, str]:
+    """``["a.b = rhs", ...]`` -> {"a.b": "rhs"}; malformed lines raise."""
+    out: dict[str, str] = {}
+    for entry in entries:
+        key, sep, value = entry.partition("=")
+        key, value = key.strip(), value.strip()
+        if not sep or not key or not value:
+            raise ValueError(f"{where}: expected '<key> = <value>', got {entry!r}")
+        if key in out:
+            raise ValueError(f"{where}: duplicate key {key!r}")
+        out[key] = value
+    return out
+
+
+def _split_list(value: str) -> list[str]:
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+@dataclass
+class ConcurrencyConfig:
+    """The ``[concurrency]`` section: the EL6xx shared-state policy.
+
+    ``shared`` entries are ``"<Class-qualname>.<attr> = <ownership>"``
+    strings (the attribute part may be an ``fnmatch`` glob) with
+    ownership one of ``lock:<attr>`` (every access holds the named
+    lock), ``single-writer:<side>`` (only that side writes; reads are
+    free), ``event-handoff`` (a thread-safe signalling object), or
+    ``frozen-after-publish`` (written only during construction).
+    """
+
+    #: Function-qualname patterns for background thread entry points
+    #: (auto-discovery adds ``threading.Thread(target=...)`` targets and
+    #: functions that open a ``parallel_track``).
+    background_entries: list[str] = field(default_factory=list)
+    #: Function-qualname patterns for foreground operations.
+    foreground_entries: list[str] = field(default_factory=list)
+    #: ``"<class>.<attr>" -> ownership token`` (attr part may glob).
+    ownership: dict[str, str] = field(default_factory=dict)
+    #: Published containers whose *elements* are frozen: attr pattern ->
+    #: forbidden element mutators (EL602).
+    published: dict[str, list[str]] = field(default_factory=dict)
+    #: Methods that freeze an object in place (EL602 freeze-then-mutate).
+    freeze_methods: list[str] = field(default_factory=lambda: ["freeze"])
+    #: Mutator names forbidden on a value frozen in the same scope.
+    frozen_mutators: list[str] = field(
+        default_factory=lambda: [
+            "add", "append", "extend", "insert", "remove", "update", "clear",
+        ]
+    )
+    #: Error-ring recorder methods a thread entry must route exceptions
+    #: through (EL604; the family is off while this list is empty).
+    error_recorders: list[str] = field(default_factory=list)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.background_entries or self.foreground_entries)
+
+    def shared_classes(self) -> set[str]:
+        """Class qualnames owning at least one declared attribute."""
+        keys = list(self.ownership) + list(self.published)
+        return {key.rsplit(".", 1)[0] for key in keys if "." in key}
+
+    def ownership_of(self, qualattr: str) -> str | None:
+        """Ownership for ``pkg.mod.Class.attr`` (exact beats glob)."""
+        best: tuple[int, int, str] | None = None
+        for pattern, token in self.ownership.items():
+            if qualattr == pattern:
+                key = (1, len(pattern), token)
+            elif fnmatch.fnmatchcase(qualattr, pattern):
+                key = (0, len(pattern), token)
+            else:
+                continue
+            if best is None or key[:2] > best[:2]:
+                best = key
+        return best[2] if best is not None else None
+
+    def published_mutators(self, qualattr: str) -> list[str] | None:
+        for pattern, mutators in self.published.items():
+            if qualattr == pattern or fnmatch.fnmatchcase(qualattr, pattern):
+                return mutators
+        return None
+
+
+@dataclass
+class OrderRule:
+    """One parsed ``[protocol]`` ``order`` entry."""
+
+    rule: str  # "EL701"
+    kind: str  # "requires" | "before-return"
+    effect: str  # B (requires) / A (before-return)
+    requires: tuple[str, ...] = ()  # satisfying alternatives (requires)
+    reset_by: tuple[str, ...] = ()  # effects that un-establish them
+    when: str | None = None  # context effect gating the rule
+    then: str | None = None  # B (before-return)
+    scope: str | None = None  # function-qualname glob (before-return)
+    raw: str = ""
+
+
+@dataclass
+class ProtocolConfig:
+    """The ``[protocol]`` section: the EL7xx commit-ordering policy."""
+
+    #: Function-qualname patterns subject to the effect-order checks.
+    functions: list[str] = field(default_factory=list)
+    #: effect name -> call patterns (taint-style qual/display/suffix).
+    effects: dict[str, list[str]] = field(default_factory=dict)
+    #: effect name -> attribute names whose *assignment* is the effect.
+    effect_attrs: dict[str, list[str]] = field(default_factory=dict)
+    #: Effects that change durable state (EL703 separation alphabet).
+    durable: list[str] = field(default_factory=list)
+    #: effect -> guard terminals: an ``if`` naming one of these whose
+    #: body establishes the effect counts as establishing it (the else
+    #: branch is vacuous, e.g. ``if self.wal is not None: ...sync()``).
+    guards: dict[str, list[str]] = field(default_factory=dict)
+    order: list[OrderRule] = field(default_factory=list)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.functions and self.order)
+
+    def effect_names(self) -> set[str]:
+        return set(self.effects) | set(self.effect_attrs)
+
+
+def _parse_order_rule(raw: str) -> OrderRule:
+    match = _ORDER_REQUIRES.fullmatch(raw.strip())
+    if match:
+        return OrderRule(
+            rule=match.group("rule"),
+            kind="requires",
+            effect=match.group("effect"),
+            requires=tuple(
+                p.strip() for p in match.group("requires").split("|")
+            ),
+            reset_by=tuple(
+                p.strip() for p in (match.group("reset") or "").split("|") if p.strip()
+            ),
+            when=match.group("when"),
+            raw=raw,
+        )
+    match = _ORDER_BEFORE_RETURN.fullmatch(raw.strip())
+    if match:
+        return OrderRule(
+            rule=match.group("rule"),
+            kind="before-return",
+            effect=match.group("effect"),
+            then=match.group("then"),
+            scope=match.group("scope"),
+            raw=raw,
+        )
+    raise ValueError(
+        f"protocol.order: cannot parse {raw!r} (expected "
+        f"'ELnnn: B requires A1|A2 [when C] [reset-by R]' or "
+        f"'ELnnn: A then B before-return in <fn-glob>')"
+    )
+
+
 @dataclass
 class ZoneConfig:
     """Parsed ``zones.toml``: zone patterns plus rule-scoping roles."""
@@ -100,6 +280,10 @@ class ZoneConfig:
     event_name_pattern: str = r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+){1,3}$"
     #: Taint sources/sanitizers/sinks for the EL5xx dataflow rules.
     taint: TaintConfig = field(default_factory=TaintConfig)
+    #: Shared-state ownership policy for the EL6xx concurrency rules.
+    concurrency: ConcurrencyConfig = field(default_factory=ConcurrencyConfig)
+    #: Commit-ordering policy for the EL7xx protocol rules.
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
 
     def zone_of(self, module: str) -> Zone:
         """Classify a dotted module name (NEUTRAL when nothing matches)."""
@@ -248,11 +432,82 @@ def load_zone_config(path: Path) -> ZoneConfig:
         "verifiers",
     ):
         setattr(config.taint, key, list(taint.pop(key, [])))
+    concurrency = raw.pop("concurrency", {})
+    config.concurrency.background_entries = list(
+        concurrency.pop("background_entries", [])
+    )
+    config.concurrency.foreground_entries = list(
+        concurrency.pop("foreground_entries", [])
+    )
+    ownership = _parse_assignments(
+        list(concurrency.pop("shared", [])), "concurrency.shared"
+    )
+    for qualattr, token in ownership.items():
+        if not _OWNERSHIP.fullmatch(token):
+            raise ValueError(
+                f"concurrency.shared: bad ownership {token!r} for {qualattr!r} "
+                f"(want lock:<name>, single-writer:<side>, event-handoff "
+                f"or frozen-after-publish)"
+            )
+    config.concurrency.ownership = ownership
+    config.concurrency.published = {
+        attr: _split_list(mutators)
+        for attr, mutators in _parse_assignments(
+            list(concurrency.pop("published", [])), "concurrency.published"
+        ).items()
+    }
+    if "freeze_methods" in concurrency:
+        config.concurrency.freeze_methods = list(concurrency.pop("freeze_methods"))
+    if "frozen_mutators" in concurrency:
+        config.concurrency.frozen_mutators = list(concurrency.pop("frozen_mutators"))
+    config.concurrency.error_recorders = list(
+        concurrency.pop("error_recorders", [])
+    )
+    protocol = raw.pop("protocol", {})
+    config.protocol.functions = list(protocol.pop("functions", []))
+    config.protocol.effects = {
+        effect: _split_list(patterns)
+        for effect, patterns in _parse_assignments(
+            list(protocol.pop("effects", [])), "protocol.effects"
+        ).items()
+    }
+    config.protocol.effect_attrs = {
+        effect: _split_list(attrs)
+        for effect, attrs in _parse_assignments(
+            list(protocol.pop("effect_attrs", [])), "protocol.effect_attrs"
+        ).items()
+    }
+    config.protocol.durable = list(protocol.pop("durable", []))
+    config.protocol.guards = {
+        effect: _split_list(terminals)
+        for effect, terminals in _parse_assignments(
+            list(protocol.pop("guards", [])), "protocol.guards"
+        ).items()
+    }
+    config.protocol.order = [
+        _parse_order_rule(raw_rule) for raw_rule in protocol.pop("order", [])
+    ]
+    known = config.protocol.effect_names()
+    for rule in config.protocol.order:
+        names = {rule.effect, rule.then, rule.when, *rule.requires, *rule.reset_by}
+        unknown = sorted(n for n in names if n is not None and n not in known)
+        if unknown:
+            raise ValueError(
+                f"protocol.order: {rule.raw!r} references undeclared "
+                f"effect(s): {', '.join(unknown)}"
+            )
+    for effect in config.protocol.durable + list(config.protocol.guards):
+        if effect not in known:
+            raise ValueError(
+                f"protocol: undeclared effect {effect!r} in durable/guards"
+            )
     leftovers = (
         [f"top-level [{key}]" for key in raw]
         + [f"roles.{key}" for key in roles]
         + [f"telemetry.{key}" for key in telemetry]
         + [f"taint.{key}" for key in taint]
+        + [f"concurrency.{key}" for key in concurrency]
+        + [f"protocol.{key}" for key in protocol]
     )
     if leftovers:
         raise ValueError(f"unknown keys in {path}: {', '.join(leftovers)}")

@@ -541,7 +541,8 @@ def cmd_lint(args) -> int:
                 index.scope = dependency_cone(index, changed)
                 print(
                     f"lint: --changed-only: {len(changed)} changed "
-                    f"module(s), {len(index.scope)}-module dependency cone"
+                    f"module(s), {len(index.scope)}-module dependency cone",
+                    file=sys.stderr if args.format == "sarif" else sys.stdout,
                 )
         findings = run_analysis(
             root, config, rule_filter=args.rule or None, index=index
@@ -567,12 +568,15 @@ def cmd_lint(args) -> int:
         )
         return 0
 
+    # In SARIF mode the machine-readable report owns stdout; every
+    # human-facing line moves to stderr so the output stays parseable.
+    human_out = sys.stderr if args.format == "sarif" else sys.stdout
     shown = findings if args.all else new
     for finding in shown:
         if args.format == "github":
             print(finding.format_github())
         else:
-            print(finding.format_text())
+            print(finding.format_text(), file=human_out)
 
     # report()-style summary: rule counts by severity.
     by_rule: dict[str, int] = {}
@@ -622,22 +626,46 @@ def cmd_lint(args) -> int:
                 ],
             },
         )
-        print(f"results written to {args.json_out}")
+        print(f"results written to {args.json_out}", file=human_out)
+    if args.format == "sarif" or args.sarif_out:
+        import json as _json
+
+        from repro.analysis.sarif import sarif_report
+
+        report = sarif_report(findings, baseline.entries)
+        if args.sarif_out:
+            _write_json(args.sarif_out, report)
+            print(f"SARIF written to {args.sarif_out}", file=human_out)
+        if args.format == "sarif":
+            print(_json.dumps(report, indent=2, sort_keys=True))
     if new:
-        print()
+        print(file=human_out)
     print(
         f"lint: {len(new)} new finding(s) "
         f"({summary['errors_new']} error(s), {summary['warnings_new']} "
         f"warning(s)), {len(baselined)} baselined, {len(expired)} expired "
-        f"baseline entr(y/ies) in {wall_time_s}s"
+        f"baseline entr(y/ies) in {wall_time_s}s",
+        file=human_out,
     )
     for rule, info in summary["by_rule"].items():
-        print(f"  {rule} [{info['severity']}] x{info['count']}  {info['summary']}")
+        print(
+            f"  {rule} [{info['severity']}] x{info['count']}  "
+            f"{info['summary']}",
+            file=human_out,
+        )
     if expired:
         print(
             "  note: expired baseline entries remain in "
-            f"{baseline_path.name}; run with --update-baseline to prune"
+            f"{baseline_path.name}; run with --update-baseline to prune",
+            file=human_out,
         )
+    if args.max_seconds is not None and wall_time_s > args.max_seconds:
+        print(
+            f"lint: wall time {wall_time_s}s exceeded the "
+            f"--max-seconds {args.max_seconds}s budget",
+            file=sys.stderr,
+        )
+        return 2
     # INFO findings (the EL104 coverage self-check) are advisory: they
     # print, but never fail the run.
     gating = [f for f in new if f.severity is not Severity.INFO]
@@ -837,9 +865,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint", help="trust-boundary invariant checker (repro.analysis)"
     )
-    lint.add_argument("--format", choices=["text", "github"], default="text",
+    lint.add_argument("--format", choices=["text", "github", "sarif"],
+                      default="text",
                       help="finding output style (github = workflow "
-                           "annotations)")
+                           "annotations; sarif = SARIF 2.1.0 JSON on "
+                           "stdout, human summary on stderr)")
+    lint.add_argument("--sarif-out", default=None, metavar="PATH",
+                      help="also write a SARIF 2.1.0 report to PATH "
+                           "(any --format)")
+    lint.add_argument("--max-seconds", type=float, default=None,
+                      metavar="SECONDS",
+                      help="fail (exit 2) if the analysis wall time "
+                           "exceeds this budget (CI perf gate)")
     lint.add_argument("--rule", action="append", default=None, metavar="EL###",
                       help="run only these rule ids (repeatable; for local "
                            "iteration)")

@@ -21,6 +21,10 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with repro.lsm.db
+    from repro.lsm.db import LSMStore
 
 #: Retained per worker; older errors are evicted (the count survives in
 #: the ``lsm.background.errors`` metric, so nothing is lost silently).
@@ -33,7 +37,7 @@ class _BackgroundWorker:
     #: Subclasses set this: the worker kind reported in telemetry.
     kind = "worker"
 
-    def __init__(self, db, poll_interval_s: float = 0.005) -> None:
+    def __init__(self, db: "LSMStore", poll_interval_s: float = 0.005) -> None:
         self.db = db
         self.poll_interval_s = poll_interval_s
         self._stop = threading.Event()
@@ -121,17 +125,21 @@ class BackgroundCompactor(_BackgroundWorker):
 
     kind = "compactor"
 
-    def __init__(self, db, poll_interval_s: float = 0.005) -> None:
+    def __init__(self, db: "LSMStore", poll_interval_s: float = 0.005) -> None:
         super().__init__(db, poll_interval_s)
         self.compactions_run = 0
 
     def _over_capacity_level(self) -> int | None:
-        for level in self.db.level_indices():
-            run = self.db.level_run(level)
-            if run is not None and not run.is_empty:
-                if run.total_bytes > self.db._level_capacity(level):
-                    return level
-        return None
+        # Snapshot under the store lock: a foreground flush in stacking
+        # mode re-keys ``_levels`` in place, so an unlocked scan could
+        # see a torn level map (EL601).
+        with self.db._lock:
+            for level in self.db.level_indices():
+                run = self.db.level_run(level)
+                if run is not None and not run.is_empty:
+                    if run.total_bytes > self.db._level_capacity(level):
+                        return level
+            return None
 
     def _step(self) -> bool:
         level = self._over_capacity_level()
@@ -163,7 +171,7 @@ class BackgroundFlusher(_BackgroundWorker):
 
     kind = "flusher"
 
-    def __init__(self, db, poll_interval_s: float = 0.005) -> None:
+    def __init__(self, db: "LSMStore", poll_interval_s: float = 0.005) -> None:
         super().__init__(db, poll_interval_s)
         self.flushes_run = 0
 

@@ -388,13 +388,15 @@ class LSMStore:
         * ``degraded`` — read-only after a persistent storage failure
           (terminal for the process).
         """
-        if self._health == "degraded":
-            reason = self._degraded_reason
-        else:
-            reason = self._overload_reason
+        with self._lock:
+            status = self._health
+            if status == "degraded":
+                reason = self._degraded_reason
+            else:
+                reason = self._overload_reason
         return {
-            "status": self._health,
-            "read_only": self._health == "degraded",
+            "status": status,
+            "read_only": status == "degraded",
             "reason": reason,
         }
 
@@ -581,7 +583,8 @@ class LSMStore:
     @property
     def last_ts(self) -> int:
         """Largest timestamp the store has seen (recovery restores it)."""
-        return self._auto_ts
+        with self._lock:
+            return self._auto_ts
 
     @property
     def manifest_seq(self) -> int:
@@ -598,7 +601,8 @@ class LSMStore:
         either by a committed flush (in SSTables + manifest) or by a
         completed WAL fsync."""
         wal_ts = self.wal.durable_ts if self.wal is not None else 0
-        return max(self._flushed_ts, wal_ts)
+        with self._lock:
+            return max(self._flushed_ts, wal_ts)
 
     @property
     def flushed_ts(self) -> int:
@@ -606,7 +610,8 @@ class LSMStore:
         immutable queue this is the time-cut boundary below which WAL
         records are already in SSTables — recovery must not replay
         them (they would duplicate into the rebuilt memory state)."""
-        return self._flushed_ts
+        with self._lock:
+            return self._flushed_ts
 
     def restore_flushed_ts(self, ts: int) -> None:
         """Adopt a sealed ``flushed_ts`` during authenticated recovery."""
@@ -849,8 +854,11 @@ class LSMStore:
                 for listener in self.listeners:
                     listener.on_wal_reset()
             self.stats.flushes += 1
-            self._commit("flush")
+            # Advance flushed_ts before sealing: the commit publishes
+            # the flush as durable, so the recovery boundary it implies
+            # must already be in place when the seal lands (EL702).
             self._flushed_ts = max(self._flushed_ts, flushed_ts)
+            self._commit("flush")
         if self.config.compaction_enabled:
             self._maybe_compact()
 

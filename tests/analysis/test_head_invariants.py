@@ -1,0 +1,82 @@
+"""The repo's own code must satisfy its concurrency/commit policies.
+
+These run the EL6xx/EL7xx checkers against the *real* codebase with the
+committed ``analysis/zones.toml`` — the acceptance bar is zero findings
+with an empty baseline (no grandfathered races).  A regression lock on
+the PR 8 observability surface rides along: the pipelined-write-path
+metrics must stay registered and documented (EL402's contract).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The pipelined-write-path metrics added with group commit and the
+#: background flusher; EL402 keeps them documented, this keeps them
+#: registered under these exact names.
+PR8_METRICS = {
+    "lsm.group_commit.groups",
+    "lsm.group_commit.records",
+    "lsm.memtable.rotations",
+    "lsm.flush.background_us",
+    "lsm.background.errors",
+}
+
+
+@pytest.fixture(scope="module")
+def head_index():
+    from repro.analysis import load_zone_config
+    from repro.analysis.engine import ProjectIndex
+
+    config = load_zone_config(REPO_ROOT / "analysis" / "zones.toml")
+    return ProjectIndex.build(REPO_ROOT, config)
+
+
+def test_concurrency_policy_clean_at_head(head_index):
+    from repro.analysis.concurrency import run_concurrency
+
+    findings = run_concurrency(head_index)
+    assert findings == [], [f.format_text() for f in findings]
+
+
+def test_commit_protocol_clean_at_head(head_index):
+    from repro.analysis.protocol import run_protocol
+
+    findings = run_protocol(head_index)
+    assert findings == [], [f.format_text() for f in findings]
+
+
+def test_baseline_is_empty():
+    import json
+
+    baseline = json.loads(
+        (REPO_ROOT / "analysis" / "baseline.json").read_text()
+    )
+    assert baseline.get("findings", baseline.get("entries", [])) == []
+
+
+def test_pr8_metrics_registered_and_documented(head_index):
+    registered = {r.name for r in head_index.metric_registrations}
+    missing = PR8_METRICS - registered
+    assert not missing, f"metrics no longer registered: {sorted(missing)}"
+    undocumented = {
+        name
+        for name in PR8_METRICS
+        if name not in head_index.telemetry_doc_text
+    }
+    assert not undocumented, (
+        f"metrics missing from docs/observability.md: {sorted(undocumented)}"
+    )
+
+
+def test_background_telemetry_events_documented(head_index):
+    events = {r.name for r in head_index.event_emissions}
+    spans = {r.name for r in head_index.span_registrations}
+    assert "lsm.background.error" in events
+    assert "lsm.flush.background" in spans
+    for name in ("lsm.background.error", "lsm.flush.background"):
+        assert name in head_index.telemetry_doc_text

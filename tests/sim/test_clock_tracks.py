@@ -82,6 +82,44 @@ def test_attribution_hook_sees_track_charges():
     assert seen == [("hash", 3.0)]
 
 
+def test_backdated_fork_earlier_than_clock_start():
+    """A fork point before t=0 (earlier than the clock has ever been) is
+    legal: the track lives entirely in the past, its virtual now runs on
+    the backdated timeline, and joining it is free."""
+    clock = SimClock()
+    with clock.parallel_track(start_us=-40.0) as track:
+        assert clock.now_us == -40.0  # virtual now on the backdated fork
+        clock.charge("disk_write", 30.0)
+        assert clock.now_us == -10.0
+    assert track.end_us == -10.0
+    assert clock.now_us == 0.0  # foreground never moved (or went back)
+    assert clock.wait_until(track.end_us) == 0.0
+
+
+def test_wait_until_past_charges_zero_events():
+    """A join on an already-finished track must not inflate the
+    flush_wait event count: zero wait means zero charge() calls."""
+    clock = SimClock()
+    clock.charge("compute", 90.0)
+    with clock.parallel_track(start_us=10.0) as track:
+        clock.charge("disk_write", 20.0)
+    assert clock.wait_until(track.end_us) == 0.0
+    assert clock.event_count("flush_wait") == 0
+    assert "flush_wait" not in clock.breakdown()
+
+
+def test_double_join_second_wait_is_free():
+    """Joining the same track twice charges the gap exactly once; the
+    second wait_until sees the instant already reached and is a no-op."""
+    clock = SimClock()
+    with clock.parallel_track() as track:
+        clock.charge("disk_write", 75.0)
+    assert clock.wait_until(track.end_us) == 75.0
+    assert clock.wait_until(track.end_us) == 0.0
+    assert clock.now_us == 75.0
+    assert clock.event_count("flush_wait") == 1
+
+
 def test_serialized_worker_pattern():
     """Two deferred flushes: the second forks where the first ended."""
     clock = SimClock()
