@@ -20,12 +20,30 @@ reaching trusted state; enclave secrets must be sealed or hashed before
 reaching host-visible sinks; verification verdicts must gate control
 flow).
 
+The EL8xx family (:mod:`repro.analysis.costmodel`) certifies the
+paper's *performance* discipline the same way: a loop-structure-aware
+abstract interpreter derives per-entry-point effect certificates
+(ECalls, OCalls, copies, hashes, fsyncs, seals — per operation vs per
+item), commits them to ``analysis/costs.toml``, and gates boundary/IO
+amplification anti-patterns plus the authenticated-compaction
+obligations any pluggable policy must satisfy.
+
 Run it as ``python -m repro lint`` (``--changed-only`` for the
-git-diff dependency cone); see ``docs/static-analysis.md``.
+git-diff dependency cone, ``--explain EL###`` for any rule's doc and
+examples, ``--update-costs`` to re-certify); see
+``docs/static-analysis.md``.
 """
 
 from repro.analysis.baseline import Baseline, load_baseline, write_baseline
 from repro.analysis.callgraph import CallGraph
+from repro.analysis.catalogue import inject_rule_table, render_rule_table
+from repro.analysis.costmodel import (
+    CostAnalysisResult,
+    analyze_costs,
+    load_committed_costs,
+    render_costs_toml,
+    run_costmodel,
+)
 from repro.analysis.engine import (
     AnalysisError,
     ProjectIndex,
@@ -33,30 +51,47 @@ from repro.analysis.engine import (
     git_changed_modules,
     run_analysis,
 )
+from repro.analysis.examples import RULE_EXAMPLES, RuleExample
 from repro.analysis.model import Finding, Severity
 from repro.analysis.rules import ALL_RULES, RULE_DOCS, rule_severity
 from repro.analysis.taint import TaintAnalysis, run_taint
-from repro.analysis.zones import TaintConfig, Zone, ZoneConfig, load_zone_config
+from repro.analysis.zones import (
+    CostConfig,
+    TaintConfig,
+    Zone,
+    ZoneConfig,
+    load_zone_config,
+)
 
 __all__ = [
     "ALL_RULES",
     "AnalysisError",
     "Baseline",
     "CallGraph",
+    "CostAnalysisResult",
+    "CostConfig",
     "Finding",
     "ProjectIndex",
     "RULE_DOCS",
+    "RULE_EXAMPLES",
+    "RuleExample",
     "Severity",
     "TaintAnalysis",
     "TaintConfig",
     "Zone",
     "ZoneConfig",
+    "analyze_costs",
     "dependency_cone",
     "git_changed_modules",
+    "inject_rule_table",
     "load_baseline",
+    "load_committed_costs",
     "load_zone_config",
+    "render_costs_toml",
+    "render_rule_table",
     "rule_severity",
     "run_analysis",
+    "run_costmodel",
     "run_taint",
     "write_baseline",
 ]

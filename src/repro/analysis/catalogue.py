@@ -1,0 +1,59 @@
+"""Auto-generated rule catalogue for ``docs/static-analysis.md``.
+
+The table between the ``rule-catalogue`` markers is rendered from
+:data:`~repro.analysis.rules.ALL_RULES`, so the docs can never silently
+lag the registry — ``test_catalogue.py`` fails when a registered rule
+is missing from the committed table (regenerate with
+``python -m repro lint --write-catalogue``... or just re-run the test's
+printed command).
+"""
+
+from __future__ import annotations
+
+BEGIN_MARKER = "<!-- rule-catalogue:begin (generated; do not edit by hand) -->"
+END_MARKER = "<!-- rule-catalogue:end -->"
+
+#: Rule-ID prefix -> GitHub anchor of the family section in
+#: ``docs/static-analysis.md``.
+FAMILY_ANCHORS: dict[str, tuple[str, str]] = {
+    "EL1": ("EL1xx", "el1xx--trust-boundary-taint"),
+    "EL2": ("EL2xx", "el2xx--fail-closed-verification"),
+    "EL3": ("EL3xx", "el3xx--crashfault-hygiene"),
+    "EL4": ("EL4xx", "el4xx--telemetry-hygiene-warnings"),
+    "EL5": ("EL5xx", "el5xx--interprocedural-taint--secret-flow"),
+    "EL6": ("EL6xx", "concurrency-model--commit-protocol-el6xx--el7xx"),
+    "EL7": ("EL7xx", "concurrency-model--commit-protocol-el6xx--el7xx"),
+    "EL8": ("EL8xx", "el8xx--static-cost-certification-costmodel"),
+    "EL9": ("EL9xx", "el9xx--lint-hygiene"),
+}
+
+
+def rule_anchor(rule: str) -> str:
+    family, anchor = FAMILY_ANCHORS[rule[:3]]
+    return f"[{family}](#{anchor})"
+
+
+def render_rule_table() -> str:
+    """The catalogue table (markers included), sorted by rule ID."""
+    from repro.analysis.rules import ALL_RULES
+
+    lines = [
+        BEGIN_MARKER,
+        "| Rule | Severity | Summary | Docs |",
+        "| --- | --- | --- | --- |",
+    ]
+    for rule in sorted(ALL_RULES):
+        severity, summary = ALL_RULES[rule]
+        lines.append(
+            f"| {rule} | {severity.name.lower()} | {summary} "
+            f"| {rule_anchor(rule)} |"
+        )
+    lines.append(END_MARKER)
+    return "\n".join(lines)
+
+
+def inject_rule_table(doc_text: str) -> str:
+    """Replace the marked region of the doc with a fresh table."""
+    begin = doc_text.index(BEGIN_MARKER)
+    end = doc_text.index(END_MARKER) + len(END_MARKER)
+    return doc_text[:begin] + render_rule_table() + doc_text[end:]

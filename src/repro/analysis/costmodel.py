@@ -1,0 +1,824 @@
+"""EL8xx — static cost certification for the enclave boundary.
+
+The paper's performance argument is a *counting* argument: ECall
+boundary crossings, enclave copy bytes, hashes, fsyncs and seals per
+operation.  PRs 3 and 8 earned their speedups by amortising exactly
+those effects (proof pooling, group commit), but until now only the
+dynamic perf gate guarded them — a refactor re-introducing an
+fsync-per-record failed a benchmark hours later with no pointer to the
+offending line.
+
+This pass derives, for each public store entry point named in
+``[costmodel]`` (``zones.toml``), a symbolic effect certificate: for
+every declared effect, a saturating interval of multiplicities per
+polynomial degree —
+
+* degree 0: per operation (``1`` ECall per ``group_commit``),
+* degree 1: per item (``n`` hashes per group),
+* degree 2: nested per-item (``n^2``, always a red flag).
+
+Loops raise the degree; branches join (``lo`` = min unless the test
+names a configured *guard* terminal, in which case the guarded branch
+is the happy path and its costs count toward the lower bound);
+``return``/``raise``/``break``/``continue`` end a path, so statements
+beyond them stay out of the fall-through lower bound and only widen the
+upper bound; ``except`` handlers widen the upper bound only.  Function
+summaries fold interprocedurally over the PR 5 call graph; calls that
+match an effect pattern are *primitives* (counted, never folded), calls
+that resolve nowhere contribute zero (a documented under-approximation:
+the untrusted prover's host-side work is deliberately outside the
+enclave cost certificate), and calls matching ``amortized`` patterns
+(``_maybe_flush``) are certified under their own entry point instead of
+every caller's.
+
+Rules:
+
+* EL801 — boundary effect (ECall/OCall) with a guaranteed per-item
+  multiplicity inside a batch entry point;
+* EL802 — durable effect (fsync/seal) with a guaranteed per-item
+  multiplicity inside a batch entry point;
+* EL803 — derived certificate drifted from the committed
+  ``analysis/costs.toml`` (run ``lint --update-costs`` to re-certify,
+  and justify the new numbers in review);
+* EL804 — cache-bypassing block fetch reachable from a proof-carrying
+  entry point;
+* EL810 — compaction merge loop drops a record (``continue``) before
+  it flowed through the ``Filter()`` digest hook;
+* EL811 — compaction driver publishes a manifest before the
+  authenticated merge + per-level root update (prepare) ran.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.callgraph import CallGraph, _chain_of, get_callgraph
+from repro.analysis.engine import ProjectIndex
+from repro.analysis.model import Finding, Severity
+from repro.analysis.taint import Matcher
+from repro.analysis.zones import CostConfig
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - py3.10 fallback
+    tomllib = None
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Multiplicities saturate here: beyond this the exact count carries no
+#: review signal, and saturation keeps summary folding loop-free.
+SATURATE = 50
+
+#: Highest tracked polynomial degree; deeper nesting saturates at n^2.
+MAX_DEGREE = 2
+
+_DEGREE_LABEL = {0: "per operation", 1: "per item (n)", 2: "nested (n^2)"}
+
+
+def _sat(value: int) -> int:
+    return value if value < SATURATE else SATURATE
+
+
+@dataclass
+class _Cost:
+    """Abstract cost of one code region: per-effect (lo, hi) counts per
+    degree, plus the primitive call sites that produced them."""
+
+    lo: dict[str, list[int]] = field(default_factory=dict)
+    hi: dict[str, list[int]] = field(default_factory=dict)
+    #: (effect, degree) -> {(relpath, line, display)}
+    sites: dict[tuple[str, int], set] = field(default_factory=dict)
+    terminates: bool = False
+
+    def _row(self, table: dict[str, list[int]], effect: str) -> list[int]:
+        row = table.get(effect)
+        if row is None:
+            row = table[effect] = [0] * (MAX_DEGREE + 1)
+        return row
+
+    def add_effect(self, effect: str, path: str, line: int, display: str) -> None:
+        lo_row = self._row(self.lo, effect)
+        lo_row[0] = _sat(lo_row[0] + 1)
+        hi_row = self._row(self.hi, effect)
+        hi_row[0] = _sat(hi_row[0] + 1)
+        self.sites.setdefault((effect, 0), set()).add((path, line, display))
+
+    def _merge_sites(self, other: "_Cost") -> None:
+        for key, sites in other.sites.items():
+            self.sites.setdefault(key, set()).update(sites)
+
+    def add(self, other: "_Cost") -> None:
+        """Sequential composition: both regions run."""
+        for effect, row in other.lo.items():
+            mine = self._row(self.lo, effect)
+            for d in range(MAX_DEGREE + 1):
+                mine[d] = _sat(mine[d] + row[d])
+        self._add_hi(other)
+
+    def _add_hi(self, other: "_Cost") -> None:
+        for effect, row in other.hi.items():
+            mine = self._row(self.hi, effect)
+            for d in range(MAX_DEGREE + 1):
+                mine[d] = _sat(mine[d] + row[d])
+        self._merge_sites(other)
+
+    def add_upper(self, other: "_Cost") -> None:
+        """The other region may run (terminating path): hi only."""
+        self._add_hi(other)
+
+    def widen_upper(self, other: "_Cost") -> None:
+        """Alternative region (exception handler): hi = max, lo kept."""
+        for effect, row in other.hi.items():
+            mine = self._row(self.hi, effect)
+            for d in range(MAX_DEGREE + 1):
+                mine[d] = max(mine[d], row[d])
+        self._merge_sites(other)
+
+    def shifted(self) -> "_Cost":
+        """Region runs once per item: every degree moves up one (n^2
+        absorbs deeper nesting)."""
+        out = _Cost(terminates=False)
+        for table, mine in ((self.lo, out.lo), (self.hi, out.hi)):
+            for effect, row in table.items():
+                shifted = [0] * (MAX_DEGREE + 1)
+                for d in range(MAX_DEGREE + 1):
+                    shifted[min(d + 1, MAX_DEGREE)] = _sat(
+                        shifted[min(d + 1, MAX_DEGREE)] + row[d]
+                    )
+                mine[effect] = shifted
+        for (effect, degree), sites in self.sites.items():
+            out.sites.setdefault(
+                (effect, min(degree + 1, MAX_DEGREE)), set()
+            ).update(sites)
+        return out
+
+    def total_hi(self, effect: str) -> int:
+        return sum(self.hi.get(effect, ()))
+
+
+def _join(a: _Cost, b: _Cost, guard: bool) -> _Cost:
+    """Branch join.  ``guard`` marks a configured happy-path test: the
+    richer branch is assumed taken, so ``lo`` joins with max instead of
+    min (``if self.wal is not None: ... fsync()`` keeps its fsync)."""
+    out = _Cost()
+    if a.terminates and not b.terminates:
+        lo_pick = "b"
+    elif b.terminates and not a.terminates:
+        lo_pick = "a"
+    else:
+        lo_pick = "max" if guard else "min"
+    effects = set(a.lo) | set(b.lo) | set(a.hi) | set(b.hi)
+    zero = [0] * (MAX_DEGREE + 1)
+    for effect in effects:
+        a_lo = a.lo.get(effect, zero)
+        b_lo = b.lo.get(effect, zero)
+        if lo_pick == "a":
+            lo = list(a_lo)
+        elif lo_pick == "b":
+            lo = list(b_lo)
+        elif lo_pick == "max":
+            lo = [max(x, y) for x, y in zip(a_lo, b_lo)]
+        else:
+            lo = [min(x, y) for x, y in zip(a_lo, b_lo)]
+        hi = [
+            max(x, y)
+            for x, y in zip(a.hi.get(effect, zero), b.hi.get(effect, zero))
+        ]
+        out.lo[effect] = lo
+        out.hi[effect] = hi
+    out._merge_sites(a)
+    out._merge_sites(b)
+    out.terminates = a.terminates and b.terminates
+    return out
+
+
+def render_mult(lo: list[int], hi: list[int]) -> str:
+    """``[1,0,0],[1,2,0]`` -> ``"1 + 0..2*n"``; all-zero -> ``"0"``."""
+    terms: list[str] = []
+    for degree in range(MAX_DEGREE + 1):
+        lo_d, hi_d = lo[degree], hi[degree]
+        if hi_d == 0:
+            continue
+        hi_txt = f"{hi_d}+" if hi_d >= SATURATE else str(hi_d)
+        coeff = hi_txt if lo_d == hi_d else f"{lo_d}..{hi_txt}"
+        if degree == 0:
+            terms.append(coeff)
+        else:
+            var = "n" if degree == 1 else f"n^{degree}"
+            terms.append(var if coeff == "1" else f"{coeff}*{var}")
+    return " + ".join(terms) if terms else "0"
+
+
+@dataclass
+class CostAnalysisResult:
+    """Everything the EL8xx checks and the CLI need from one pass."""
+
+    #: entry name -> effect name -> rendered multiplicity string.
+    certificates: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: entry name -> derived abstract cost (with sites).
+    costs: dict[str, _Cost] = field(default_factory=dict)
+    #: entry name -> unresolvable configured qualname.
+    missing: dict[str, str] = field(default_factory=dict)
+
+
+class CostAnalysis:
+    """The loop-structure-aware abstract interpreter."""
+
+    def __init__(self, index: ProjectIndex, graph: CallGraph) -> None:
+        self.index = index
+        self.graph = graph
+        self.cfg: CostConfig = index.config.costmodel
+        self.matchers = {
+            effect: Matcher(patterns)
+            for effect, patterns in self.cfg.effects.items()
+        }
+        self.amortized = Matcher(self.cfg.amortized)
+        self.unit_loops = Matcher(self.cfg.unit_loops)
+        self.guard_terms = set(self.cfg.guards)
+        self._summaries: dict[str, _Cost] = {}
+        self._in_progress: set[str] = set()
+        self._relpath = ""
+
+    # ------------------------------------------------------------------
+    # Interprocedural summaries
+    # ------------------------------------------------------------------
+    def summary(self, qual: str) -> _Cost:
+        cached = self._summaries.get(qual)
+        if cached is not None:
+            return cached
+        if qual in self._in_progress:
+            return _Cost()  # recursion: bound the cycle at zero
+        fn = self.graph.functions.get(qual)
+        if fn is None:
+            return _Cost()
+        self._in_progress.add(qual)
+        saved = self._relpath
+        self._relpath = self.index.modules[fn.module].relpath
+        try:
+            cost = self._block(fn.node.body)
+        finally:
+            self._relpath = saved
+            self._in_progress.discard(qual)
+        cost.terminates = False
+        self._summaries[qual] = cost
+        return cost
+
+    # ------------------------------------------------------------------
+    # Statement walking
+    # ------------------------------------------------------------------
+    def _block(self, stmts: list[ast.stmt]) -> _Cost:
+        cost = _Cost()
+        for stmt in stmts:
+            sc = self._stmt(stmt)
+            cost.add(sc)
+            if sc.terminates:
+                cost.terminates = True
+                break
+        return cost
+
+    def _stmt(self, stmt: ast.stmt) -> _Cost:
+        if isinstance(stmt, ast.If):
+            cost = self._expr(stmt.test)
+            guard = bool(_terminals(stmt.test) & self.guard_terms)
+            cost.add(
+                _join(self._block(stmt.body), self._block(stmt.orelse), guard)
+            )
+            return cost
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            cost = self._expr(stmt.iter)
+            body = self._block(stmt.body)
+            body.terminates = False  # break/continue are loop-local
+            if self._is_unit_loop(stmt.iter):
+                cost.add(body)
+            else:
+                cost.add(body.shifted())
+            cost.add(self._block(stmt.orelse))
+            return cost
+        if isinstance(stmt, ast.While):
+            head = self._expr(stmt.test)
+            body = self._block(stmt.body)
+            body.add(head)  # test re-evaluated each iteration
+            body.terminates = False
+            cost = self._expr(stmt.test)
+            cost.add(body.shifted())
+            cost.add(self._block(stmt.orelse))
+            return cost
+        if isinstance(stmt, ast.Try):
+            cost = self._block(stmt.body)
+            terminates = cost.terminates
+            cost.terminates = False
+            for handler in stmt.handlers:
+                cost.widen_upper(self._block(handler.body))
+            if not terminates:
+                cost.add(self._block(stmt.orelse))
+                terminates = cost.terminates
+            final = self._block(stmt.finalbody)
+            cost.terminates = False
+            cost.add(final)
+            cost.terminates = terminates or final.terminates
+            return cost
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cost = _Cost()
+            for item in stmt.items:
+                cost.add(self._expr(item.context_expr))
+            body = self._block(stmt.body)
+            cost.add(body)
+            cost.terminates = body.terminates
+            return cost
+        if isinstance(stmt, ast.Return):
+            cost = self._expr(stmt.value) if stmt.value else _Cost()
+            cost.terminates = True
+            return cost
+        if isinstance(stmt, ast.Raise):
+            cost = _Cost()
+            if stmt.exc is not None:
+                cost.add(self._expr(stmt.exc))
+            cost.terminates = True
+            return cost
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return _Cost(terminates=True)
+        if isinstance(stmt, (*_FuncDef, ast.ClassDef)):
+            return _Cost()  # definitions execute nothing
+        if isinstance(stmt, ast.Match):
+            cost = self._expr(stmt.subject)
+            joined: _Cost | None = None
+            for case in stmt.cases:
+                branch = self._block(case.body)
+                joined = branch if joined is None else _join(joined, branch, False)
+            if joined is not None:
+                # A match may fall through every case unmatched.
+                cost.add(_join(joined, _Cost(), False))
+            return cost
+        cost = _Cost()
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                cost.add(self._expr(child))
+        return cost
+
+    # ------------------------------------------------------------------
+    # Expression walking
+    # ------------------------------------------------------------------
+    def _expr(self, node: ast.expr | None) -> _Cost:
+        if node is None or isinstance(node, ast.Lambda):
+            return _Cost()  # a lambda body runs only if called later
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            return self._comprehension(node)
+        if isinstance(node, ast.BoolOp):
+            cost = self._expr(node.values[0])
+            for value in node.values[1:]:
+                cost.add_upper(self._expr(value))  # short-circuit: may not run
+            return cost
+        if isinstance(node, ast.IfExp):
+            cost = self._expr(node.test)
+            guard = bool(_terminals(node.test) & self.guard_terms)
+            cost.add(_join(self._expr(node.body), self._expr(node.orelse), guard))
+            return cost
+        cost = _Cost()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                cost.add(self._expr(child))
+        return cost
+
+    def _comprehension(self, node: ast.expr) -> _Cost:
+        gens = node.generators
+        cost = self._expr(gens[0].iter)
+        inner = _Cost()
+        if isinstance(node, ast.DictComp):
+            inner.add(self._expr(node.key))
+            inner.add(self._expr(node.value))
+        else:
+            inner.add(self._expr(node.elt))
+        for i, gen in enumerate(gens):
+            if i > 0:
+                inner.add(self._expr(gen.iter))
+            for cond in gen.ifs:
+                inner.add(self._expr(cond))
+        if self._is_unit_loop(gens[0].iter):
+            cost.add(inner)
+        else:
+            cost.add(inner.shifted())
+        return cost
+
+    def _call(self, call: ast.Call) -> _Cost:
+        cost = _Cost()
+        for arg in call.args:
+            cost.add(self._expr(arg))
+        for kw in call.keywords:
+            cost.add(self._expr(kw.value))
+        if not _chain_of(call.func):
+            cost.add(self._expr(call.func))  # computed callee: walk it
+        site = self.graph.calls.get(id(call))
+        target = site.target if site else None
+        display = ".".join(_chain_of(call.func)) or "<expr>"
+        effects = sorted(
+            effect
+            for effect, matcher in self.matchers.items()
+            if matcher.match(target, display)
+        )
+        if effects:
+            # Effect primitive: count it, never fold below it.
+            for effect in effects:
+                cost.add_effect(effect, self._relpath, call.lineno, display)
+            return cost
+        if self.amortized.match(target, display):
+            # Certified under its own entry point, not every caller's.
+            return cost
+        if target is not None:
+            if target in self.graph.functions:
+                cost.add(self.summary(target))
+            elif target in self.graph.classes:
+                init = self.graph.classes[target].methods.get("__init__")
+                if init is not None:
+                    cost.add(self.summary(init))
+        # Unresolved dynamic calls contribute zero: a documented
+        # under-approximation (host-side prover work stays out of the
+        # enclave certificate by design).
+        return cost
+
+    def _is_unit_loop(self, iter_expr: ast.expr) -> bool:
+        if not self.cfg.unit_loops:
+            return False
+        chain = _chain_of(iter_expr)
+        if not chain:
+            return False
+        return self.unit_loops.match(None, ".".join(chain))
+
+
+def _terminals(test: ast.expr) -> set[str]:
+    """Name ids and attribute names appearing in an ``if`` test."""
+    out: set[str] = set()
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name):
+            out.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            out.add(node.attr)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Certificates
+# ----------------------------------------------------------------------
+def analyze_costs(index: ProjectIndex) -> CostAnalysisResult:
+    """Derive every configured entry point's certificate (cached on the
+    index: the EL8xx checks, drift gate, and ``--update-costs`` all read
+    the same single derivation)."""
+    cached = getattr(index, "_costmodel_result", None)
+    if cached is not None:
+        return cached
+    result = CostAnalysisResult()
+    cfg = index.config.costmodel
+    if cfg.enabled:
+        analysis = CostAnalysis(index, get_callgraph(index))
+        effect_names = sorted(cfg.effects)
+        zero = [0] * (MAX_DEGREE + 1)
+        for entry in sorted(cfg.entry_points):
+            qual = cfg.entry_points[entry]
+            if qual not in analysis.graph.functions:
+                result.missing[entry] = qual
+                continue
+            cost = analysis.summary(qual)
+            result.costs[entry] = cost
+            result.certificates[entry] = {
+                effect: render_mult(
+                    cost.lo.get(effect, zero), cost.hi.get(effect, zero)
+                )
+                for effect in effect_names
+            }
+    index._costmodel_result = result
+    return result
+
+
+_COSTS_HEADER = """\
+# Per-operation effect certificates derived by repro.analysis.costmodel.
+#
+# Each value is a symbolic multiplicity over the operation's batch size
+# n: "1" = once per operation, "n" = once per item, "lo..hi" = interval
+# (conditional effects), "k+" = saturated at the analysis ceiling.
+# Regenerate with `python -m repro lint --update-costs`; any drift from
+# HEAD is an EL803 finding and must be re-certified in review.
+"""
+
+
+def render_costs_toml(certificates: dict[str, dict[str, str]]) -> str:
+    """Deterministic (bit-reproducible) rendering of the certificates."""
+    lines = [_COSTS_HEADER, 'version = "1"', ""]
+    for entry in sorted(certificates):
+        lines.append(f"[operation.{entry}]")
+        for effect in sorted(certificates[entry]):
+            lines.append(f'{effect} = "{certificates[entry][effect]}"')
+        lines.append("")
+    return "\n".join(lines)
+
+
+def load_committed_costs(path: Path) -> dict[str, dict[str, str]] | None:
+    """Parse ``analysis/costs.toml``; ``None`` when the file is absent."""
+    if not path.exists():
+        return None
+    if tomllib is not None:
+        with open(path, "rb") as fh:
+            raw = tomllib.load(fh)
+    else:
+        from repro.analysis.zones import _parse_toml_subset
+
+        raw = _parse_toml_subset(path.read_text(encoding="utf-8"))
+    out: dict[str, dict[str, str]] = {}
+    operations = raw.get("operation", {})
+    if isinstance(operations, dict):
+        for entry, table in operations.items():
+            if isinstance(table, dict):
+                out[entry] = {k: str(v) for k, v in table.items()}
+    # py3.10 subset parser keeps dotted table names flat.
+    for key, table in raw.items():
+        if key.startswith("operation.") and isinstance(table, dict):
+            out[key[len("operation."):]] = {k: str(v) for k, v in table.items()}
+    return out
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def _entry_line(graph: CallGraph, qual: str) -> tuple[str, int] | None:
+    fn = graph.functions.get(qual)
+    if fn is None:
+        return None
+    return fn.module, fn.node.lineno
+
+
+def _per_item_sites(cost: _Cost, effect: str) -> list[tuple[str, int, str]]:
+    out: set = set()
+    for degree in range(1, MAX_DEGREE + 1):
+        out.update(cost.sites.get((effect, degree), ()))
+    return sorted(out)
+
+
+def run_costmodel(index: ProjectIndex) -> list[Finding]:
+    """Entry point: EL801–EL804 + EL810/EL811 over the indexed project."""
+    cfg = index.config.costmodel
+    if not cfg.enabled:
+        return []
+    graph = get_callgraph(index)
+    result = analyze_costs(index)
+    findings: list[Finding] = []
+
+    def emit(rule: str, path: str, line: int, message: str) -> None:
+        findings.append(
+            Finding(
+                rule=rule,
+                severity=Severity.ERROR,
+                path=path,
+                line=line,
+                message=message,
+            )
+        )
+
+    def entry_anchor(entry: str) -> tuple[str, int]:
+        loc = _entry_line(graph, cfg.entry_points[entry])
+        if loc is None:
+            return "analysis/costs.toml", 1
+        module, line = loc
+        return index.modules[module].relpath, line
+
+    # EL801/EL802: guaranteed per-item boundary / durable effects in
+    # batch entry points.
+    for entry in sorted(cfg.batch_entries):
+        cost = result.costs.get(entry)
+        if cost is None:
+            continue
+        for rule, effect_pool, label in (
+            ("EL801", cfg.boundary_effects, "boundary"),
+            ("EL802", cfg.durable_effects, "durable"),
+        ):
+            for effect in sorted(effect_pool):
+                lo = cost.lo.get(effect)
+                if lo is None or not any(lo[1:]):
+                    continue
+                sites = _per_item_sites(cost, effect)
+                if not sites:
+                    anchor_path, anchor_line = entry_anchor(entry)
+                    sites = [(anchor_path, anchor_line, effect)]
+                for path, line, display in sites:
+                    emit(
+                        rule,
+                        path,
+                        line,
+                        f"{label} effect '{effect}' ({display}) runs per "
+                        f"item in batch entry '{entry}' — amortise it to "
+                        f"once per batch (certificate: "
+                        f"{result.certificates[entry][effect]})",
+                    )
+
+    # EL804: cache-bypassing block fetch reachable from a proof path.
+    for entry in sorted(cfg.proof_entries):
+        cost = result.costs.get(entry)
+        if cost is None:
+            continue
+        for effect in sorted(cfg.bypass_effects):
+            if cost.total_hi(effect) == 0:
+                continue
+            all_sites: set = set()
+            for degree in range(MAX_DEGREE + 1):
+                all_sites.update(cost.sites.get((effect, degree), ()))
+            for path, line, display in sorted(all_sites):
+                emit(
+                    "EL804",
+                    path,
+                    line,
+                    f"cache-bypassing block fetch '{display}' is reachable "
+                    f"from proof entry '{entry}' — proof paths must go "
+                    f"through the caching fetcher",
+                )
+
+    # EL803: certificate drift against the committed costs.toml.
+    committed = load_committed_costs(Path(index.root) / "analysis" / "costs.toml")
+    if committed is None:
+        committed = {}
+    for entry in sorted(cfg.entry_points):
+        if entry in result.missing:
+            emit(
+                "EL803",
+                "analysis/zones.toml",
+                1,
+                f"costmodel entry point '{entry}' resolves to no project "
+                f"function ({result.missing[entry]})",
+            )
+            continue
+        derived = result.certificates[entry]
+        have = committed.get(entry)
+        path, line = entry_anchor(entry)
+        if have is None:
+            emit(
+                "EL803",
+                path,
+                line,
+                f"entry point '{entry}' has no committed cost certificate "
+                f"in analysis/costs.toml — run lint --update-costs and "
+                f"commit the result",
+            )
+            continue
+        for effect in sorted(set(derived) | set(have)):
+            want = have.get(effect)
+            got = derived.get(effect)
+            if want == got:
+                continue
+            emit(
+                "EL803",
+                path,
+                line,
+                f"cost certificate drift for '{entry}.{effect}': committed "
+                f"\"{want if want is not None else '<absent>'}\" but HEAD "
+                f"derives \"{got if got is not None else '<absent>'}\" — "
+                f"fix the amplification or re-certify with --update-costs",
+            )
+    for entry in sorted(set(committed) - set(cfg.entry_points)):
+        emit(
+            "EL803",
+            "analysis/costs.toml",
+            1,
+            f"committed certificate names unknown entry point '{entry}' — "
+            f"remove it or declare it under [costmodel] entry_points",
+        )
+
+    findings.extend(_compaction_obligations(index, graph, cfg))
+    unique = {(f.rule, f.path, f.line, f.message): f for f in findings}
+    return sorted(
+        unique.values(), key=lambda f: (f.path, f.line, f.rule, f.message)
+    )
+
+
+# ----------------------------------------------------------------------
+# EL810 / EL811 — authenticated-compaction obligations
+# ----------------------------------------------------------------------
+def _compaction_obligations(
+    index: ProjectIndex, graph: CallGraph, cfg: CostConfig
+) -> list[Finding]:
+    findings: list[Finding] = []
+    merge_scope = Matcher(cfg.compaction_merge)
+    driver_scope = Matcher(cfg.compaction_drivers)
+    filter_hooks = Matcher(cfg.compaction_filter_hooks)
+    prepare = Matcher(cfg.compaction_prepare)
+    publish = Matcher(cfg.compaction_publish)
+
+    def calls_matching(node: ast.AST, matcher: Matcher) -> list[ast.Call]:
+        out = []
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                site = graph.calls.get(id(sub))
+                target = site.target if site else None
+                display = ".".join(_chain_of(sub.func)) or "<expr>"
+                if matcher.match(target, display):
+                    out.append(sub)
+        return out
+
+    def check_merge(fn, relpath: str) -> None:
+        def walk(stmts: list[ast.stmt], in_loop: bool, filtered: bool) -> bool:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                    walk(stmt.body, True, False)
+                    walk(stmt.orelse, in_loop, filtered)
+                    if calls_matching(stmt, filter_hooks):
+                        filtered = True
+                elif isinstance(stmt, ast.If):
+                    f_body = walk(stmt.body, in_loop, filtered)
+                    f_else = walk(stmt.orelse, in_loop, filtered)
+                    filtered = f_body and f_else
+                elif isinstance(stmt, ast.Try):
+                    filtered = walk(stmt.body, in_loop, filtered)
+                    for handler in stmt.handlers:
+                        walk(handler.body, in_loop, filtered)
+                    filtered = walk(stmt.orelse, in_loop, filtered)
+                    filtered = walk(stmt.finalbody, in_loop, filtered)
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    for item in stmt.items:
+                        if calls_matching(item.context_expr, filter_hooks):
+                            filtered = True
+                    filtered = walk(stmt.body, in_loop, filtered)
+                elif isinstance(stmt, ast.Continue):
+                    if in_loop and not filtered:
+                        findings.append(
+                            Finding(
+                                rule="EL810",
+                                severity=Severity.ERROR,
+                                path=relpath,
+                                line=stmt.lineno,
+                                message=(
+                                    f"merge loop in {fn.name} drops a record "
+                                    f"(continue) before it flowed through the "
+                                    f"Filter() digest hook — every consumed "
+                                    f"input record must be digested, dropped "
+                                    f"or not"
+                                ),
+                            )
+                        )
+                elif isinstance(stmt, (*_FuncDef, ast.ClassDef)):
+                    walk(stmt.body, False, False)
+                else:
+                    if calls_matching(stmt, filter_hooks):
+                        filtered = True
+            return filtered
+
+        walk(fn.node.body, False, False)
+
+    def check_driver(fn, relpath: str) -> None:
+        def walk(stmts: list[ast.stmt], established: bool) -> bool:
+            for stmt in stmts:
+                if isinstance(stmt, ast.If):
+                    e_body = walk(stmt.body, established)
+                    e_else = walk(stmt.orelse, established)
+                    established = e_body and e_else
+                    continue
+                if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                    established = walk(stmt.body, established)
+                    established = walk(stmt.orelse, established)
+                    continue
+                if isinstance(stmt, ast.Try):
+                    established = walk(stmt.body, established)
+                    for handler in stmt.handlers:
+                        walk(handler.body, established)
+                    established = walk(stmt.orelse, established)
+                    established = walk(stmt.finalbody, established)
+                    continue
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    if any(
+                        calls_matching(item.context_expr, prepare)
+                        for item in stmt.items
+                    ):
+                        established = True
+                    established = walk(stmt.body, established)
+                    continue
+                if isinstance(stmt, (*_FuncDef, ast.ClassDef)):
+                    continue
+                if calls_matching(stmt, prepare):
+                    established = True
+                for call in calls_matching(stmt, publish):
+                    if not established:
+                        findings.append(
+                            Finding(
+                                rule="EL811",
+                                severity=Severity.ERROR,
+                                path=relpath,
+                                line=call.lineno,
+                                message=(
+                                    f"{fn.name} publishes the manifest before "
+                                    f"the authenticated merge ran — "
+                                    f"OnTableFileCreated() and the per-level "
+                                    f"root update must precede manifest "
+                                    f"publication"
+                                ),
+                            )
+                        )
+            return established
+
+        walk(fn.node.body, False)
+
+    for qual in sorted(graph.functions):
+        fn = graph.functions[qual]
+        relpath = index.modules[fn.module].relpath
+        if cfg.compaction_merge and merge_scope.match(qual, qual):
+            check_merge(fn, relpath)
+        if cfg.compaction_drivers and driver_scope.match(qual, qual):
+            check_driver(fn, relpath)
+    return findings

@@ -16,7 +16,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
-from repro.analysis.model import Finding, Suppressions, parse_suppressions
+from repro.analysis.model import (
+    Finding,
+    Severity,
+    Suppressions,
+    parse_suppressions,
+)
 from repro.analysis.zones import ZoneConfig
 
 
@@ -278,19 +283,70 @@ def run_analysis(
     if scoped_paths is not None and not scoped_paths:
         return []
     findings = []
+    used_pragmas: set[tuple[str, str, int]] = set()
     for finding in run_rules(index):
         if wanted is not None and finding.rule not in wanted:
             continue
         if scoped_paths is not None and finding.path not in scoped_paths:
             continue
         module = _module_for_path(index, finding.path)
-        if module is not None and module.suppressions.is_suppressed(
-            finding.rule, finding.line
-        ):
-            continue
+        if module is not None:
+            matched = module.suppressions.matching_lines(
+                finding.rule, finding.line
+            )
+            if matched:
+                for pragma in module.suppressions.pragmas:
+                    if "all" not in pragma.rules and finding.rule not in pragma.rules:
+                        continue
+                    if (pragma.kind == "disable-file" and 0 in matched) or (
+                        pragma.kind == "disable" and pragma.line in matched
+                    ):
+                        used_pragmas.add(
+                            (module.relpath, pragma.kind, pragma.line)
+                        )
+                continue
         findings.append(finding)
+    if wanted is None:
+        # EL901: pragmas that suppressed nothing this run.  Only
+        # meaningful when every rule ran — with a --rule filter most
+        # pragmas would look stale for the wrong reason.
+        findings.extend(
+            _unused_suppressions(index, scoped_paths, used_pragmas)
+        )
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
+
+
+def _unused_suppressions(
+    index: ProjectIndex,
+    scoped_paths: set[str] | None,
+    used_pragmas: set[tuple[str, str, int]],
+) -> list[Finding]:
+    out: list[Finding] = []
+    for name in sorted(index.modules):
+        module = index.modules[name]
+        if scoped_paths is not None and module.relpath not in scoped_paths:
+            continue
+        for pragma in module.suppressions.pragmas:
+            if (module.relpath, pragma.kind, pragma.line) in used_pragmas:
+                continue
+            if module.suppressions.is_suppressed("EL901", pragma.line):
+                continue
+            rules = ",".join(sorted(pragma.rules))
+            out.append(
+                Finding(
+                    rule="EL901",
+                    severity=Severity.INFO,
+                    path=module.relpath,
+                    line=pragma.line,
+                    message=(
+                        f"suppression pragma ({pragma.kind}={rules}) matches "
+                        f"no finding — remove the stale pragma so it cannot "
+                        f"mask a future regression"
+                    ),
+                )
+            )
+    return out
 
 
 def _module_for_path(index: ProjectIndex, relpath: str):

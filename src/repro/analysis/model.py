@@ -71,24 +71,41 @@ class Finding:
         )
 
 
+@dataclass(frozen=True)
+class Pragma:
+    """One ``elsm-lint`` pragma at a source location (EL901 bookkeeping)."""
+
+    kind: str  # "disable" | "disable-file"
+    line: int  # 1-based line the pragma sits on
+    rules: frozenset  # rule IDs (or {"all"})
+
+
 @dataclass
 class Suppressions:
     """Per-module suppression state parsed from the raw source."""
 
     by_line: dict[int, set[str]] = field(default_factory=dict)
     whole_file: set[str] = field(default_factory=set)
+    #: Every pragma as written, for unused-suppression detection.
+    pragmas: list[Pragma] = field(default_factory=list)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
+        return bool(self.matching_lines(rule, line))
+
+    def matching_lines(self, rule: str, line: int) -> list[int]:
+        """Pragma lines that suppress ``rule`` at ``line`` (0 stands for
+        whole-file pragmas); empty when the finding is not suppressed."""
+        matched: list[int] = []
         if "all" in self.whole_file or rule in self.whole_file:
-            return True
+            matched.append(0)
         for candidate in (line, line - 1):
             rules = self.by_line.get(candidate)
             if rules is not None and ("all" in rules or rule in rules):
                 # A comment-only line above applies to the next line;
                 # a trailing comment applies to its own line.
                 if candidate == line or self._comment_only(candidate):
-                    return True
-        return False
+                    matched.append(candidate)
+        return matched
 
     _comment_lines: set[int] = field(default_factory=set)
 
@@ -96,19 +113,48 @@ class Suppressions:
         return line in self._comment_lines
 
 
+def _comment_columns(source: str) -> dict[int, int] | None:
+    """Line -> column of the ``#`` comment token, via tokenize.
+
+    Distinguishes real pragma comments from pragma *text* quoted inside
+    docstrings (this module's own docs would otherwise register stale
+    suppressions).  ``None`` when tokenization fails — the caller then
+    falls back to accepting every textual match.
+    """
+    import io
+    import tokenize
+
+    out: dict[int, int] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out[tok.start[0]] = tok.start[1]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return None
+    return out
+
+
 def parse_suppressions(source: str) -> Suppressions:
     """Extract ``elsm-lint`` pragmas from a module's source text."""
     out = Suppressions()
+    comment_cols = _comment_columns(source)
     for lineno, text in enumerate(source.splitlines(), start=1):
         match = _SUPPRESS_RE.search(text)
         if match is None:
             continue
+        if comment_cols is not None:
+            col = comment_cols.get(lineno)
+            if col is None or match.start() < col:
+                continue  # pragma text inside a string, not a comment
         kind = match.group(1)
         rules = {
             token.strip()
             for token in match.group(2).split(",")
             if token.strip()
         }
+        out.pragmas.append(
+            Pragma(kind=kind, line=lineno, rules=frozenset(rules))
+        )
         if kind == "disable-file":
             out.whole_file |= rules
         else:

@@ -63,6 +63,13 @@ ALL_RULES: dict[str, tuple[Severity, str]] = {
     "EL701": (Severity.ERROR, "seal/commit without the required durability effect (fsync-before-seal)"),
     "EL702": (Severity.ERROR, "seal after a flush install without advancing flushed_ts"),
     "EL703": (Severity.ERROR, "path between two durable effects crosses no named crash point"),
+    "EL801": (Severity.ERROR, "boundary call (ECall/OCall) runs per item inside a batch entry point"),
+    "EL802": (Severity.ERROR, "fsync/seal runs per record instead of once per group"),
+    "EL803": (Severity.ERROR, "derived cost certificate drifted from committed analysis/costs.toml"),
+    "EL804": (Severity.ERROR, "cache-bypassing block fetch reachable from a proof path"),
+    "EL810": (Severity.ERROR, "compaction merge drops a record that never flowed through Filter()"),
+    "EL811": (Severity.ERROR, "manifest published before the authenticated merge/root update ran"),
+    "EL901": (Severity.INFO, "suppression pragma matches no finding (stale; never gates)"),
 }
 
 #: Longer rationale per rule, tied to the paper's threat model.
@@ -212,6 +219,57 @@ RULE_DOCS: dict[str, str] = {
         "state transition the fault plan cannot crash into is a recovery "
         "path the crash matrix never witnesses."
     ),
+    "EL801": (
+        "The paper's enclave cost model charges every boundary crossing "
+        "(ECall/OCall); PR 3 won its latency back precisely by batching "
+        "them (one ECall per MULTI-GET, one proof pool per batch). A "
+        "boundary call whose certified lower bound is per-item inside a "
+        "batch entry point re-introduces the n-crossings anti-pattern "
+        "the batch API exists to prevent."
+    ),
+    "EL802": (
+        "Group commit's contract (PR 8) is one WAL append + one fsync + "
+        "one seal hook per group. An fsync or seal whose certified lower "
+        "bound scales with the record count turns the group path back "
+        "into per-record durability - the exact cost the paper's "
+        "group-commit design amortises away."
+    ),
+    "EL803": (
+        "analysis/costs.toml is the reviewed contract for per-operation "
+        "effect counts. When the derived certificate drifts, either the "
+        "change reintroduced amplification (fix it) or the new cost is "
+        "intended - then lint --update-costs re-certifies it and the "
+        "diff makes the regression reviewable instead of silent."
+    ),
+    "EL804": (
+        "Verified reads must go through the caching fetcher: the "
+        "sequential reader bypasses the block cache (it exists for "
+        "compaction scans) and every bypassed fetch on a proof path is "
+        "an uncached OCall plus a re-hash the RUM argument already paid "
+        "for once."
+    ),
+    "EL810": (
+        "Authenticated compaction (paper Section 5) requires every "
+        "consumed input record to flow through the Filter() digest "
+        "before it may be dropped - a merge loop that `continue`s past "
+        "a record without digesting it lets a malicious host drop "
+        "records undetected. This is the static contract any pluggable "
+        "compaction policy must satisfy."
+    ),
+    "EL811": (
+        "The per-level Merkle root update and OnTableFileCreated() "
+        "proof embedding must complete before the manifest publishes "
+        "the new level: a manifest that becomes visible first "
+        "advertises files whose authenticity metadata does not exist "
+        "yet, and a crash in the gap recovers into an unverifiable "
+        "state."
+    ),
+    "EL901": (
+        "A `# elsm-lint: disable=EL###` pragma that suppresses nothing "
+        "is debt: the finding it once hid was fixed (or the rule "
+        "changed), and leaving it in place silently masks the next "
+        "genuine regression at that line. INFO only - it never gates."
+    ),
 }
 
 
@@ -243,6 +301,7 @@ def run_rules(index: ProjectIndex) -> Iterator[Finding]:
     yield from _el5xx_taint(index)
     yield from _el6xx_concurrency(index)
     yield from _el7xx_protocol(index)
+    yield from _el8xx_costmodel(index)
 
 
 # ----------------------------------------------------------------------
@@ -655,3 +714,13 @@ def _el7xx_protocol(index: ProjectIndex) -> Iterator[Finding]:
     from repro.analysis.protocol import run_protocol
 
     yield from run_protocol(index)
+
+
+# ----------------------------------------------------------------------
+# EL8xx - static cost certification
+# ----------------------------------------------------------------------
+def _el8xx_costmodel(index: ProjectIndex) -> Iterator[Finding]:
+    """Effect-multiplicity certificates; see :mod:`repro.analysis.costmodel`."""
+    from repro.analysis.costmodel import run_costmodel
+
+    yield from run_costmodel(index)

@@ -258,6 +258,58 @@ def _parse_order_rule(raw: str) -> OrderRule:
 
 
 @dataclass
+class CostConfig:
+    """The ``[costmodel]`` section: the EL8xx cost-certification policy.
+
+    Drives :mod:`repro.analysis.costmodel` — the abstract interpreter
+    that derives per-entry-point effect certificates (``analysis/
+    costs.toml``) and gates boundary/IO amplification anti-patterns.
+    """
+
+    #: certificate name -> entry-point function qualname.
+    entry_points: dict[str, str] = field(default_factory=dict)
+    #: Entry names that take a batch of items (EL801/EL802 scope):
+    #: per-item loops inside them are loops over the *request*.
+    batch_entries: list[str] = field(default_factory=list)
+    #: Entry names whose result carries a verification proof (EL804).
+    proof_entries: list[str] = field(default_factory=list)
+    #: effect name -> call patterns (taint-style qual/display/suffix).
+    effects: dict[str, list[str]] = field(default_factory=dict)
+    #: Effects that cross the enclave boundary (EL801 alphabet).
+    boundary_effects: list[str] = field(default_factory=list)
+    #: Effects that force durable IO (EL802 alphabet).
+    durable_effects: list[str] = field(default_factory=list)
+    #: Effect naming a cache-bypassing block fetch (EL804 alphabet).
+    bypass_effects: list[str] = field(default_factory=list)
+    #: Branch-guard terminals: an ``if`` naming one of these runs its
+    #: body on the configured happy path, so body costs count toward
+    #: the *lower* bound (``if self.wal is not None: ... fsync()``).
+    guards: list[str] = field(default_factory=list)
+    #: Call patterns whose cost is amortised across operations and
+    #: certified under their own entry point instead of the caller's
+    #: (``_maybe_flush`` belongs to the flush certificate, not put's).
+    amortized: list[str] = field(default_factory=list)
+    #: Iterable patterns of constant cardinality (listener registries):
+    #: looping over them does not multiply per-item cost.
+    unit_loops: list[str] = field(default_factory=list)
+    #: Merge-loop functions subject to EL810 (drop-through-filter).
+    compaction_merge: list[str] = field(default_factory=list)
+    #: Call patterns that digest one consumed input record (Filter()).
+    compaction_filter_hooks: list[str] = field(default_factory=list)
+    #: Driver functions subject to EL811 (prepare-before-publish).
+    compaction_drivers: list[str] = field(default_factory=list)
+    #: Call patterns that run the authenticated merge + table-file
+    #: hooks and the per-level Merkle root update (the prepare step).
+    compaction_prepare: list[str] = field(default_factory=list)
+    #: Call patterns that publish the result to the manifest.
+    compaction_publish: list[str] = field(default_factory=list)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.entry_points and self.effects)
+
+
+@dataclass
 class ZoneConfig:
     """Parsed ``zones.toml``: zone patterns plus rule-scoping roles."""
 
@@ -284,6 +336,8 @@ class ZoneConfig:
     concurrency: ConcurrencyConfig = field(default_factory=ConcurrencyConfig)
     #: Commit-ordering policy for the EL7xx protocol rules.
     protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    #: Cost-certification policy for the EL8xx rules.
+    costmodel: CostConfig = field(default_factory=CostConfig)
 
     def zone_of(self, module: str) -> Zone:
         """Classify a dotted module name (NEUTRAL when nothing matches)."""
@@ -501,6 +555,50 @@ def load_zone_config(path: Path) -> ZoneConfig:
             raise ValueError(
                 f"protocol: undeclared effect {effect!r} in durable/guards"
             )
+    costmodel = raw.pop("costmodel", {})
+    config.costmodel.entry_points = _parse_assignments(
+        list(costmodel.pop("entry_points", [])), "costmodel.entry_points"
+    )
+    config.costmodel.effects = {
+        effect: _split_list(patterns)
+        for effect, patterns in _parse_assignments(
+            list(costmodel.pop("effects", [])), "costmodel.effects"
+        ).items()
+    }
+    for key in (
+        "batch_entries",
+        "proof_entries",
+        "boundary_effects",
+        "durable_effects",
+        "bypass_effects",
+        "guards",
+        "amortized",
+        "unit_loops",
+        "compaction_merge",
+        "compaction_filter_hooks",
+        "compaction_drivers",
+        "compaction_prepare",
+        "compaction_publish",
+    ):
+        setattr(config.costmodel, key, list(costmodel.pop(key, [])))
+    for entry in (
+        config.costmodel.batch_entries + config.costmodel.proof_entries
+    ):
+        if entry not in config.costmodel.entry_points:
+            raise ValueError(
+                f"costmodel: undeclared entry point {entry!r} in "
+                f"batch_entries/proof_entries"
+            )
+    for effect in (
+        config.costmodel.boundary_effects
+        + config.costmodel.durable_effects
+        + config.costmodel.bypass_effects
+    ):
+        if effect not in config.costmodel.effects:
+            raise ValueError(
+                f"costmodel: undeclared effect {effect!r} in "
+                f"boundary/durable/bypass_effects"
+            )
     leftovers = (
         [f"top-level [{key}]" for key in raw]
         + [f"roles.{key}" for key in roles]
@@ -508,6 +606,7 @@ def load_zone_config(path: Path) -> ZoneConfig:
         + [f"taint.{key}" for key in taint]
         + [f"concurrency.{key}" for key in concurrency]
         + [f"protocol.{key}" for key in protocol]
+        + [f"costmodel.{key}" for key in costmodel]
     )
     if leftovers:
         raise ValueError(f"unknown keys in {path}: {', '.join(leftovers)}")

@@ -498,6 +498,34 @@ def cmd_crash_test(args) -> int:
     return 1 if failures else 0
 
 
+def _explain_rule(rule: str) -> int:
+    """Print one rule's doc + minimal examples (``lint --explain EL###``)."""
+    from repro.analysis import ALL_RULES, RULE_DOCS, RULE_EXAMPLES
+
+    rule = rule.upper()
+    if rule not in ALL_RULES:
+        known = ", ".join(sorted(ALL_RULES))
+        print(f"unknown rule {rule!r}; known rules: {known}", file=sys.stderr)
+        return 2
+    severity, summary = ALL_RULES[rule]
+    print(f"{rule} [{severity.value}] {summary}")
+    doc = RULE_DOCS.get(rule)
+    if doc:
+        print()
+        print(doc.strip())
+    example = RULE_EXAMPLES.get(rule)
+    if example:
+        print()
+        print(f"Flagged (violates {rule}):")
+        for line in example.positive.strip("\n").splitlines():
+            print(f"    {line}")
+        print()
+        print("Clean (the fix):")
+        for line in example.negative.strip("\n").splitlines():
+            print(f"    {line}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     """The `lint` command: run the trust-boundary invariant checker."""
     import time
@@ -519,6 +547,9 @@ def cmd_lint(args) -> int:
     )
     from repro.analysis.zones import DEFAULT_CONFIG_RELPATH
 
+    if args.explain:
+        return _explain_rule(args.explain)
+
     root = Path(args.root) if args.root else Path(__file__).resolve().parents[2]
     config_path = root / DEFAULT_CONFIG_RELPATH
     if not config_path.is_file():
@@ -527,9 +558,43 @@ def cmd_lint(args) -> int:
     started = time.perf_counter()
     try:
         config = load_zone_config(config_path)
-        index = None
+        # One ProjectIndex per lint run: every pass (rules, taint,
+        # concurrency, protocol, costmodel) shares this build and the
+        # call graph cached on it.
+        index = ProjectIndex.build(root, config)
+        if args.update_costs or args.costs_out:
+            from repro.analysis import analyze_costs, render_costs_toml
+
+            if not config.costmodel.enabled:
+                print(
+                    "lint: no [costmodel] section in zones.toml; nothing "
+                    "to certify",
+                    file=sys.stderr,
+                )
+                return 2
+            result = analyze_costs(index)
+            if result.missing:
+                for entry, qual in sorted(result.missing.items()):
+                    print(
+                        f"lint: costmodel entry point {entry!r} resolves "
+                        f"to no function ({qual})",
+                        file=sys.stderr,
+                    )
+                return 2
+            rendered = render_costs_toml(result.certificates)
+            if args.costs_out:
+                Path(args.costs_out).write_text(rendered, encoding="utf-8")
+                print(f"derived cost certificate written to {args.costs_out}")
+            if args.update_costs:
+                costs_path = root / "analysis" / "costs.toml"
+                costs_path.write_text(rendered, encoding="utf-8")
+                print(
+                    f"cost certificates updated: "
+                    f"{len(result.certificates)} entry point(s) -> "
+                    f"{costs_path}"
+                )
+                return 0
         if args.changed_only:
-            index = ProjectIndex.build(root, config)
             changed = git_changed_modules(index)
             if changed is None:
                 print(
@@ -895,6 +960,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--root", default=None, metavar="DIR",
                       help="repo root override (default: inferred from the "
                            "installed package)")
+    lint.add_argument("--explain", default=None, metavar="EL###",
+                      help="print a rule's documentation with a minimal "
+                           "positive and negative example, then exit")
+    lint.add_argument("--update-costs", action="store_true",
+                      help="re-derive the per-operation cost certificates "
+                           "and rewrite analysis/costs.toml (the EL803 "
+                           "drift gate compares HEAD against that file)")
+    lint.add_argument("--costs-out", default=None, metavar="PATH",
+                      help="write the freshly derived cost certificate "
+                           "TOML to PATH (CI artifact; does not touch "
+                           "analysis/costs.toml)")
     lint.set_defaults(fn=cmd_lint)
 
     audit = sub.add_parser("audit", help="full-store integrity audit demo")

@@ -1,0 +1,83 @@
+"""The committed rule-catalogue table must track the rule registry.
+
+``docs/static-analysis.md`` carries a generated table between the
+``rule-catalogue`` markers; this suite fails whenever a registered
+rule is missing (or the table otherwise drifted) and prints the
+regeneration command.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC = REPO_ROOT / "docs" / "static-analysis.md"
+
+REGENERATE = (
+    "PYTHONPATH=src python -c \"from pathlib import Path; "
+    "from repro.analysis import inject_rule_table; "
+    "p = Path('docs/static-analysis.md'); "
+    "p.write_text(inject_rule_table(p.read_text()))\""
+)
+
+
+def test_committed_table_matches_registry():
+    from repro.analysis import render_rule_table
+
+    doc = DOC.read_text()
+    assert render_rule_table() in doc, (
+        f"docs/static-analysis.md rule catalogue is stale; regenerate "
+        f"with:\n  {REGENERATE}"
+    )
+
+
+def test_every_registered_rule_is_in_the_table():
+    from repro.analysis import ALL_RULES
+    from repro.analysis.catalogue import BEGIN_MARKER, END_MARKER
+
+    doc = DOC.read_text()
+    table = doc[doc.index(BEGIN_MARKER): doc.index(END_MARKER)]
+    missing = [r for r in ALL_RULES if f"| {r} |" not in table]
+    assert not missing, (
+        f"rules missing from the catalogue: {missing}; regenerate "
+        f"with:\n  {REGENERATE}"
+    )
+
+
+def test_every_rule_has_a_family_anchor():
+    from repro.analysis import ALL_RULES
+    from repro.analysis.catalogue import FAMILY_ANCHORS, rule_anchor
+
+    for rule in ALL_RULES:
+        assert rule[:3] in FAMILY_ANCHORS, f"{rule} has no family anchor"
+        assert rule_anchor(rule).startswith("[EL")
+
+
+def test_anchor_targets_exist_in_doc():
+    """Each family anchor must correspond to a real heading: GitHub
+    slugifies headings by lowercasing, dropping punctuation, and
+    mapping spaces to dashes — verify against every heading in the
+    doc so a renamed section cannot orphan the table links."""
+    import re
+
+    from repro.analysis.catalogue import FAMILY_ANCHORS
+
+    slugs = set()
+    for line in DOC.read_text().splitlines():
+        if not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip()
+        slug = re.sub(r"[^\w\- ]", "", title.lower()).replace(" ", "-")
+        slugs.add(slug)
+    for family, (_, anchor) in FAMILY_ANCHORS.items():
+        assert anchor in slugs, (
+            f"anchor #{anchor} (family {family}xx) matches no heading "
+            f"in docs/static-analysis.md"
+        )
+
+
+def test_inject_is_idempotent():
+    from repro.analysis import inject_rule_table
+
+    doc = DOC.read_text()
+    assert inject_rule_table(doc) == doc

@@ -1,0 +1,63 @@
+"""``lint --explain EL###`` and the example registry behind it.
+
+Every registered rule must carry a documentation paragraph and a
+minimal positive/negative example pair — the same snippets the rule's
+fixtures exercise — so ``--explain`` can never come up empty for a
+rule that can fire.
+"""
+
+from __future__ import annotations
+
+
+def test_every_rule_has_doc_and_examples():
+    from repro.analysis import ALL_RULES, RULE_DOCS, RULE_EXAMPLES
+
+    for rule in ALL_RULES:
+        assert rule in RULE_DOCS, f"{rule} has no RULE_DOCS paragraph"
+        assert rule in RULE_EXAMPLES, f"{rule} has no RULE_EXAMPLES entry"
+        example = RULE_EXAMPLES[rule]
+        assert example.positive.strip(), f"{rule} positive example empty"
+        assert example.negative.strip(), f"{rule} negative example empty"
+        assert example.positive != example.negative
+
+
+def test_examples_cover_only_registered_rules():
+    from repro.analysis import ALL_RULES, RULE_EXAMPLES
+
+    stray = set(RULE_EXAMPLES) - set(ALL_RULES)
+    assert not stray, f"examples for unregistered rules: {sorted(stray)}"
+
+
+def test_explain_prints_doc_and_examples(capsys):
+    from repro.cli import _explain_rule
+
+    assert _explain_rule("EL802") == 0
+    out = capsys.readouterr().out
+    assert out.startswith("EL802 [error]")
+    assert "fsync" in out
+    assert "Flagged (violates EL802):" in out
+    assert "Clean (the fix):" in out
+
+
+def test_explain_accepts_lowercase(capsys):
+    from repro.cli import _explain_rule
+
+    assert _explain_rule("el801") == 0
+    assert "EL801" in capsys.readouterr().out
+
+
+def test_explain_unknown_rule_exits_2(capsys):
+    from repro.cli import _explain_rule
+
+    assert _explain_rule("EL999") == 2
+    err = capsys.readouterr().err
+    assert "unknown rule" in err
+    assert "EL801" in err  # the known-rule list helps the caller
+
+
+def test_explain_via_cli_parser(capsys):
+    from repro.cli import main
+
+    assert main(["lint", "--explain", "EL901"]) == 0
+    out = capsys.readouterr().out
+    assert "EL901" in out and "info" in out

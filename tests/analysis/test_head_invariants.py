@@ -1,10 +1,14 @@
-"""The repo's own code must satisfy its concurrency/commit policies.
+"""The repo's own code must satisfy its concurrency/commit/cost policies.
 
-These run the EL6xx/EL7xx checkers against the *real* codebase with the
-committed ``analysis/zones.toml`` — the acceptance bar is zero findings
-with an empty baseline (no grandfathered races).  A regression lock on
-the PR 8 observability surface rides along: the pipelined-write-path
-metrics must stay registered and documented (EL402's contract).
+These run the EL6xx/EL7xx/EL8xx checkers against the *real* codebase
+with the committed ``analysis/zones.toml`` — the acceptance bar is zero
+findings with an empty baseline (no grandfathered races, no uncommitted
+certificate drift).  The cost locks pin the paper's amortisation story:
+group commit certifies 1 ECall + 1 fsync + 1 seal per group, multi_get
+1 ECall + 1 proof copy per batch, and ``analysis/costs.toml`` is the
+bit-reproducible derivation of HEAD.  A regression lock on the PR 8
+observability surface rides along: the pipelined-write-path metrics
+must stay registered and documented (EL402's contract).
 """
 
 from __future__ import annotations
@@ -48,6 +52,51 @@ def test_commit_protocol_clean_at_head(head_index):
 
     findings = run_protocol(head_index)
     assert findings == [], [f.format_text() for f in findings]
+
+
+def test_costmodel_clean_at_head(head_index):
+    from repro.analysis.costmodel import run_costmodel
+
+    findings = run_costmodel(head_index)
+    assert findings == [], [f.format_text() for f in findings]
+
+
+def test_cost_certificates_match_committed(head_index):
+    from repro.analysis.costmodel import analyze_costs, load_committed_costs
+
+    result = analyze_costs(head_index)
+    assert result.missing == {}, "every entry point must resolve"
+    committed = load_committed_costs(REPO_ROOT / "analysis" / "costs.toml")
+    assert committed == result.certificates, (
+        "analysis/costs.toml drifted; re-certify with "
+        "`python -m repro lint --update-costs` and justify the diff"
+    )
+
+
+def test_amortised_paths_certify_the_paper_numbers(head_index):
+    from repro.analysis.costmodel import analyze_costs
+
+    certs = analyze_costs(head_index).certificates
+    # Group commit (PR 8): ONE ECall, ONE fsync, ONE seal per group.
+    assert certs["group_commit"]["ecall"] == "1"
+    assert certs["group_commit"]["fsync"] == "1"
+    assert certs["group_commit"]["seal"] == "1"
+    # Batched verified GET (PR 3): ONE ECall, ONE proof copy per batch.
+    assert certs["multi_get"]["ecall"] == "1"
+    assert certs["multi_get"]["copy_in"] == "1"
+
+
+def test_cost_certificates_bit_reproducible(head_index):
+    from repro.analysis import load_zone_config
+    from repro.analysis.costmodel import analyze_costs, render_costs_toml
+    from repro.analysis.engine import ProjectIndex
+
+    config = load_zone_config(REPO_ROOT / "analysis" / "zones.toml")
+    fresh = ProjectIndex.build(REPO_ROOT, config)
+    first = render_costs_toml(analyze_costs(head_index).certificates)
+    second = render_costs_toml(analyze_costs(fresh).certificates)
+    assert first == second
+    assert first == (REPO_ROOT / "analysis" / "costs.toml").read_text()
 
 
 def test_baseline_is_empty():

@@ -1,0 +1,68 @@
+"""One parse per lint run: every analysis pass shares a single
+``ProjectIndex`` and a single ``CallGraph``.
+
+The linter is a pre-commit hook, so its runtime is a product property
+(CI gates the full run at 10 s and ``--changed-only`` at 2 s with
+``--max-seconds``); re-indexing per pass would multiply the dominant
+cost.  This locks the sharing invariant end-to-end through the real
+CLI against the real repo.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_full_lint_builds_one_index_and_one_callgraph(monkeypatch, capsys):
+    from repro.analysis.callgraph import CallGraph
+    from repro.analysis.engine import ProjectIndex
+    from repro.cli import main
+
+    builds = {"index": 0, "graph": 0}
+    index_build = ProjectIndex.build
+    graph_build = CallGraph.build
+
+    def counting_index_build(*args, **kwargs):
+        builds["index"] += 1
+        return index_build(*args, **kwargs)
+
+    def counting_graph_build(*args, **kwargs):
+        builds["graph"] += 1
+        return graph_build(*args, **kwargs)
+
+    monkeypatch.setattr(ProjectIndex, "build", counting_index_build)
+    monkeypatch.setattr(CallGraph, "build", counting_graph_build)
+
+    started = time.perf_counter()
+    rc = main(["lint", "--root", str(REPO_ROOT)])
+    elapsed = time.perf_counter() - started
+    capsys.readouterr()
+
+    assert rc == 0, "lint must stay clean at HEAD"
+    assert builds["index"] == 1, (
+        f"lint built the ProjectIndex {builds['index']} times; every "
+        f"pass must share one build"
+    )
+    assert builds["graph"] == 1, (
+        f"lint built the CallGraph {builds['graph']} times; taint, "
+        f"concurrency, protocol and costmodel must share one build"
+    )
+    # The CI budget is 10 s wall (--max-seconds 10); leave headroom for
+    # slow shared runners rather than asserting the exact gate here.
+    assert elapsed < 10, f"full lint took {elapsed:.1f}s (CI budget: 10s)"
+
+
+def test_costmodel_derivation_is_cached_on_the_index():
+    from repro.analysis import analyze_costs, load_zone_config
+    from repro.analysis.engine import ProjectIndex
+
+    config = load_zone_config(REPO_ROOT / "analysis" / "zones.toml")
+    index = ProjectIndex.build(REPO_ROOT, config)
+    first = analyze_costs(index)
+    assert analyze_costs(index) is first, (
+        "the EL8xx checks, drift gate and --update-costs must all read "
+        "one derivation"
+    )

@@ -1,0 +1,98 @@
+"""EL901: stale suppression pragmas surface as INFO notes.
+
+A pragma that matches zero findings would silently swallow the *next*
+genuine finding at that line; EL901 flags it without ever gating the
+exit code, and only on full runs (under ``--rule`` filters most
+pragmas would look stale for the wrong reason).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Severity
+
+
+def _el901(findings):
+    return [f for f in findings if f.rule == "EL901"]
+
+
+def test_stale_pragma_emits_info(project):
+    path = project.add_module(
+        "kv",
+        """\
+        def fine():
+            return 1  # elsm-lint: disable=EL203
+        """,
+    )
+    findings = _el901(project.lint())
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.INFO
+    assert findings[0].line == 2
+    assert "EL203" in findings[0].message
+    assert "stale" in findings[0].message
+    assert path.name == "kv.py"
+
+
+def test_used_pragma_is_not_stale(project):
+    project.add_module(
+        "kv",
+        """\
+        def catcher():
+            try:
+                return 1
+            except:  # elsm-lint: disable=EL201
+                return 0
+        """,
+    )
+    findings = project.lint()
+    assert _el901(findings) == []
+    assert all(f.rule != "EL201" for f in findings)
+
+
+def test_stale_disable_file_pragma(project):
+    project.add_module(
+        "kv",
+        """\
+        # elsm-lint: disable-file=EL402
+
+        def fine():
+            return 1
+        """,
+    )
+    findings = _el901(project.lint())
+    assert len(findings) == 1
+    assert "disable-file" in findings[0].message
+
+
+def test_el901_skipped_on_filtered_runs(project):
+    project.add_module(
+        "kv",
+        """\
+        def fine():
+            return 1  # elsm-lint: disable=EL203
+        """,
+    )
+    assert project.lint(["EL901"]) == []
+    assert project.lint(["EL201"]) == []
+
+
+def test_el901_can_suppress_itself(project):
+    project.add_module(
+        "kv",
+        """\
+        def fine():
+            return 1  # elsm-lint: disable=EL203,EL901
+        """,
+    )
+    assert _el901(project.lint()) == []
+
+
+def test_docstring_pragma_text_is_not_a_pragma(project):
+    project.add_module(
+        "kv",
+        '''\
+        def documented():
+            """Suppress with ``# elsm-lint: disable=EL203`` if needed."""
+            return 1
+        ''',
+    )
+    assert _el901(project.lint()) == []
